@@ -1,0 +1,66 @@
+//! Ablation A3: admission-control policies under an arrival stream.
+//!
+//! §3 of the paper argues the sleep/wake decisions are "less critical when
+//! a strict admission control policy is in place". This ablation drives a
+//! lightly loaded cluster with a steady stream of new service requests and
+//! compares the §6 delay-and-wake behaviour against always-admit and a
+//! capacity threshold, on admitted work, rejections, load, and energy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecolb_bench::DEFAULT_SEED;
+use ecolb_cluster::admission::{AdmissionPolicy, ArrivalSpec};
+use ecolb_cluster::cluster::{Cluster, ClusterConfig, ClusterRunReport};
+use ecolb_metrics::table::{fmt_f, Table};
+use ecolb_workload::generator::WorkloadSpec;
+use std::hint::black_box;
+
+const POLICIES: [(&str, AdmissionPolicy); 3] = [
+    ("always-admit", AdmissionPolicy::AlwaysAdmit),
+    ("threshold-65%", AdmissionPolicy::CapacityThreshold { max_load: 0.65 }),
+    ("delay-and-wake", AdmissionPolicy::DelayAndWake { wakes_per_interval: 2 }),
+];
+
+fn run(policy: AdmissionPolicy, size: usize) -> ClusterRunReport {
+    let mut config = ClusterConfig::paper(size, WorkloadSpec::paper_low_load());
+    config.arrivals = Some(ArrivalSpec::new(size as f64 / 25.0, 0.05, 0.25));
+    config.admission = policy;
+    Cluster::new(config, DEFAULT_SEED).run(40)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut table = Table::new([
+        "Admission policy",
+        "Admitted",
+        "Rejected",
+        "Pending",
+        "Wakes",
+        "Final load",
+        "Energy (MJ)",
+    ])
+    .with_title("Ablation A3: admission policies, 1000 servers at 30% load + arrivals, 40 intervals");
+    for (name, policy) in POLICIES {
+        let r = run(policy, 1_000);
+        table.row([
+            name.to_string(),
+            r.admission.admitted.to_string(),
+            r.admission.rejected.to_string(),
+            r.admission.pending().to_string(),
+            r.admission.wakes_triggered.to_string(),
+            fmt_f(*r.load_series.values().last().unwrap(), 3),
+            fmt_f(r.energy.total_j() / 1e6, 2),
+        ]);
+    }
+    println!("{table}");
+
+    let mut group = c.benchmark_group("ablation_admission");
+    group.sample_size(10);
+    for (name, policy) in POLICIES {
+        group.bench_with_input(BenchmarkId::new("run", name), &policy, |b, &policy| {
+            b.iter(|| black_box(run(policy, 200)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

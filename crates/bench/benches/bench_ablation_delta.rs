@@ -1,0 +1,66 @@
+//! Ablation A2: receiver fill limits and negotiation budgets.
+//!
+//! The §4 protocol leaves open how full a receiver may get and how many
+//! partners a server contacts. This ablation sweeps the shed fill ceiling
+//! (`α^{opt,l}` / band midpoint / `α^{opt,h}`) and the partner cap, and
+//! reports their effect on the decision ratio and the undesirable-regime
+//! residue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecolb_bench::DEFAULT_SEED;
+use ecolb_cluster::balance::FillLimit;
+use ecolb_cluster::cluster::{Cluster, ClusterConfig};
+use ecolb_metrics::table::{fmt_f, Table};
+use ecolb_workload::generator::WorkloadSpec;
+use std::hint::black_box;
+
+fn run(fill: FillLimit, max_partners: Option<usize>, size: usize) -> ecolb_cluster::cluster::ClusterRunReport {
+    let mut config = ClusterConfig::paper(size, WorkloadSpec::paper_high_load());
+    config.balance.shed_fill = fill;
+    config.balance.max_partners = max_partners;
+    let mut cluster = Cluster::new(config, DEFAULT_SEED);
+    cluster.run(40)
+}
+
+fn bench(c: &mut Criterion) {
+    let fills = [
+        ("fill-to-opt-low", FillLimit::OptLow),
+        ("fill-to-target", FillLimit::OptTarget),
+        ("fill-to-opt-high", FillLimit::OptHigh),
+    ];
+    let caps: [(&str, Option<usize>); 3] = [("all", None), ("cap-8", Some(8)), ("cap-2", Some(2))];
+
+    let mut table = Table::new([
+        "Shed fill",
+        "Partner cap",
+        "Mean ratio",
+        "Migrations",
+        "Undesirable residue",
+    ])
+    .with_title("Ablation A2: fill limit × negotiation cap, 1000 servers at 70% load");
+    for (fname, fill) in fills {
+        for (cname, cap) in caps {
+            let r = run(fill, cap, 1_000);
+            table.row([
+                fname.to_string(),
+                cname.to_string(),
+                fmt_f(r.ratio_series.stats().mean(), 3),
+                r.migrations.to_string(),
+                format!("{:.1}%", r.final_census.undesirable_fraction() * 100.0),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    let mut group = c.benchmark_group("ablation_delta");
+    group.sample_size(10);
+    for (fname, fill) in fills {
+        group.bench_with_input(BenchmarkId::new("fill", fname), &fill, |b, &fill| {
+            b.iter(|| black_box(run(fill, None, 200)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

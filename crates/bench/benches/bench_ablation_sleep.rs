@@ -1,0 +1,62 @@
+//! Ablation A1: the sleep-state selection rule.
+//!
+//! The paper's §6 rule picks C6 below 60 % cluster load and C3 above.
+//! This ablation compares it against always-C3, always-C6, and never-sleep
+//! on energy and wake behaviour at the low-load operating point, and times
+//! a run under each rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecolb_bench::DEFAULT_SEED;
+use ecolb_cluster::cluster::{Cluster, ClusterConfig};
+use ecolb_energy::sleep::SleepPolicy;
+use ecolb_metrics::table::{fmt_f, Table};
+use ecolb_workload::generator::WorkloadSpec;
+use std::hint::black_box;
+
+const POLICIES: [(&str, SleepPolicy); 4] = [
+    ("paper-60%-rule", SleepPolicy::ClusterLoadThreshold { threshold: 0.60 }),
+    ("always-C3", SleepPolicy::AlwaysC3),
+    ("always-C6", SleepPolicy::AlwaysC6),
+    ("never-sleep", SleepPolicy::NeverSleep),
+];
+
+fn run(policy: SleepPolicy, size: usize) -> ecolb_cluster::cluster::ClusterRunReport {
+    let mut config = ClusterConfig::paper(size, WorkloadSpec::paper_low_load());
+    config.balance.sleep_policy = policy;
+    let mut cluster = Cluster::new(config, DEFAULT_SEED);
+    cluster.run(40)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut table = Table::new([
+        "Sleep policy",
+        "Avg sleeping",
+        "Sleep energy (kJ)",
+        "Total energy (MJ)",
+        "Savings vs always-on",
+    ])
+    .with_title("Ablation A1: sleep-state rule, 1000 servers at 30% load, 40 intervals");
+    for (name, policy) in POLICIES {
+        let r = run(policy, 1_000);
+        table.row([
+            name.to_string(),
+            fmt_f(r.sleeping_series.stats().mean(), 1),
+            fmt_f(r.energy.sleep_j / 1e3, 1),
+            fmt_f(r.energy.total_j() / 1e6, 2),
+            format!("{:.1}%", r.savings_fraction() * 100.0),
+        ]);
+    }
+    println!("{table}");
+
+    let mut group = c.benchmark_group("ablation_sleep");
+    group.sample_size(10);
+    for (name, policy) in POLICIES {
+        group.bench_with_input(BenchmarkId::new("run", name), &policy, |b, &policy| {
+            b.iter(|| black_box(run(policy, 200)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

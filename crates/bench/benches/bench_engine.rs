@@ -1,0 +1,121 @@
+//! Experiment E1: microbenchmarks of the simulation substrate — event
+//! queue, PRNG, regime classification, power evaluation, statistics, and
+//! migration-cost computation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ecolb_cluster::migration::MigrationCostModel;
+use ecolb_energy::power::{LinearPowerModel, PiecewisePowerModel, PowerModel};
+use ecolb_energy::regimes::RegimeBoundaries;
+use ecolb_metrics::summary::OnlineStats;
+use ecolb_simcore::calendar::CalendarQueue;
+use ecolb_simcore::event::EventQueue;
+use ecolb_simcore::rng::Rng;
+use ecolb_simcore::time::SimTime;
+use ecolb_workload::application::{AppId, Application};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("event_queue/push_pop_10k", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_ticks(rng.next_u64() % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("calendar_queue/push_pop_10k", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut q = CalendarQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_ticks(rng.next_u64() % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("rng/next_u64_1k", |b| {
+        let mut rng = Rng::new(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("regimes/classify_1k", |b| {
+        let bounds = RegimeBoundaries::typical();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1_000 {
+                acc += bounds.classify(i as f64 / 1_000.0).index();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("power/linear_1k", |b| {
+        let m = LinearPowerModel::typical_volume_server();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1_000 {
+                acc += m.power_w(i as f64 / 1_000.0);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("power/piecewise_1k", |b| {
+        let m = PiecewisePowerModel::typical_specpower();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1_000 {
+                acc += m.power_w(i as f64 / 1_000.0);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("stats/welford_push_1k", |b| {
+        b.iter(|| {
+            let mut s = OnlineStats::new();
+            for i in 0..1_000 {
+                s.push(i as f64 * 0.31);
+            }
+            black_box(s.variance())
+        })
+    });
+
+    group.bench_function("migration/cost_of", |b| {
+        let m = MigrationCostModel::default();
+        let app = Application::new(AppId(1), 0.2, 0.01, 8.0);
+        b.iter(|| black_box(m.cost_of(black_box(&app))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure 2 regeneration (experiment F2): the
+//! before/after regime census of a balanced cluster.
+//!
+//! The timed sizes are 100 and 1 000 servers; the full 10⁴ panel is
+//! produced by `--bin fig2` (it is minutes of simulation, not a
+//! microbenchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecolb::experiments::{fig2_panels, run_cell, LoadLevel};
+use ecolb_bench::DEFAULT_SEED;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Reproduce and print the quick panels once.
+    let cells: Vec<_> = [100usize, 1_000]
+        .iter()
+        .flat_map(|&s| LoadLevel::ALL.map(|l| run_cell(DEFAULT_SEED, s, l, 40)))
+        .collect();
+    println!("{}", ecolb_bench::render_fig2(&fig2_panels(&cells)));
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for &size in &[100usize, 1_000] {
+        for load in LoadLevel::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("load{}", load.percent()), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| black_box(run_cell(DEFAULT_SEED, size, load, 40)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure 3 regeneration (experiment F3): the
+//! per-interval decision-ratio series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecolb::experiments::{fig3_panels, run_cell, LoadLevel};
+use ecolb_bench::DEFAULT_SEED;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cells: Vec<_> = [100usize, 1_000]
+        .iter()
+        .flat_map(|&s| LoadLevel::ALL.map(|l| run_cell(DEFAULT_SEED, s, l, 40)))
+        .collect();
+    println!("{}", ecolb_bench::render_fig3(&fig3_panels(&cells)));
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    // Series extraction + stats, separately from the simulation itself.
+    group.bench_function(BenchmarkId::new("extract_series", cells.len()), |b| {
+        b.iter(|| {
+            let panels = fig3_panels(black_box(&cells));
+            let stats: Vec<_> = panels.iter().map(|p| p.series.stats()).collect();
+            black_box(stats)
+        })
+    });
+    // End-to-end regeneration of one panel per load level.
+    for load in LoadLevel::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(format!("end_to_end_load{}", load.percent()), 1_000usize),
+            &1_000usize,
+            |b, &size| b.iter(|| black_box(run_cell(DEFAULT_SEED, size, load, 40))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the homogeneous-model reproduction (experiment HM,
+//! paper eqs. 6–13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecolb::experiments::{homogeneous_paper_point, homogeneous_rows};
+use ecolb_energy::homogeneous::HomogeneousModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ecolb_bench::render_homogeneous());
+    assert!((homogeneous_paper_point().ratio - 2.25).abs() < 1e-12, "eq. 13 must hold");
+
+    c.bench_function("homogeneous/sweep", |b| b.iter(|| black_box(homogeneous_rows())));
+    c.bench_function("homogeneous/single_point", |b| {
+        b.iter(|| {
+            let m = HomogeneousModel::paper_example(black_box(1000));
+            black_box((m.energy_ratio(), m.n_sleep(), m.e_ref(), m.e_opt()))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the policy suite (experiment P1): all seven §3
+//! capacity policies on the two discriminating traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecolb_bench::policy_suite::{default_scenarios, run_scenario};
+use ecolb_bench::DEFAULT_SEED;
+use ecolb_policies::farm::FarmConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ecolb_bench::policy_suite::render_suite(DEFAULT_SEED));
+
+    let config = FarmConfig::default();
+    let mut group = c.benchmark_group("policies");
+    group.sample_size(10);
+    for scenario in default_scenarios() {
+        group.bench_with_input(
+            BenchmarkId::new("suite", scenario.name.split(' ').next().unwrap_or("s")),
+            &scenario,
+            |b, scenario| b.iter(|| black_box(run_scenario(scenario, DEFAULT_SEED, &config))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

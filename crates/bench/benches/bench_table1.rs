@@ -1,0 +1,26 @@
+//! Criterion bench for the Table 1 regeneration (experiment T1):
+//! dataset lookup, trend fitting, and rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecolb_energy::server_class::{PowerTrend, ServerClass};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the artifact once so `cargo bench` output contains the
+    // reproduced table.
+    println!("{}", ecolb_bench::render_table1());
+
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(ecolb_bench::render_table1()))
+    });
+    c.bench_function("table1/trend_fit", |b| {
+        b.iter(|| {
+            for class in ServerClass::ALL {
+                black_box(PowerTrend::fit(black_box(class)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the Table 2 regeneration (experiment T2): the
+//! quick matrix plus summary statistics, including the rayon fan-out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecolb::experiments::table2_rows;
+use ecolb_bench::{run_matrix_parallel, DEFAULT_SEED};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cells = run_matrix_parallel(DEFAULT_SEED, &[100, 1_000], 40);
+    println!("{}", ecolb_bench::render_table2(&cells));
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("stats_from_matrix", |b| {
+        b.iter(|| black_box(table2_rows(black_box(&cells))))
+    });
+    group.bench_function("quick_matrix_parallel", |b| {
+        b.iter(|| black_box(run_matrix_parallel(DEFAULT_SEED, &[100, 200], 40)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

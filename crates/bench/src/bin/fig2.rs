@@ -1,0 +1,17 @@
+//! Regenerates **Figure 2** of the paper: the distribution of servers over
+//! the five operating regimes before and after energy-aware load
+//! balancing, for cluster sizes 10², 10³, 10⁴ at 30 % and 70 % average
+//! load.
+//!
+//! ```text
+//! cargo run --release -p ecolb-bench --bin fig2 [--quick] [--seed N]
+//! ```
+
+use ecolb::experiments::fig2_panels;
+use ecolb_bench::{render_fig2, run_matrix_parallel, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::parse(std::env::args().skip(1));
+    let cells = run_matrix_parallel(opts.seed, &opts.sizes, opts.intervals);
+    print!("{}", render_fig2(&fig2_panels(&cells)));
+}

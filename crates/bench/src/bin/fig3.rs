@@ -1,0 +1,20 @@
+//! Regenerates **Figure 3** of the paper: time series of the in-cluster to
+//! local decision ratio over 40 reallocation intervals for the six cluster
+//! configurations.
+//!
+//! ```text
+//! cargo run --release -p ecolb-bench --bin fig3 [--quick] [--seed N]
+//! ```
+
+use ecolb::experiments::fig3_panels;
+use ecolb_bench::{render_fig3, run_matrix_parallel, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::parse(std::env::args().skip(1));
+    let cells = run_matrix_parallel(opts.seed, &opts.sizes, opts.intervals);
+    if let Some(dir) = &opts.csv_dir {
+        let files = ecolb_bench::write_matrix_csvs(&cells, dir).expect("CSV export");
+        eprintln!("wrote {} CSV files to {dir}", files.len());
+    }
+    print!("{}", render_fig3(&fig3_panels(&cells)));
+}

@@ -1,0 +1,18 @@
+//! Runs the §3 policy-comparison suite (experiment P1): every capacity
+//! policy the paper surveys, scored on energy saved and SLA violations
+//! over a predictable diurnal trace and an unpredictable spiky trace.
+//!
+//! ```text
+//! cargo run --release -p ecolb-bench --bin policies [--seed N]
+//! ```
+
+fn main() {
+    let mut seed = ecolb_bench::DEFAULT_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--seed" {
+            seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed);
+        }
+    }
+    print!("{}", ecolb_bench::policy_suite::render_suite(seed));
+}

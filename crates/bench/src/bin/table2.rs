@@ -1,0 +1,19 @@
+//! Regenerates **Table 2** of the paper: average in-cluster/local decision
+//! ratio, its standard deviation, and the average number of sleeping
+//! servers for the six cluster configurations.
+//!
+//! ```text
+//! cargo run --release -p ecolb-bench --bin table2 [--quick] [--seed N]
+//! ```
+
+use ecolb_bench::{render_table2, run_matrix_parallel, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::parse(std::env::args().skip(1));
+    let cells = run_matrix_parallel(opts.seed, &opts.sizes, opts.intervals);
+    if let Some(dir) = &opts.csv_dir {
+        let files = ecolb_bench::write_matrix_csvs(&cells, dir).expect("CSV export");
+        eprintln!("wrote {} CSV files to {dir}", files.len());
+    }
+    print!("{}", render_table2(&cells));
+}

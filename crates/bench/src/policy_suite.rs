@@ -1,0 +1,177 @@
+//! The §3 policy-comparison suite (experiment P1 in DESIGN.md).
+//!
+//! The paper discusses the capacity-policy space qualitatively; this suite
+//! quantifies it on the two §3 load classes that discriminate the
+//! policies: a predictable diurnal trace and an unpredictable spiky trace.
+//! For every policy we report the paper's two quality metrics — energy
+//! saved and SLA violations.
+
+use ecolb_metrics::table::{fmt_f, Table};
+use ecolb_policies::farm::{evaluate, presample_rates, FarmConfig, PolicyReport};
+use ecolb_policies::policy::{
+    AlwaysOn, AutoScale, LinearRegression, MovingWindow, Optimal, Reactive,
+    ReactiveExtraCapacity, Sizing,
+};
+use ecolb_workload::arrival::ArrivalProcess;
+use ecolb_workload::traces::{TraceGenerator, TraceShape};
+use std::fmt::Write as _;
+
+/// A named scenario: trace shape plus evaluation length.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario label.
+    pub name: &'static str,
+    /// The underlying rate trace.
+    pub shape: TraceShape,
+    /// Steps to simulate.
+    pub steps: u64,
+}
+
+/// The two discriminating §3 scenarios.
+pub fn default_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "diurnal (slow-varying, predictable)",
+            shape: TraceShape::Diurnal { base: 4000.0, amplitude: 3000.0, period: 500.0 },
+            steps: 2_000,
+        },
+        Scenario {
+            name: "spiky (fast-varying, unpredictable)",
+            shape: TraceShape::Spiky { base: 2000.0, mean_gap: 60.0, magnitude: 3.0, duration: 8 },
+            steps: 2_000,
+        },
+    ]
+}
+
+/// Evaluates all seven policies on one scenario.
+pub fn run_scenario(scenario: &Scenario, seed: u64, config: &FarmConfig) -> Vec<PolicyReport> {
+    let rates = presample_rates(scenario.shape.clone(), seed, scenario.steps);
+    let sizing = Sizing::new(config.per_server_rate, config.sla);
+    let arrivals =
+        || ArrivalProcess::new(TraceGenerator::new(scenario.shape.clone(), seed), seed ^ 0xA5A5, config.step_seconds);
+    vec![
+        evaluate(AlwaysOn { n_total: config.n_servers }, arrivals(), &rates, config, scenario.steps),
+        evaluate(Reactive { sizing }, arrivals(), &rates, config, scenario.steps),
+        evaluate(
+            ReactiveExtraCapacity { sizing, margin: 0.20 },
+            arrivals(),
+            &rates,
+            config,
+            scenario.steps,
+        ),
+        evaluate(AutoScale::new(sizing, 30), arrivals(), &rates, config, scenario.steps),
+        evaluate(MovingWindow::new(sizing, 12), arrivals(), &rates, config, scenario.steps),
+        evaluate(LinearRegression::new(sizing, 12), arrivals(), &rates, config, scenario.steps),
+        evaluate(
+            Optimal {
+                sizing,
+                setup_steps: config.setup_steps as usize,
+                noise_margin: 0.10,
+            },
+            arrivals(),
+            &rates,
+            config,
+            scenario.steps,
+        ),
+    ]
+}
+
+/// Renders a scenario's reports as a table.
+pub fn render_reports(scenario: &Scenario, reports: &[PolicyReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Scenario: {} ({} steps)", scenario.name, scenario.steps);
+    let mut table = Table::new([
+        "Policy",
+        "Energy (kWh)",
+        "Saved vs always-on",
+        "Violations",
+        "Violation %",
+        "p99 resp (ms)",
+        "Avg active",
+        "Setups",
+    ]);
+    for r in reports {
+        table.row([
+            r.policy.clone(),
+            fmt_f(r.energy_wh / 1000.0, 2),
+            format!("{:.1}%", r.savings_fraction() * 100.0),
+            r.violations.violated.to_string(),
+            format!("{:.2}%", r.violations.violation_fraction() * 100.0),
+            fmt_f(r.p99_response_s * 1000.0, 1),
+            fmt_f(r.avg_active, 1),
+            r.setups.to_string(),
+        ]);
+    }
+    let _ = write!(out, "{table}");
+    out
+}
+
+/// Runs and renders the whole suite.
+pub fn render_suite(seed: u64) -> String {
+    let config = FarmConfig::default();
+    let mut out = String::new();
+    for scenario in default_scenarios() {
+        let reports = run_scenario(&scenario, seed, &config);
+        let _ = writeln!(out, "{}\n", render_reports(&scenario, &reports));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_policies() {
+        let config = FarmConfig { n_servers: 30, ..Default::default() };
+        let scenario = Scenario {
+            name: "test",
+            shape: TraceShape::Flat { rate: 500.0 },
+            steps: 60,
+        };
+        let reports = run_scenario(&scenario, 1, &config);
+        let names: Vec<&str> = reports.iter().map(|r| r.policy.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "always-on",
+                "reactive",
+                "reactive+margin",
+                "autoscale",
+                "moving-window",
+                "linear-regression",
+                "optimal"
+            ]
+        );
+    }
+
+    #[test]
+    fn always_on_burns_most_energy_on_light_load() {
+        let config = FarmConfig { n_servers: 50, ..Default::default() };
+        let scenario =
+            Scenario { name: "light", shape: TraceShape::Flat { rate: 400.0 }, steps: 200 };
+        let reports = run_scenario(&scenario, 2, &config);
+        let always_on = &reports[0];
+        for r in &reports[1..] {
+            assert!(
+                r.energy_wh <= always_on.energy_wh * 1.01,
+                "{} used {} vs always-on {}",
+                r.policy,
+                r.energy_wh,
+                always_on.energy_wh
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_each_policy() {
+        let config = FarmConfig { n_servers: 20, ..Default::default() };
+        let scenario =
+            Scenario { name: "r", shape: TraceShape::Flat { rate: 300.0 }, steps: 40 };
+        let reports = run_scenario(&scenario, 3, &config);
+        let s = render_reports(&scenario, &reports);
+        for name in ["always-on", "reactive", "autoscale", "optimal"] {
+            assert!(s.contains(name), "missing {name} in:\n{s}");
+        }
+    }
+}

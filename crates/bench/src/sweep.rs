@@ -1,0 +1,143 @@
+//! Multi-seed robustness sweeps.
+//!
+//! The paper reports single runs; a reproduction should show its results
+//! are not seed artifacts. [`multi_seed_table2`] re-runs the Table 2
+//! matrix across many seeds and reports cross-seed mean ± deviation for
+//! every summary statistic.
+//!
+//! The driver demonstrates the channel-worker idiom: a crossbeam scope
+//! fans worker threads over a job channel, and a `parking_lot`-protected
+//! sink accumulates [`OnlineStats`] per configuration — no job ordering,
+//! no per-thread result vectors, deterministic aggregate (the statistics
+//! merge is order-insensitive up to float rounding, and we sort rows at
+//! the end).
+
+use crossbeam::channel;
+use ecolb::experiments::{run_cell, LoadLevel};
+use ecolb_metrics::summary::OnlineStats;
+use ecolb_metrics::table::{fmt_f, Table};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Cross-seed statistics for one cluster configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SweepRow {
+    /// Mean in-cluster/local ratio across seeds.
+    pub avg_ratio: OnlineStats,
+    /// Average sleeping servers across seeds.
+    pub avg_sleeping: OnlineStats,
+    /// Within-run ratio standard deviation across seeds.
+    pub ratio_sd: OnlineStats,
+}
+
+/// Runs the Table 2 matrix for every seed in `seeds`, spreading work over
+/// `workers` threads, and returns per-configuration cross-seed stats
+/// keyed by `(size, load-percent)`.
+pub fn multi_seed_table2(
+    seeds: &[u64],
+    sizes: &[usize],
+    intervals: u64,
+    workers: usize,
+) -> BTreeMap<(usize, u32), SweepRow> {
+    assert!(workers > 0, "need at least one worker");
+    let sink: Mutex<BTreeMap<(usize, u32), SweepRow>> = Mutex::new(BTreeMap::new());
+    let (tx, rx) = channel::unbounded::<(u64, usize, LoadLevel)>();
+    for &seed in seeds {
+        for &size in sizes {
+            for load in LoadLevel::ALL {
+                tx.send((seed, size, load)).expect("channel open");
+            }
+        }
+    }
+    drop(tx);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let sink = &sink;
+            scope.spawn(move |_| {
+                while let Ok((seed, size, load)) = rx.recv() {
+                    let cell = run_cell(seed, size, load, intervals);
+                    let stats = cell.report.ratio_series.stats();
+                    let sleeping = cell.report.sleeping_series.stats().mean();
+                    let mut sink = sink.lock();
+                    let row = sink.entry((size, load.percent())).or_default();
+                    row.avg_ratio.push(stats.mean());
+                    row.avg_sleeping.push(sleeping);
+                    row.ratio_sd.push(stats.std_dev());
+                }
+            });
+        }
+    })
+    .expect("sweep workers do not panic");
+
+    sink.into_inner()
+}
+
+/// Renders a sweep as a table: per configuration, cross-seed mean ± sd of
+/// the Table 2 statistics.
+pub fn render_sweep(rows: &BTreeMap<(usize, u32), SweepRow>, n_seeds: usize) -> String {
+    let mut table = Table::new([
+        "Cluster size",
+        "Average load",
+        "Ratio (mean ± sd over seeds)",
+        "Sleeping (mean ± sd)",
+        "Within-run sd (mean)",
+    ])
+    .with_title(format!("Table 2 robustness sweep over {n_seeds} seeds"));
+    for (&(size, load), row) in rows {
+        table.row([
+            size.to_string(),
+            format!("{load}%"),
+            format!("{} ± {}", fmt_f(row.avg_ratio.mean(), 4), fmt_f(row.avg_ratio.std_dev(), 4)),
+            format!(
+                "{} ± {}",
+                fmt_f(row.avg_sleeping.mean(), 1),
+                fmt_f(row.avg_sleeping.std_dev(), 1)
+            ),
+            fmt_f(row.ratio_sd.mean(), 4),
+        ]);
+    }
+    table.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_every_configuration() {
+        let rows = multi_seed_table2(&[1, 2, 3], &[30, 60], 6, 4);
+        assert_eq!(rows.len(), 4, "2 sizes x 2 loads");
+        for row in rows.values() {
+            assert_eq!(row.avg_ratio.count(), 3, "one sample per seed");
+        }
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let one = multi_seed_table2(&[5, 6], &[40], 5, 1);
+        let many = multi_seed_table2(&[5, 6], &[40], 5, 8);
+        for (key, a) in &one {
+            let b = &many[key];
+            assert!((a.avg_ratio.mean() - b.avg_ratio.mean()).abs() < 1e-12);
+            assert!((a.avg_sleeping.mean() - b.avg_sleeping.mean()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn render_lists_configurations() {
+        let rows = multi_seed_table2(&[7], &[25], 4, 2);
+        let s = render_sweep(&rows, 1);
+        assert!(s.contains("25"));
+        assert!(s.contains("30%"));
+        assert!(s.contains("70%"));
+    }
+
+    #[test]
+    fn distinct_seeds_produce_spread() {
+        let rows = multi_seed_table2(&[10, 11, 12, 13], &[50], 8, 4);
+        let any = rows.values().next().unwrap();
+        assert!(any.avg_ratio.std_dev() > 0.0, "different seeds differ");
+    }
+}

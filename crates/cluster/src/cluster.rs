@@ -1,0 +1,746 @@
+//! The cluster: servers + leader + the reallocation-interval driver.
+//!
+//! [`Cluster`] assembles the heterogeneous model of §4: `n` servers with
+//! per-server regime boundaries sampled from the paper's uniform ranges,
+//! initial loads from a [`WorkloadSpec`] band, and a leader on a star
+//! topology. [`Cluster::run_interval`] executes one reallocation interval
+//! `τ`:
+//!
+//! 1. **demand evolution** — each application may request a demand increase
+//!    (bounded by its `λ_{i,k}`), served by **vertical scaling** when the
+//!    host has free capacity below `α^{opt,h}` (a low-cost *local*
+//!    decision, `p_k`) or by **horizontal scaling** — migrating the VM to a
+//!    receiver — otherwise (a high-cost *in-cluster* decision, `q_k`);
+//!    demands also decay stochastically, keeping the cluster load roughly
+//!    stationary as in the paper's 40-interval runs;
+//! 2. **balancing** — the full §4 regime protocol
+//!    ([`crate::balance::balance_round`]);
+//! 3. **accounting** — energy meters advance, the decision ledger closes
+//!    the interval, and the census/sleeper series gain a point.
+
+use crate::admission::{AdmissionController, AdmissionPolicy, AdmissionStats, ArrivalSpec, ServiceRequest};
+use crate::balance::{balance_round, BalanceConfig, BalanceOutcome, MigrationRecord, cluster_load_fraction};
+use crate::leader::Leader;
+use crate::migration::MigrationCostModel;
+use crate::mix::ServerMix;
+use crate::scaling::{DecisionKind, DecisionLedger, IntervalCounts};
+use crate::server::{Server, ServerId};
+use ecolb_energy::accounting::EnergyBreakdown;
+use ecolb_energy::regimes::{RegimeBoundaries, RegimeCensus};
+use ecolb_energy::sleep::SleepModel;
+use ecolb_metrics::timeseries::TimeSeries;
+use ecolb_simcore::rng::Rng;
+use ecolb_simcore::time::{SimDuration, SimTime};
+use ecolb_workload::application::{AppId, Application};
+use ecolb_workload::generator::{generate_server_apps, AppIdAllocator, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Demand floor below which a VM is decommissioned (its application has
+/// effectively gone idle).
+const VM_RETIRE_FLOOR: f64 = 0.005;
+
+/// Full configuration of a cluster experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of servers `n`.
+    pub n_servers: usize,
+    /// Initial workload band and application parameters.
+    pub workload: WorkloadSpec,
+    /// Balancing-round tunables.
+    pub balance: BalanceConfig,
+    /// VM migration cost model.
+    pub migration: MigrationCostModel,
+    /// Sleep transition model.
+    pub sleep: SleepModel,
+    /// Reallocation interval length `τ`.
+    pub realloc_interval: SimDuration,
+    /// Per-application, per-interval probability of a demand-growth
+    /// request (a *scaling decision*).
+    pub growth_prob: f64,
+    /// Per-application, per-interval probability of silent demand decay
+    /// (no decision recorded; keeps the load stationary).
+    pub shrink_prob: f64,
+    /// Optional stream of new service requests per interval.
+    pub arrivals: Option<ArrivalSpec>,
+    /// Admission policy for new service requests.
+    pub admission: AdmissionPolicy,
+    /// Heterogeneous server-class mix (power models per Table 1 class).
+    pub server_mix: ServerMix,
+}
+
+impl ClusterConfig {
+    /// The paper's experiment configuration for a given cluster size and
+    /// load band. The leader's consolidation budget scales with the
+    /// cluster (it is one coordinator serialising housekeeping), which is
+    /// what stretches the low-load settling transient to the ~20 intervals
+    /// Figure 3 shows.
+    pub fn paper(n_servers: usize, workload: WorkloadSpec) -> Self {
+        ClusterConfig {
+            n_servers,
+            workload,
+            balance: BalanceConfig {
+                drain_candidates_per_interval: Some((n_servers / 6).max(4)),
+                ..BalanceConfig::default()
+            },
+            migration: MigrationCostModel::default(),
+            sleep: SleepModel::default(),
+            realloc_interval: SimDuration::from_secs(300),
+            growth_prob: 0.05,
+            shrink_prob: 0.05,
+            arrivals: None,
+            admission: AdmissionPolicy::AlwaysAdmit,
+            server_mix: ServerMix::all_volume(),
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::paper(100, WorkloadSpec::paper_low_load())
+    }
+}
+
+/// Result of a multi-interval run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRunReport {
+    /// Census of awake servers before any balancing.
+    pub initial_census: RegimeCensus,
+    /// Census of awake servers after the final interval.
+    pub final_census: RegimeCensus,
+    /// Per-interval in-cluster/local decision ratio (Figure 3).
+    pub ratio_series: TimeSeries,
+    /// Per-interval count of sleeping servers (Table 2 input).
+    pub sleeping_series: TimeSeries,
+    /// Per-interval cluster load fraction.
+    pub load_series: TimeSeries,
+    /// Lifetime decision totals.
+    pub decision_totals: IntervalCounts,
+    /// Total VM migrations committed.
+    pub migrations: u64,
+    /// Cluster energy over the run (server draw).
+    pub energy: EnergyBreakdown,
+    /// Energy charged to VM migrations, Joules.
+    pub migration_energy_j: f64,
+    /// Energy the same cluster would have used with every server awake at
+    /// its initial load for the whole run (the "always-on" reference).
+    pub reference_energy_j: f64,
+    /// Admission statistics (all zero when no arrival stream is
+    /// configured).
+    pub admission: AdmissionStats,
+    /// QoS violations: server-intervals spent saturated (demand above
+    /// physical capacity — requests queue and response times blow up).
+    pub saturation_violations: u64,
+    /// Server-intervals spent in an undesirable regime (R1 or R5) — the
+    /// paper's second policy-quality metric.
+    pub undesirable_server_intervals: u64,
+}
+
+impl ClusterRunReport {
+    /// Energy-savings fraction versus the always-on reference.
+    pub fn savings_fraction(&self) -> f64 {
+        if self.reference_energy_j <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (self.energy.total_j() + self.migration_energy_j) / self.reference_energy_j
+    }
+}
+
+/// A simulated cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+    servers: Vec<Server>,
+    leader: Leader,
+    ledger: DecisionLedger,
+    rng: Rng,
+    ids: AppIdAllocator,
+    now: SimTime,
+    interval_index: u64,
+    migration_energy_j: f64,
+    migrations: u64,
+    /// Every VM transfer committed in the most recent interval (evolve
+    /// phase and balance phase), for the timed simulation layer.
+    interval_migrations: Vec<MigrationRecord>,
+    admission: AdmissionController,
+    saturation_violations: u64,
+    undesirable_server_intervals: u64,
+    /// Table 1 class of each server, aligned with `servers`.
+    classes: Vec<ecolb_energy::server_class::ServerClass>,
+    /// Average power (Watts) the initial placement would burn on awake
+    /// servers — the always-on reference rate.
+    reference_power_w: f64,
+}
+
+impl Cluster {
+    /// Builds a cluster: per-server boundaries sampled from the paper's
+    /// ranges, apps from the workload band, all servers awake in C0.
+    pub fn new(config: ClusterConfig, seed: u64) -> Self {
+        assert!(config.n_servers > 0, "cluster needs at least one server");
+        assert!(
+            config.growth_prob >= 0.0
+                && config.shrink_prob >= 0.0
+                && config.growth_prob + config.shrink_prob <= 1.0,
+            "growth/shrink probabilities must fit in [0, 1]"
+        );
+        config.server_mix.validate();
+        let mut rng = Rng::new(seed);
+        let mut ids = AppIdAllocator::new();
+        let mut servers = Vec::with_capacity(config.n_servers);
+        let mut classes = Vec::with_capacity(config.n_servers);
+        let mut reference_power_w = 0.0;
+        for i in 0..config.n_servers {
+            let boundaries = RegimeBoundaries::sample_paper(&mut rng);
+            let class = config.server_mix.sample(&mut rng);
+            let power = config.server_mix.power_spec(class);
+            classes.push(class);
+            let mut server = Server::new(ServerId(i as u32), boundaries, power, SimTime::ZERO);
+            for app in generate_server_apps(&config.workload, &mut ids, &mut rng) {
+                server.place_app(app);
+            }
+            reference_power_w += {
+                use ecolb_energy::power::PowerModel;
+                server.power().power_w(server.normalized_performance())
+            };
+            servers.push(server);
+        }
+        let leader = Leader::new(config.n_servers);
+        let config_admission = config.admission;
+        Cluster {
+            config,
+            servers,
+            leader,
+            ledger: DecisionLedger::new(),
+            rng,
+            ids,
+            now: SimTime::ZERO,
+            interval_index: 0,
+            migration_energy_j: 0.0,
+            migrations: 0,
+            interval_migrations: Vec::new(),
+            admission: AdmissionController::new(config_admission),
+            saturation_violations: 0,
+            undesirable_server_intervals: 0,
+            classes,
+            reference_power_w,
+        }
+    }
+
+    /// The servers (read-only).
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The leader (read-only).
+    pub fn leader(&self) -> &Leader {
+        &self.leader
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of completed reallocation intervals.
+    pub fn intervals_run(&self) -> u64 {
+        self.interval_index
+    }
+
+    /// Census of the awake servers' regimes, live.
+    pub fn census(&self) -> RegimeCensus {
+        let mut c = RegimeCensus::new();
+        for s in &self.servers {
+            if s.is_awake() {
+                c.record(s.regime());
+            }
+        }
+        c
+    }
+
+    /// Number of servers currently in a sleep state (or waking).
+    pub fn sleeping_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_sleeping()).count()
+    }
+
+    /// Current cluster load fraction.
+    pub fn load_fraction(&self) -> f64 {
+        cluster_load_fraction(&self.servers)
+    }
+
+    /// Sum of all servers' energy breakdowns.
+    pub fn energy(&self) -> EnergyBreakdown {
+        let mut total = EnergyBreakdown::default();
+        for s in &self.servers {
+            total.merge(&s.energy());
+        }
+        total
+    }
+
+    /// The decision ledger.
+    pub fn ledger(&self) -> &DecisionLedger {
+        &self.ledger
+    }
+
+    /// Energy charged to VM migrations so far, Joules.
+    pub fn migration_energy_j(&self) -> f64 {
+        self.migration_energy_j
+    }
+
+    /// Total VM migrations committed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Every VM transfer of the most recent interval (both scaling
+    /// migrations and protocol migrations), for timed replay.
+    pub fn interval_migrations(&self) -> &[MigrationRecord] {
+        &self.interval_migrations
+    }
+
+    /// Admission statistics so far.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// Removes an application on behalf of the federation tier, which
+    /// does its own cost accounting for the inter-cluster transfer.
+    pub fn take_app_for_federation(&mut self, server: ServerId, app: AppId) -> Option<Application> {
+        let app = self.servers[server.index()].take_app(app)?;
+        self.servers[server.index()].migrations_out += 1;
+        Some(app)
+    }
+
+    /// Places an application delivered by the federation tier.
+    pub fn place_app_for_federation(&mut self, server: ServerId, app: Application) {
+        self.servers[server.index()].migrations_in += 1;
+        self.servers[server.index()].place_app(app);
+    }
+
+    /// Saturation violations so far (server-intervals with demand above
+    /// capacity).
+    pub fn saturation_violations(&self) -> u64 {
+        self.saturation_violations
+    }
+
+    /// Undesirable-regime server-intervals so far.
+    pub fn undesirable_server_intervals(&self) -> u64 {
+        self.undesirable_server_intervals
+    }
+
+    /// Table 1 class of each server, aligned with [`Cluster::servers`].
+    pub fn server_classes(&self) -> &[ecolb_energy::server_class::ServerClass] {
+        &self.classes
+    }
+
+    /// Cumulative energy per server class, Joules.
+    pub fn energy_by_class(&self) -> Vec<(ecolb_energy::server_class::ServerClass, f64)> {
+        use ecolb_energy::server_class::ServerClass;
+        let mut totals = [(ServerClass::Volume, 0.0), (ServerClass::MidRange, 0.0), (ServerClass::HighEnd, 0.0)];
+        for (server, &class) in self.servers.iter().zip(&self.classes) {
+            let slot = match class {
+                ServerClass::Volume => &mut totals[0].1,
+                ServerClass::MidRange => &mut totals[1].1,
+                ServerClass::HighEnd => &mut totals[2].1,
+            };
+            *slot += server.energy().total_j();
+        }
+        totals.to_vec()
+    }
+
+    /// New-request arrivals + admission processing (step 0).
+    fn admit_arrivals(&mut self) {
+        let Some(spec) = self.config.arrivals else {
+            // Even without arrivals, retry anything queued earlier.
+            if self.admission.queue_len() > 0 {
+                self.admission.process(
+                    &mut self.servers,
+                    &mut self.leader,
+                    &mut self.ids,
+                    &self.config.sleep,
+                    self.now,
+                );
+            }
+            return;
+        };
+        let count = ecolb_simcore::dist::Poisson::new(spec.mean_per_interval)
+            .sample_count(&mut self.rng);
+        for _ in 0..count {
+            let demand = self.rng.uniform(spec.demand_lo, spec.demand_hi);
+            let lambda =
+                self.rng.uniform(self.config.workload.lambda_lo, self.config.workload.lambda_hi);
+            let image =
+                self.rng.uniform(self.config.workload.image_gib_lo, self.config.workload.image_gib_hi);
+            self.admission.submit(ServiceRequest { demand, lambda, image_gib: image });
+        }
+        self.admission.process(
+            &mut self.servers,
+            &mut self.leader,
+            &mut self.ids,
+            &self.config.sleep,
+            self.now,
+        );
+    }
+
+    /// Power the initial placement would draw with every server awake —
+    /// the always-on reference rate, Watts.
+    pub fn reference_power_w(&self) -> f64 {
+        self.reference_power_w
+    }
+
+    /// Demand evolution + scaling decisions for one interval (step 1).
+    fn evolve_and_scale(&mut self) {
+        // Receiver pool for horizontal requests: awake servers with spare
+        // room below their opt_high ceiling, fullest first (best-fit keeps
+        // the workload concentrated). Remaining room is tracked locally so
+        // one pool serves the whole interval.
+        let mut pool: Vec<(ServerId, f64)> = self
+            .servers
+            .iter()
+            .filter(|s| s.is_awake())
+            .map(|s| (s.id(), s.boundaries().opt_high - s.load()))
+            .filter(|&(_, room)| room > 0.0)
+            .collect();
+        pool.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("finite room").then(a.0.cmp(&b.0))
+        }); // least room first = fullest first
+
+        let vm_cap = self.config.workload.max_app_demand;
+        for i in 0..self.servers.len() {
+            if !self.servers[i].is_awake() {
+                continue;
+            }
+            let n_apps = self.servers[i].app_count();
+            let mut retire = false;
+            for a in 0..n_apps {
+                let r = self.rng.next_f64();
+                if r < self.config.growth_prob {
+                    // Growth request of U(0, λ].
+                    let (app_id, demand, lambda, image) = {
+                        let app = &self.servers[i].apps()[a];
+                        (app.id, app.demand, app.lambda, app.vm_image_gib)
+                    };
+                    let delta = self.rng.uniform(0.0, lambda);
+                    if demand + delta > vm_cap {
+                        // The VM is at its size ceiling: the application
+                        // must **scale out** — a new VM on another, lightly
+                        // loaded server (the paper's horizontal scaling:
+                        // "creation of additional VMs … on lightly loaded
+                        // servers"). The VM image travels, so this is an
+                        // in-cluster decision.
+                        let slot = pool
+                            .iter_mut()
+                            .find(|(id, room)| *id != ServerId(i as u32) && *room >= delta);
+                        match slot {
+                            Some((rx_id, room)) => {
+                                let rx = *rx_id;
+                                *room -= delta;
+                                let new_lambda = self.rng.uniform(
+                                    self.config.workload.lambda_lo,
+                                    self.config.workload.lambda_hi,
+                                );
+                                let vm = Application::new(
+                                    self.ids.alloc(),
+                                    delta.clamp(VM_RETIRE_FLOOR, 1.0),
+                                    new_lambda,
+                                    image,
+                                );
+                                let cost = self.config.migration.cost_of(&vm);
+                                self.migration_energy_j += cost.energy_j;
+                                self.migrations += 1;
+                                self.servers[rx.index()].migrations_in += 1;
+                                self.interval_migrations.push(MigrationRecord {
+                                    from: ServerId(i as u32),
+                                    to: rx,
+                                    app: vm.id,
+                                    demand: vm.demand,
+                                    cost,
+                                });
+                                self.servers[rx.index()].place_app(vm);
+                                self.ledger.record(DecisionKind::InClusterHorizontal);
+                            }
+                            None => self.ledger.record(DecisionKind::Deferred),
+                        }
+                    } else if self.servers[i].load() + delta
+                        <= self.servers[i].boundaries().sopt_high
+                    {
+                        // Vertical scaling is feasible while the server has
+                        // free capacity — up to the suboptimal-high edge;
+                        // the balancing protocol sheds the excess later if
+                        // the server leaves its optimal band. Grow in place.
+                        self.servers[i].apps_mut()[a].demand += delta;
+                        self.servers[i].refresh_load();
+                        self.ledger.record(DecisionKind::LocalVertical);
+                    } else {
+                        // No local headroom: migrate the grown VM elsewhere.
+                        let grown = demand + delta;
+                        let slot = pool
+                            .iter_mut()
+                            .find(|(id, room)| *id != ServerId(i as u32) && *room >= grown);
+                        match slot {
+                            Some((rx_id, room)) => {
+                                let rx = *rx_id;
+                                *room -= grown;
+                                let mut app =
+                                    self.servers[i].take_app(app_id).expect("app present");
+                                app.demand = grown;
+                                let cost = self.config.migration.cost_of(&app);
+                                self.migration_energy_j += cost.energy_j;
+                                self.migrations += 1;
+                                self.servers[i].migrations_out += 1;
+                                self.servers[rx.index()].migrations_in += 1;
+                                self.interval_migrations.push(MigrationRecord {
+                                    from: ServerId(i as u32),
+                                    to: rx,
+                                    app: app.id,
+                                    demand: app.demand,
+                                    cost,
+                                });
+                                self.servers[rx.index()].place_app(app);
+                                self.ledger.record(DecisionKind::InClusterHorizontal);
+                                // The app vacated slot `a`; stop iterating
+                                // this server's tail conservatively
+                                // (swap_remove reordered the apps).
+                                break;
+                            }
+                            None => {
+                                self.ledger.record(DecisionKind::Deferred);
+                            }
+                        }
+                    }
+                } else if r < self.config.growth_prob + self.config.shrink_prob {
+                    // Silent decay of U(0, λ]; idle VMs are decommissioned.
+                    let lambda = self.servers[i].apps()[a].lambda;
+                    let delta = self.rng.uniform(0.0, lambda);
+                    let app = &mut self.servers[i].apps_mut()[a];
+                    app.demand = (app.demand - delta).max(VM_RETIRE_FLOOR);
+                    if app.demand <= VM_RETIRE_FLOOR {
+                        retire = true;
+                    }
+                    self.servers[i].refresh_load();
+                }
+            }
+            if retire {
+                self.servers[i].apps_mut().retain(|a| a.demand > VM_RETIRE_FLOOR);
+                self.servers[i].refresh_load();
+            }
+        }
+    }
+
+    /// Runs one reallocation interval; returns the balancing outcome.
+    pub fn run_interval(&mut self) -> BalanceOutcome {
+        self.interval_migrations.clear();
+        // Advance the clock by τ and integrate every meter under the state
+        // that held during the interval.
+        self.now += self.config.realloc_interval;
+        for s in &mut self.servers {
+            s.meter_advance(self.now);
+        }
+
+        // Step 0: new service requests and admission control.
+        self.admit_arrivals();
+
+        // Step 1: demand evolution and scaling decisions.
+        self.evolve_and_scale();
+
+        // QoS census for the interval that just elapsed: saturated
+        // servers violated response times, undesirable regimes violated
+        // the energy-optimality objective (the paper's metric #2).
+        for s in &self.servers {
+            if s.is_awake() {
+                if s.load() > 1.0 + 1e-9 {
+                    self.saturation_violations += 1;
+                }
+                if s.regime().is_undesirable() {
+                    self.undesirable_server_intervals += 1;
+                }
+            }
+        }
+
+        // Step 2: the §4 balancing protocol.
+        let outcome = balance_round(
+            &mut self.servers,
+            &mut self.leader,
+            &mut self.ledger,
+            &self.config.migration,
+            &self.config.sleep,
+            &self.config.balance,
+            self.now,
+        );
+        self.migration_energy_j += outcome.migration_energy_j();
+        self.migrations += outcome.migrations.len() as u64;
+        self.interval_migrations.extend_from_slice(&outcome.migrations);
+
+        // Step 3: close the interval.
+        self.ledger.close_interval();
+        self.interval_index += 1;
+        outcome
+    }
+
+    /// Runs `intervals` reallocation intervals and assembles the report.
+    pub fn run(&mut self, intervals: u64) -> ClusterRunReport {
+        let initial_census = self.census();
+        let mut sleeping = TimeSeries::new("sleeping_servers");
+        let mut load = TimeSeries::new("cluster_load");
+        for _ in 0..intervals {
+            self.run_interval();
+            sleeping.push(self.sleeping_count() as f64);
+            load.push(self.load_fraction());
+        }
+        let elapsed = self.now.as_secs_f64();
+        ClusterRunReport {
+            initial_census,
+            final_census: self.census(),
+            ratio_series: self.ledger.ratio_series(),
+            sleeping_series: sleeping,
+            load_series: load,
+            decision_totals: self.ledger.totals(),
+            migrations: self.migrations,
+            energy: self.energy(),
+            migration_energy_j: self.migration_energy_j,
+            reference_energy_j: self.reference_power_w * elapsed,
+            admission: self.admission.stats(),
+            saturation_violations: self.saturation_violations,
+            undesirable_server_intervals: self.undesirable_server_intervals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ClusterConfig {
+        ClusterConfig::paper(50, WorkloadSpec::paper_low_load())
+    }
+
+    #[test]
+    fn construction_places_initial_load_in_band() {
+        let c = Cluster::new(small_config(), 1);
+        for s in c.servers() {
+            assert!(s.load() >= 0.20 - 0.021, "load {}", s.load());
+            assert!(s.load() <= 0.40 + 1e-9, "load {}", s.load());
+            assert!(s.is_awake());
+        }
+        assert_eq!(c.census().total(), 50);
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let mut a = Cluster::new(small_config(), 42);
+        let mut b = Cluster::new(small_config(), 42);
+        let ra = a.run(10);
+        let rb = b.run(10);
+        assert_eq!(ra, rb, "bit-identical reports for identical seeds");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Cluster::new(small_config(), 1);
+        let mut b = Cluster::new(small_config(), 2);
+        assert_ne!(a.run(5).ratio_series, b.run(5).ratio_series);
+    }
+
+    #[test]
+    fn load_is_roughly_stationary() {
+        let mut c = Cluster::new(small_config(), 3);
+        let before = c.load_fraction();
+        c.run(40);
+        let after = c.load_fraction();
+        assert!((after - before).abs() < 0.12, "load drifted {before} → {after}");
+    }
+
+    #[test]
+    fn interval_count_and_clock_advance() {
+        let mut c = Cluster::new(small_config(), 4);
+        c.run(7);
+        assert_eq!(c.intervals_run(), 7);
+        assert_eq!(c.now(), SimTime::from_secs(7 * 300));
+    }
+
+    #[test]
+    fn ratio_series_has_one_point_per_interval() {
+        let mut c = Cluster::new(small_config(), 5);
+        let r = c.run(12);
+        assert_eq!(r.ratio_series.len(), 12);
+        assert_eq!(r.sleeping_series.len(), 12);
+        assert_eq!(r.load_series.len(), 12);
+    }
+
+    #[test]
+    fn decisions_accumulate() {
+        let mut c = Cluster::new(small_config(), 6);
+        let r = c.run(20);
+        assert!(r.decision_totals.local > 0, "some vertical scaling happened");
+        assert!(
+            r.decision_totals.local + r.decision_totals.in_cluster > 50,
+            "a 50-server cluster over 20 intervals makes many decisions"
+        );
+    }
+
+    #[test]
+    fn energy_accrues_and_reference_dominates_when_sleeping() {
+        let mut c = Cluster::new(
+            ClusterConfig::paper(100, WorkloadSpec::paper_low_load()),
+            7,
+        );
+        let r = c.run(30);
+        assert!(r.energy.total_j() > 0.0);
+        assert!(r.reference_energy_j > 0.0);
+        // With sleeping enabled at 30 % load, we never burn more than the
+        // always-on reference by more than the migration overhead.
+        assert!(
+            r.energy.total_j() < r.reference_energy_j * 1.10,
+            "managed {} vs reference {}",
+            r.energy.total_j(),
+            r.reference_energy_j
+        );
+    }
+
+    #[test]
+    fn high_load_cluster_never_sleeps_servers() {
+        let mut c = Cluster::new(
+            ClusterConfig::paper(100, WorkloadSpec::paper_high_load()),
+            8,
+        );
+        let r = c.run(20);
+        let max_sleeping = r
+            .sleeping_series
+            .values()
+            .iter()
+            .copied()
+            .fold(0.0_f64, f64::max);
+        assert!(
+            max_sleeping <= 2.0,
+            "at 70 % load consolidation opportunities are rare, saw {max_sleeping}"
+        );
+    }
+
+    #[test]
+    fn census_total_counts_awake_only() {
+        let mut c = Cluster::new(small_config(), 9);
+        c.run(30);
+        let census_total = c.census().total() as usize;
+        assert_eq!(census_total + c.sleeping_count(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn rejects_empty_cluster() {
+        let mut cfg = small_config();
+        cfg.n_servers = 0;
+        Cluster::new(cfg, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn rejects_bad_probabilities() {
+        let mut cfg = small_config();
+        cfg.growth_prob = 0.9;
+        cfg.shrink_prob = 0.9;
+        Cluster::new(cfg, 0);
+    }
+}

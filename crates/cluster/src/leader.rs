@@ -1,0 +1,270 @@
+//! The cluster leader.
+//!
+//! In the paper's clustered organisation every server reports its regime to
+//! a **leader** over a star topology; the leader answers assistance
+//! requests by searching its directory for suitable partners (§4). The
+//! leader never moves load itself — servers *"negotiate directly with the
+//! potential partners"* — it only brokers candidates and issues wake
+//! orders.
+
+use crate::messages::{Message, MessageStats};
+use crate::server::{Server, ServerId};
+use ecolb_energy::regimes::{OperatingRegime, RegimeCensus};
+use serde::{Deserialize, Serialize};
+
+/// A directory entry: the last state a server reported.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirectoryEntry {
+    /// Reported operating regime.
+    pub regime: OperatingRegime,
+    /// Reported normalized load.
+    pub load: f64,
+    /// Whether the server reported itself asleep.
+    pub sleeping: bool,
+}
+
+/// The cluster leader: regime directory + partner search + message
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct Leader {
+    directory: Vec<Option<DirectoryEntry>>,
+    stats: MessageStats,
+}
+
+impl Leader {
+    /// Creates a leader for a cluster of `n` servers.
+    pub fn new(n: usize) -> Self {
+        Leader { directory: vec![None; n], stats: MessageStats::default() }
+    }
+
+    /// Number of directory slots.
+    pub fn capacity(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Ingests a regime report (paper: "the leader is informed
+    /// periodically about the regime of each server of the cluster").
+    pub fn receive_report(&mut self, from: ServerId, regime: OperatingRegime, load: f64, sleeping: bool) {
+        let msg = Message::RegimeReport { from, regime, load };
+        self.stats.record(&msg);
+        self.directory[from.index()] = Some(DirectoryEntry { regime, load, sleeping });
+    }
+
+    /// Refreshes the whole directory from live server state — the
+    /// per-interval reporting sweep.
+    pub fn full_report_sweep(&mut self, servers: &[Server]) {
+        for s in servers {
+            self.receive_report(s.id(), s.regime(), s.load(), s.is_sleeping());
+        }
+    }
+
+    /// The last-reported directory entry for a server.
+    pub fn entry(&self, id: ServerId) -> Option<DirectoryEntry> {
+        self.directory[id.index()]
+    }
+
+    /// Census of awake servers by regime, from the directory.
+    pub fn census(&self) -> RegimeCensus {
+        let mut census = RegimeCensus::new();
+        for e in self.directory.iter().flatten() {
+            if !e.sleeping {
+                census.record(e.regime);
+            }
+        }
+        census
+    }
+
+    /// Searches for **receivers**: awake servers reported in R1 or R2,
+    /// excluding `requester`. Sorted by *descending* load — filling the
+    /// fullest underloaded server first concentrates the workload, which is
+    /// the paper's consolidation objective. Records the partner-list
+    /// message.
+    pub fn find_receivers(&mut self, requester: ServerId) -> Vec<ServerId> {
+        let mut out: Vec<(ServerId, f64)> = self
+            .directory
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                let e = (*e)?;
+                let id = ServerId(i as u32);
+                (id != requester && !e.sleeping && e.regime.is_underloaded()).then_some((id, e.load))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("loads are finite").then(a.0.cmp(&b.0)));
+        self.stats.record(&Message::PartnerList { to: requester, candidates: out.clone() });
+        out.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Searches for **donors**: awake servers reported in R4 or R5,
+    /// excluding `requester`. R5 (urgent) first, then by descending load.
+    pub fn find_donors(&mut self, requester: ServerId) -> Vec<ServerId> {
+        let mut out: Vec<(ServerId, OperatingRegime, f64)> = self
+            .directory
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                let e = (*e)?;
+                let id = ServerId(i as u32);
+                (id != requester && !e.sleeping && e.regime.is_overloaded())
+                    .then_some((id, e.regime, e.load))
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.index()
+                .cmp(&a.1.index())
+                .then(b.2.partial_cmp(&a.2).expect("loads are finite"))
+                .then(a.0.cmp(&b.0))
+        });
+        self.stats.record(&Message::PartnerList {
+            to: requester,
+            candidates: out.iter().map(|&(id, _, l)| (id, l)).collect(),
+        });
+        out.into_iter().map(|(id, _, _)| id).collect()
+    }
+
+    /// Sleeping servers eligible for a wake order (§4 action 5), shallowest
+    /// sleep first — C3 servers wake far faster and cheaper than C6.
+    pub fn find_sleepers(&self, servers: &[Server]) -> Vec<ServerId> {
+        let mut out: Vec<(ServerId, u8)> = servers
+            .iter()
+            .filter(|s| s.is_sleeping() && s.wake_ready_at().is_none())
+            .map(|s| (s.id(), s.cstate().depth()))
+            .collect();
+        out.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        out.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Issues (and accounts) a wake order.
+    pub fn issue_wake_order(&mut self, to: ServerId) {
+        self.stats.record(&Message::WakeOrder { to });
+        if let Some(e) = &mut self.directory[to.index()] {
+            e.sleeping = false; // optimistic: the server is now waking
+        }
+    }
+
+    /// Records an assistance request from a server.
+    pub fn receive_assistance_request(&mut self, from: ServerId, regime: OperatingRegime) {
+        self.stats.record(&Message::AssistanceRequest { from, regime });
+    }
+
+    /// Records a server↔server negotiation message (for cluster-wide
+    /// accounting; negotiation itself is peer-to-peer).
+    pub fn observe(&mut self, msg: &Message) {
+        self.stats.record(msg);
+    }
+
+    /// Cluster-wide message statistics.
+    pub fn stats(&self) -> MessageStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerPowerSpec;
+    use ecolb_energy::regimes::RegimeBoundaries;
+    use ecolb_energy::sleep::{CState, SleepModel};
+    use ecolb_simcore::time::SimTime;
+    use ecolb_workload::application::{AppId, Application};
+
+    fn mk_server(id: u32, load: f64) -> Server {
+        let mut s = Server::new(
+            ServerId(id),
+            RegimeBoundaries::new(0.2, 0.3, 0.7, 0.8),
+            ServerPowerSpec::default(),
+            SimTime::ZERO,
+        );
+        if load > 0.0 {
+            s.place_app(Application::new(AppId(id as u64), load, 0.01, 4.0));
+        }
+        s
+    }
+
+    #[test]
+    fn report_sweep_builds_census() {
+        let servers = vec![mk_server(0, 0.1), mk_server(1, 0.5), mk_server(2, 0.95)];
+        let mut leader = Leader::new(3);
+        leader.full_report_sweep(&servers);
+        let census = leader.census();
+        assert_eq!(census.count(OperatingRegime::UndesirableLow), 1);
+        assert_eq!(census.count(OperatingRegime::Optimal), 1);
+        assert_eq!(census.count(OperatingRegime::UndesirableHigh), 1);
+        assert_eq!(leader.stats().regime_reports, 3);
+    }
+
+    #[test]
+    fn receivers_are_underloaded_and_sorted_fullest_first() {
+        let servers =
+            vec![mk_server(0, 0.05), mk_server(1, 0.25), mk_server(2, 0.5), mk_server(3, 0.22)];
+        let mut leader = Leader::new(4);
+        leader.full_report_sweep(&servers);
+        let rx = leader.find_receivers(ServerId(2));
+        // 0.25 (R2) then 0.22 (R2) then 0.05 (R1); the optimal server 2 is
+        // the requester and excluded anyway.
+        assert_eq!(rx, vec![ServerId(1), ServerId(3), ServerId(0)]);
+        assert_eq!(leader.stats().partner_lists, 1);
+    }
+
+    #[test]
+    fn requester_never_appears_in_its_own_list() {
+        let servers = vec![mk_server(0, 0.1), mk_server(1, 0.1)];
+        let mut leader = Leader::new(2);
+        leader.full_report_sweep(&servers);
+        let rx = leader.find_receivers(ServerId(0));
+        assert_eq!(rx, vec![ServerId(1)]);
+    }
+
+    #[test]
+    fn donors_put_r5_before_r4() {
+        let servers = vec![mk_server(0, 0.75), mk_server(1, 0.9), mk_server(2, 0.78)];
+        let mut leader = Leader::new(3);
+        leader.full_report_sweep(&servers);
+        let dn = leader.find_donors(ServerId(2));
+        // Server 1 is R5; server 0 is R4. Requester 2 excluded.
+        assert_eq!(dn, vec![ServerId(1), ServerId(0)]);
+    }
+
+    #[test]
+    fn sleeping_servers_are_invisible_to_search() {
+        let sm = SleepModel::default();
+        let mut servers = vec![mk_server(0, 0.0), mk_server(1, 0.25)];
+        servers[0].enter_sleep(SimTime::ZERO, CState::C6, &sm);
+        let mut leader = Leader::new(2);
+        leader.full_report_sweep(&servers);
+        let rx = leader.find_receivers(ServerId(1));
+        assert!(rx.is_empty(), "sleeping server must not be offered as receiver");
+        assert_eq!(leader.census().total(), 1, "census counts awake servers only");
+    }
+
+    #[test]
+    fn find_sleepers_orders_shallow_first() {
+        let sm = SleepModel::default();
+        let mut servers = vec![mk_server(0, 0.0), mk_server(1, 0.0), mk_server(2, 0.5)];
+        servers[0].enter_sleep(SimTime::ZERO, CState::C6, &sm);
+        servers[1].enter_sleep(SimTime::ZERO, CState::C3, &sm);
+        let leader = Leader::new(3);
+        let sl = leader.find_sleepers(&servers);
+        assert_eq!(sl, vec![ServerId(1), ServerId(0)], "C3 wakes before C6");
+    }
+
+    #[test]
+    fn wake_order_updates_directory_and_stats() {
+        let sm = SleepModel::default();
+        let mut servers = vec![mk_server(0, 0.0)];
+        servers[0].enter_sleep(SimTime::ZERO, CState::C3, &sm);
+        let mut leader = Leader::new(1);
+        leader.full_report_sweep(&servers);
+        assert!(leader.entry(ServerId(0)).unwrap().sleeping);
+        leader.issue_wake_order(ServerId(0));
+        assert!(!leader.entry(ServerId(0)).unwrap().sleeping);
+        assert_eq!(leader.stats().wake_orders, 1);
+    }
+
+    #[test]
+    fn assistance_requests_counted() {
+        let mut leader = Leader::new(1);
+        leader.receive_assistance_request(ServerId(0), OperatingRegime::UndesirableHigh);
+        assert_eq!(leader.stats().assistance_requests, 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Server power models.
+//!
+//! The paper's central physical observation (§1–2) is that servers are not
+//! energy proportional: *"an idle system consumes a rather significant
+//! fraction, often as much as 50 %, of the energy used to deliver peak
+//! performance."* This module provides three power models:
+//!
+//! * [`LinearPowerModel`] — the classic idle + (peak − idle)·u line;
+//! * [`PiecewisePowerModel`] — SPECpower-style measured utilization points
+//!   with linear interpolation (captures the sub-linear knee real servers
+//!   show);
+//! * [`SubsystemPowerModel`] — a composite of CPU, DRAM, disk, and NIC
+//!   contributions with the per-subsystem dynamic ranges quoted in §2
+//!   (CPU > 70 %, DRAM < 50 %, disk 25 %, switches 15 %).
+//!
+//! All models implement [`PowerModel`], mapping utilization `u ∈ [0, 1]` to
+//! instantaneous Watts, with helpers to convert to normalized energy
+//! `b(u) = P(u)/P(1)` — the x-axis of the paper's Figure 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Maps utilization to instantaneous power draw.
+pub trait PowerModel {
+    /// Instantaneous power in Watts at utilization `u ∈ [0, 1]` (clamped).
+    fn power_w(&self, u: f64) -> f64;
+
+    /// Peak power `P(1)` in Watts.
+    fn peak_power_w(&self) -> f64 {
+        self.power_w(1.0)
+    }
+
+    /// Idle power `P(0)` in Watts.
+    fn idle_power_w(&self) -> f64 {
+        self.power_w(0.0)
+    }
+
+    /// Normalized energy consumption `b(u) = P(u)/P(1)` — the paper's
+    /// normalized-energy coordinate.
+    fn normalized_energy(&self, u: f64) -> f64 {
+        self.power_w(u) / self.peak_power_w()
+    }
+
+    /// Dynamic range: the fraction of peak power the model can shed,
+    /// `1 − P(0)/P(1)` (§2 "Dynamic range of subsystems").
+    fn dynamic_range(&self) -> f64 {
+        1.0 - self.idle_power_w() / self.peak_power_w()
+    }
+
+    /// Performance per Watt at utilization `u` (operating-efficiency metric
+    /// of §2), in normalized-performance units per Watt. Zero at `u = 0`.
+    fn perf_per_watt(&self, u: f64) -> f64 {
+        let p = self.power_w(u);
+        if p <= 0.0 {
+            0.0
+        } else {
+            u.clamp(0.0, 1.0) / p
+        }
+    }
+
+    /// The utilization maximising performance per Watt, found by a fine
+    /// grid scan — this is the "optimal energy level" the paper centres its
+    /// regimes on.
+    fn optimal_utilization(&self) -> f64 {
+        let mut best_u = 0.0;
+        let mut best = f64::NEG_INFINITY;
+        for i in 0..=1000 {
+            let u = i as f64 / 1000.0;
+            let ppw = self.perf_per_watt(u);
+            if ppw > best {
+                best = ppw;
+                best_u = u;
+            }
+        }
+        best_u
+    }
+}
+
+/// Idle + proportional line: `P(u) = idle + (peak − idle)·u`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearPowerModel {
+    /// Power at zero utilization.
+    pub idle_w: f64,
+    /// Power at full utilization.
+    pub peak_w: f64,
+}
+
+impl LinearPowerModel {
+    /// Creates the model; panics unless `0 ≤ idle ≤ peak` and `peak > 0`.
+    pub fn new(idle_w: f64, peak_w: f64) -> Self {
+        assert!(peak_w > 0.0, "peak power must be positive, got {peak_w}");
+        assert!(
+            (0.0..=peak_w).contains(&idle_w),
+            "idle power {idle_w} must be within [0, {peak_w}]"
+        );
+        LinearPowerModel { idle_w, peak_w }
+    }
+
+    /// The paper's canonical non-proportional server: idle draw is 50 % of
+    /// a 200 W peak (§2's "more than half the power they use at full
+    /// load" observation, and the 45–200 W CPU band).
+    pub fn typical_volume_server() -> Self {
+        LinearPowerModel::new(100.0, 200.0)
+    }
+
+    /// An ideal energy-proportional server of the same peak: zero idle
+    /// power (§2, "an ideal energy-proportional system is always operating
+    /// at 100 % efficiency").
+    pub fn ideal_proportional(peak_w: f64) -> Self {
+        LinearPowerModel::new(0.0, peak_w)
+    }
+}
+
+impl PowerModel for LinearPowerModel {
+    #[inline]
+    fn power_w(&self, u: f64) -> f64 {
+        self.idle_w + (self.peak_w - self.idle_w) * u.clamp(0.0, 1.0)
+    }
+}
+
+/// Piecewise-linear interpolation over measured `(utilization, watts)`
+/// points, SPECpower_ssj2008-style (11 load levels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewisePowerModel {
+    /// Strictly increasing utilization knots starting at 0.0 and ending at
+    /// 1.0.
+    knots: Vec<(f64, f64)>,
+}
+
+impl PiecewisePowerModel {
+    /// Creates the model from knots; panics unless the knots start at
+    /// `u = 0`, end at `u = 1`, and are strictly increasing in `u` with
+    /// positive power everywhere.
+    pub fn new(knots: Vec<(f64, f64)>) -> Self {
+        assert!(knots.len() >= 2, "need at least two knots");
+        assert_eq!(knots[0].0, 0.0, "first knot must be at u = 0");
+        assert_eq!(knots[knots.len() - 1].0, 1.0, "last knot must be at u = 1");
+        for w in knots.windows(2) {
+            assert!(w[0].0 < w[1].0, "knot utilizations must be strictly increasing");
+        }
+        assert!(knots.iter().all(|&(_, p)| p > 0.0), "power must be positive at every knot");
+        PiecewisePowerModel { knots }
+    }
+
+    /// A representative measured curve with the sub-linear knee typical of
+    /// SPECpower submissions of the era: steep growth at low load, flatter
+    /// near peak. Idle is 48 % of peak.
+    pub fn typical_specpower() -> Self {
+        PiecewisePowerModel::new(vec![
+            (0.0, 96.0),
+            (0.1, 120.0),
+            (0.2, 135.0),
+            (0.3, 147.0),
+            (0.4, 158.0),
+            (0.5, 167.0),
+            (0.6, 175.0),
+            (0.7, 182.0),
+            (0.8, 189.0),
+            (0.9, 195.0),
+            (1.0, 200.0),
+        ])
+    }
+}
+
+impl PowerModel for PiecewisePowerModel {
+    fn power_w(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        // Binary search for the containing segment.
+        let idx = match self
+            .knots
+            .binary_search_by(|&(ku, _)| ku.partial_cmp(&u).expect("knots are finite"))
+        {
+            Ok(i) => return self.knots[i].1,
+            Err(i) => i,
+        };
+        let (u0, p0) = self.knots[idx - 1];
+        let (u1, p1) = self.knots[idx];
+        p0 + (p1 - p0) * (u - u0) / (u1 - u0)
+    }
+}
+
+/// Relative weight and dynamic range of one server subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Subsystem {
+    /// Peak power of this subsystem, Watts.
+    pub peak_w: f64,
+    /// Fraction of peak this subsystem can shed when idle (its dynamic
+    /// range, §2).
+    pub dynamic_range: f64,
+}
+
+impl Subsystem {
+    fn power_w(&self, u: f64) -> f64 {
+        let floor = self.peak_w * (1.0 - self.dynamic_range);
+        floor + (self.peak_w - floor) * u.clamp(0.0, 1.0)
+    }
+}
+
+/// Composite CPU + DRAM + disk + NIC model with the §2 dynamic ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubsystemPowerModel {
+    /// Processor package(s).
+    pub cpu: Subsystem,
+    /// Memory DIMMs.
+    pub dram: Subsystem,
+    /// Hard disk drives.
+    pub disk: Subsystem,
+    /// Network interface / switch share.
+    pub network: Subsystem,
+}
+
+impl SubsystemPowerModel {
+    /// The §2 reference configuration: a dual-socket volume server with
+    /// 32 DIMMs and 2–4 HDDs. CPU dynamic range > 70 %, DRAM < 50 %, disks
+    /// 25 %, networking 15 %.
+    pub fn typical_server() -> Self {
+        SubsystemPowerModel {
+            // Two sockets × ~60 W mid-range parts.
+            cpu: Subsystem { peak_w: 120.0, dynamic_range: 0.70 },
+            // 32 DIMMs at a blended ~1.6 W average under load.
+            dram: Subsystem { peak_w: 50.0, dynamic_range: 0.45 },
+            // 3 HDDs ≈ 36 W (24–48 W band in §2).
+            disk: Subsystem { peak_w: 36.0, dynamic_range: 0.25 },
+            network: Subsystem { peak_w: 14.0, dynamic_range: 0.15 },
+        }
+    }
+}
+
+impl PowerModel for SubsystemPowerModel {
+    fn power_w(&self, u: f64) -> f64 {
+        self.cpu.power_w(u) + self.dram.power_w(u) + self.disk.power_w(u) + self.network.power_w(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_endpoints() {
+        let m = LinearPowerModel::new(100.0, 200.0);
+        assert_eq!(m.power_w(0.0), 100.0);
+        assert_eq!(m.power_w(1.0), 200.0);
+        assert_eq!(m.power_w(0.5), 150.0);
+        assert_eq!(m.power_w(-1.0), 100.0, "clamps below");
+        assert_eq!(m.power_w(2.0), 200.0, "clamps above");
+    }
+
+    #[test]
+    fn typical_server_idles_at_half_peak() {
+        let m = LinearPowerModel::typical_volume_server();
+        assert!((m.idle_power_w() / m.peak_power_w() - 0.5).abs() < 1e-12);
+        assert!((m.dynamic_range() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_proportional_has_full_dynamic_range() {
+        let m = LinearPowerModel::ideal_proportional(200.0);
+        assert_eq!(m.idle_power_w(), 0.0);
+        assert_eq!(m.dynamic_range(), 1.0);
+        // Efficiency is constant (always "100 % efficient").
+        let e1 = m.perf_per_watt(0.3);
+        let e2 = m.perf_per_watt(0.9);
+        assert!((e1 - e2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_energy_is_one_at_peak() {
+        let m = LinearPowerModel::typical_volume_server();
+        assert!((m.normalized_energy(1.0) - 1.0).abs() < 1e-12);
+        assert!((m.normalized_energy(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_proportional_server_is_most_efficient_at_high_load() {
+        let m = LinearPowerModel::typical_volume_server();
+        let u_opt = m.optimal_utilization();
+        assert!(u_opt > 0.95, "for a linear model efficiency peaks at u = 1, got {u_opt}");
+    }
+
+    #[test]
+    fn perf_per_watt_increases_with_load_for_linear() {
+        let m = LinearPowerModel::typical_volume_server();
+        assert!(m.perf_per_watt(0.9) > m.perf_per_watt(0.3));
+        assert!(m.perf_per_watt(0.3) > m.perf_per_watt(0.05));
+        assert_eq!(m.perf_per_watt(0.0), 0.0);
+    }
+
+    #[test]
+    fn piecewise_interpolates_and_hits_knots() {
+        let m = PiecewisePowerModel::typical_specpower();
+        assert_eq!(m.power_w(0.0), 96.0);
+        assert_eq!(m.power_w(1.0), 200.0);
+        assert_eq!(m.power_w(0.5), 167.0);
+        // Between 0.5 (167) and 0.6 (175): midpoint 171.
+        assert!((m.power_w(0.55) - 171.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_is_monotone_for_monotone_knots() {
+        let m = PiecewisePowerModel::typical_specpower();
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let p = m.power_w(i as f64 / 100.0);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn specpower_curve_has_interior_efficiency_knee() {
+        // The sub-linear measured curve pushes the best perf/W below 100 %
+        // utilization or keeps it at 1.0; either way it must beat u = 0.3
+        // (the observed data-center operating point, §3).
+        let m = PiecewisePowerModel::typical_specpower();
+        let u_opt = m.optimal_utilization();
+        assert!(m.perf_per_watt(u_opt) > m.perf_per_watt(0.3));
+        assert!(u_opt >= 0.7, "knee at {u_opt}");
+    }
+
+    #[test]
+    fn subsystem_model_sums_components() {
+        let m = SubsystemPowerModel::typical_server();
+        let total_peak = 120.0 + 50.0 + 36.0 + 14.0;
+        assert!((m.peak_power_w() - total_peak).abs() < 1e-9);
+        // CPU floor 36 W + DRAM 27.5 + disk 27 + net 11.9 = 102.4 idle.
+        assert!((m.idle_power_w() - 102.4).abs() < 0.1);
+        // Composite dynamic range is well below the CPU's own 70 %.
+        assert!(m.dynamic_range() < 0.70);
+        assert!(m.dynamic_range() > 0.40);
+    }
+
+    #[test]
+    fn subsystem_dynamic_ranges_match_section2() {
+        let m = SubsystemPowerModel::typical_server();
+        assert!(m.cpu.dynamic_range >= 0.70);
+        assert!(m.dram.dynamic_range < 0.50);
+        assert!((m.disk.dynamic_range - 0.25).abs() < 1e-12);
+        assert!((m.network.dynamic_range - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle power")]
+    fn linear_rejects_idle_above_peak() {
+        LinearPowerModel::new(300.0, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn piecewise_rejects_unsorted_knots() {
+        PiecewisePowerModel::new(vec![(0.0, 100.0), (0.5, 120.0), (0.5, 130.0), (1.0, 200.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "u = 0")]
+    fn piecewise_rejects_missing_origin() {
+        PiecewisePowerModel::new(vec![(0.1, 100.0), (1.0, 200.0)]);
+    }
+}

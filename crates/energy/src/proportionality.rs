@@ -1,0 +1,131 @@
+//! Energy-proportionality metrics (paper §2).
+//!
+//! Tools to quantify how far a [`PowerModel`] is from the ideal
+//! energy-proportional system — the one that "consumes no power when idle,
+//! very little power under a light load and, gradually, more power as the
+//! load increases".
+
+use crate::power::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a model's proportionality characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionalityProfile {
+    /// Idle power as a fraction of peak (`P(0)/P(1)`).
+    pub idle_fraction: f64,
+    /// Dynamic range `1 − idle_fraction`.
+    pub dynamic_range: f64,
+    /// Linear-deviation proportionality index in `[0, 1]`: 1 for the ideal
+    /// proportional line `P(u) = u·P(1)`, lower as the curve departs from
+    /// it. Computed as `1 − mean|P(u)/P(1) − u|·2` over a utilization grid
+    /// (the factor 2 normalises the worst case `P ≡ P(1)`).
+    pub proportionality_index: f64,
+    /// Utilization at which performance per Watt is maximised.
+    pub optimal_utilization: f64,
+    /// Peak performance per Watt, normalized-performance units per Watt.
+    pub peak_perf_per_watt: f64,
+}
+
+/// Number of grid points used by [`profile`].
+const GRID: usize = 200;
+
+/// Computes the proportionality profile of a power model.
+pub fn profile<M: PowerModel>(model: &M) -> ProportionalityProfile {
+    let peak = model.peak_power_w();
+    let idle_fraction = model.idle_power_w() / peak;
+    let mut deviation = 0.0;
+    for i in 0..=GRID {
+        let u = i as f64 / GRID as f64;
+        deviation += (model.power_w(u) / peak - u).abs();
+    }
+    deviation /= (GRID + 1) as f64;
+    let u_opt = model.optimal_utilization();
+    ProportionalityProfile {
+        idle_fraction,
+        dynamic_range: 1.0 - idle_fraction,
+        proportionality_index: (1.0 - 2.0 * deviation).clamp(0.0, 1.0),
+        optimal_utilization: u_opt,
+        peak_perf_per_watt: model.perf_per_watt(u_opt),
+    }
+}
+
+/// Energy (Joules) to run a fixed amount of work `ops` (normalized-
+/// performance-seconds) at constant utilization `u` on `model`, assuming
+/// work completes at rate `u`: time = ops/u, energy = P(u)·ops/u.
+///
+/// Captures the §3 observation that running slowly on a non-proportional
+/// server wastes energy: as `u → 0` the energy diverges because idle power
+/// is burned for a long time.
+pub fn energy_for_work_j<M: PowerModel>(model: &M, ops: f64, u: f64) -> f64 {
+    assert!(u > 0.0 && u <= 1.0, "utilization must be in (0, 1], got {u}");
+    assert!(ops >= 0.0, "work must be non-negative");
+    model.power_w(u) * ops / u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::{LinearPowerModel, PiecewisePowerModel};
+
+    #[test]
+    fn ideal_proportional_scores_one() {
+        let m = LinearPowerModel::ideal_proportional(200.0);
+        let p = profile(&m);
+        assert!((p.proportionality_index - 1.0).abs() < 1e-9);
+        assert_eq!(p.idle_fraction, 0.0);
+        assert_eq!(p.dynamic_range, 1.0);
+    }
+
+    #[test]
+    fn typical_server_scores_half() {
+        // P(u)/peak - u = 0.5(1-u): mean |dev| over [0,1] = 0.25 → index 0.5.
+        let m = LinearPowerModel::typical_volume_server();
+        let p = profile(&m);
+        assert!((p.proportionality_index - 0.5).abs() < 0.01, "index {}", p.proportionality_index);
+        assert!((p.idle_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_power_scores_zero_ish() {
+        let m = LinearPowerModel::new(199.999, 200.0);
+        let p = profile(&m);
+        assert!(p.proportionality_index < 0.01, "index {}", p.proportionality_index);
+    }
+
+    #[test]
+    fn specpower_profile_is_between() {
+        let m = PiecewisePowerModel::typical_specpower();
+        let p = profile(&m);
+        assert!(p.proportionality_index > 0.0 && p.proportionality_index < 1.0);
+        assert!((p.idle_fraction - 0.48).abs() < 0.01);
+    }
+
+    #[test]
+    fn energy_for_work_diverges_at_low_utilization() {
+        let m = LinearPowerModel::typical_volume_server();
+        let slow = energy_for_work_j(&m, 10.0, 0.1);
+        let fast = energy_for_work_j(&m, 10.0, 0.9);
+        assert!(slow > 5.0 * fast, "slow {slow} vs fast {fast}");
+    }
+
+    #[test]
+    fn energy_for_work_is_flat_for_proportional_server() {
+        let m = LinearPowerModel::ideal_proportional(100.0);
+        let a = energy_for_work_j(&m, 10.0, 0.2);
+        let b = energy_for_work_j(&m, 10.0, 1.0);
+        assert!((a - b).abs() < 1e-9, "proportional server: energy independent of rate");
+    }
+
+    #[test]
+    fn zero_work_costs_nothing() {
+        let m = LinearPowerModel::typical_volume_server();
+        assert_eq!(energy_for_work_j(&m, 0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn energy_for_work_rejects_zero_utilization() {
+        let m = LinearPowerModel::typical_volume_server();
+        energy_for_work_j(&m, 1.0, 0.0);
+    }
+}

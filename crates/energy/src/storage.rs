@@ -1,0 +1,429 @@
+//! Storage-system power management (paper §2, "Dynamic range of
+//! subsystems").
+//!
+//! The paper describes two strategies *"to reduce energy consumption by
+//! disk drives … concentrate the workload on a small number of disks and
+//! allow the others to operate in a low-power mode"*:
+//!
+//! * **replication** — Vrbsky et al. [25]: a sliding-window replacement
+//!   policy replicates popular data onto the active disks so cold disks
+//!   can spin down (reported up to 31 % power reduction vs LRU/MRU/LFU);
+//! * **data migration** — Hasebe et al. [11]: data lives in *virtual
+//!   nodes* managed with a distributed hash table; a short-term algorithm
+//!   gathers or spreads virtual nodes with the daily load so the number of
+//!   active physical nodes is minimal.
+//!
+//! This module models both: a disk array with active/idle/standby power
+//! states, a sliding-window replica manager, and a virtual-node
+//! consolidator. It is a self-contained §2 substrate — the cluster
+//! simulation works in normalized CPU units, but the storage model lets
+//! the repository reproduce the paper's storage-side energy arguments.
+
+use ecolb_simcore::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Power states of one disk drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiskState {
+    /// Spinning and serving I/O.
+    Active,
+    /// Spinning, no I/O.
+    Idle,
+    /// Spun down.
+    Standby,
+}
+
+/// Power draw of one drive (typical 3.5" enterprise HDD, matching the §2
+/// 24–48 W band for 2–4 drives).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskPower {
+    /// Watts while actively seeking/transferring.
+    pub active_w: f64,
+    /// Watts while spinning idle.
+    pub idle_w: f64,
+    /// Watts in standby (spun down).
+    pub standby_w: f64,
+    /// Energy to spin back up, Joules.
+    pub spinup_j: f64,
+}
+
+impl Default for DiskPower {
+    fn default() -> Self {
+        DiskPower { active_w: 11.0, idle_w: 8.0, standby_w: 1.0, spinup_j: 135.0 }
+    }
+}
+
+impl DiskPower {
+    /// Watts in a given state.
+    pub fn watts(&self, state: DiskState) -> f64 {
+        match state {
+            DiskState::Active => self.active_w,
+            DiskState::Idle => self.idle_w,
+            DiskState::Standby => self.standby_w,
+        }
+    }
+}
+
+/// A window of recent block accesses used to decide what to replicate —
+/// the sliding-window policy of [25].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    window: usize,
+    recent: Vec<u64>,
+}
+
+impl SlidingWindow {
+    /// Creates a window of the given length; panics when zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        SlidingWindow { window, recent: Vec::new() }
+    }
+
+    /// Records one access to `block`.
+    pub fn record(&mut self, block: u64) {
+        self.recent.push(block);
+        if self.recent.len() > self.window {
+            self.recent.remove(0);
+        }
+    }
+
+    /// Blocks accessed within the window, hottest first.
+    pub fn hot_blocks(&self) -> Vec<(u64, usize)> {
+        let mut counts: std::collections::BTreeMap<u64, usize> = Default::default();
+        for &b in &self.recent {
+            *counts.entry(b).or_default() += 1;
+        }
+        let mut out: Vec<(u64, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// True when `block` appears in the current window.
+    pub fn contains(&self, block: u64) -> bool {
+        self.recent.contains(&block)
+    }
+}
+
+/// A disk array under the replication strategy: hot blocks are replicated
+/// onto a small active set, cold disks stand by.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicatedArray {
+    n_disks: usize,
+    blocks_per_disk: u64,
+    power: DiskPower,
+    window: SlidingWindow,
+    /// Disks currently kept spinning.
+    active_set: usize,
+    /// Blocks replicated onto the active set.
+    replicas: std::collections::BTreeSet<u64>,
+    /// Replica capacity of the active set, blocks.
+    replica_capacity: u64,
+    spinups: u64,
+}
+
+impl ReplicatedArray {
+    /// Creates an array of `n_disks` holding `blocks_per_disk` blocks
+    /// each, reserving `replica_fraction` of the active disks for
+    /// replicas.
+    pub fn new(n_disks: usize, blocks_per_disk: u64, window: usize, replica_fraction: f64) -> Self {
+        assert!(n_disks >= 2, "need at least two disks");
+        assert!((0.0..=1.0).contains(&replica_fraction), "replica fraction in [0,1]");
+        let active_set = 1;
+        ReplicatedArray {
+            n_disks,
+            blocks_per_disk,
+            power: DiskPower::default(),
+            window: SlidingWindow::new(window),
+            active_set,
+            replicas: Default::default(),
+            replica_capacity: (blocks_per_disk as f64 * replica_fraction) as u64 * active_set as u64,
+            spinups: 0,
+        }
+    }
+
+    /// The home disk of a block (blocks stripe across all disks).
+    pub fn home_disk(&self, block: u64) -> usize {
+        (block % self.n_disks as u64) as usize
+    }
+
+    /// Number of disks currently spinning.
+    pub fn active_disks(&self) -> usize {
+        self.active_set
+    }
+
+    /// Lifetime spin-up count.
+    pub fn spinups(&self) -> u64 {
+        self.spinups
+    }
+
+    /// Serves one access: returns `true` when the block was served from a
+    /// replica on the active set (no cold disk had to spin up).
+    pub fn access(&mut self, block: u64) -> bool {
+        self.window.record(block);
+        if self.replicas.contains(&block) || self.home_disk(block) < self.active_set {
+            self.refresh_replicas();
+            return true;
+        }
+        // Miss: the home disk spins up, serves, and the replica set is
+        // refreshed from the window.
+        self.spinups += 1;
+        self.refresh_replicas();
+        false
+    }
+
+    fn refresh_replicas(&mut self) {
+        self.replicas.clear();
+        for (block, _) in self.window.hot_blocks().into_iter().take(self.replica_capacity as usize)
+        {
+            self.replicas.insert(block);
+        }
+    }
+
+    /// Average power over a period with `accesses_per_s` I/O, Watts.
+    /// Active-set disks are active; the rest are in standby except for the
+    /// transient spin-ups (amortised via the spin-up energy).
+    pub fn average_power_w(&self, accesses_per_s: f64, miss_fraction: f64) -> f64 {
+        let active = self.active_set as f64 * self.power.active_w;
+        let standby = (self.n_disks - self.active_set) as f64 * self.power.standby_w;
+        // Each miss costs a spin-up (amortised as energy per access).
+        let spinup = accesses_per_s * miss_fraction.clamp(0.0, 1.0) * self.power.spinup_j / 60.0;
+        active + standby + spinup
+    }
+
+    /// Power of the naive always-spinning array, Watts.
+    pub fn always_on_power_w(&self) -> f64 {
+        self.n_disks as f64 * self.power.idle_w
+    }
+}
+
+/// A virtual node in the DHT-based migration scheme of [11].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VirtualNode {
+    /// DHT identifier.
+    pub id: u64,
+    /// Load (I/O demand) of this virtual node, arbitrary units.
+    pub load: f64,
+}
+
+/// Physical storage nodes hosting virtual nodes; the short-term algorithm
+/// of [11] gathers virtual nodes onto few physical nodes when the load is
+/// low and spreads them when it is high.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VirtualNodeStore {
+    /// Virtual-node assignment: `assignment[v]` = physical node index.
+    assignment: Vec<usize>,
+    vnodes: Vec<VirtualNode>,
+    n_physical: usize,
+    /// Load capacity of one physical node.
+    capacity: f64,
+    migrations: u64,
+}
+
+impl VirtualNodeStore {
+    /// Creates a store of `n_physical` nodes with the given per-node
+    /// capacity, placing `vnodes` round-robin.
+    pub fn new(n_physical: usize, capacity: f64, vnodes: Vec<VirtualNode>) -> Self {
+        assert!(n_physical > 0 && capacity > 0.0);
+        let assignment = (0..vnodes.len()).map(|i| i % n_physical).collect();
+        VirtualNodeStore { assignment, vnodes, n_physical, capacity, migrations: 0 }
+    }
+
+    /// Generates a store with `n_vnodes` random-load virtual nodes.
+    pub fn random(n_physical: usize, capacity: f64, n_vnodes: usize, rng: &mut Rng) -> Self {
+        let vnodes = (0..n_vnodes)
+            .map(|i| VirtualNode { id: i as u64, load: rng.uniform(0.05, 0.3) })
+            .collect();
+        Self::new(n_physical, capacity, vnodes)
+    }
+
+    /// Load of each physical node.
+    pub fn physical_loads(&self) -> Vec<f64> {
+        let mut loads = vec![0.0; self.n_physical];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            loads[p] += self.vnodes[v].load;
+        }
+        loads
+    }
+
+    /// Physical nodes with at least one virtual node.
+    pub fn active_nodes(&self) -> usize {
+        let loads = self.physical_loads();
+        loads.iter().filter(|&&l| l > 0.0).count()
+    }
+
+    /// Virtual-node migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// The short-term optimisation: first-fit-decreasing consolidation of
+    /// virtual nodes onto the fewest physical nodes that respect the
+    /// capacity. Returns the number of migrations performed.
+    pub fn consolidate(&mut self) -> u64 {
+        let mut order: Vec<usize> = (0..self.vnodes.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.vnodes[b]
+                .load
+                .partial_cmp(&self.vnodes[a].load)
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+        let mut bins: Vec<f64> = vec![0.0; self.n_physical];
+        let mut new_assignment = self.assignment.clone();
+        for v in order {
+            let load = self.vnodes[v].load;
+            // First fit; when nothing fits (overcommitted store) the
+            // least-loaded node absorbs the overflow so no single node is
+            // buried.
+            let target = (0..self.n_physical)
+                .find(|&p| bins[p] + load <= self.capacity + 1e-9)
+                .unwrap_or_else(|| {
+                    (0..self.n_physical)
+                        .min_by(|&a, &b| bins[a].partial_cmp(&bins[b]).expect("finite"))
+                        .expect("at least one node")
+                });
+            bins[target] += load;
+            new_assignment[v] = target;
+        }
+        let moved = new_assignment
+            .iter()
+            .zip(&self.assignment)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        self.assignment = new_assignment;
+        self.migrations += moved;
+        moved
+    }
+
+    /// Storage power with the given per-node active/standby wattage:
+    /// active nodes spin, empty nodes stand by.
+    pub fn power_w(&self, active_w: f64, standby_w: f64) -> f64 {
+        let active = self.active_nodes();
+        active as f64 * active_w + (self.n_physical - active) as f64 * standby_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_power_ordering() {
+        let p = DiskPower::default();
+        assert!(p.watts(DiskState::Active) > p.watts(DiskState::Idle));
+        assert!(p.watts(DiskState::Idle) > p.watts(DiskState::Standby));
+    }
+
+    #[test]
+    fn sliding_window_tracks_hot_blocks() {
+        let mut w = SlidingWindow::new(6);
+        for b in [1, 2, 1, 3, 1, 2] {
+            w.record(b);
+        }
+        let hot = w.hot_blocks();
+        assert_eq!(hot[0], (1, 3));
+        assert_eq!(hot[1], (2, 2));
+        assert!(w.contains(3));
+        // Window slides: old entries expire.
+        for b in [9, 9, 9, 9, 9, 9] {
+            w.record(b);
+        }
+        assert!(!w.contains(1));
+        assert_eq!(w.hot_blocks()[0], (9, 6));
+    }
+
+    #[test]
+    fn skewed_access_hits_replicas() {
+        let mut array = ReplicatedArray::new(8, 1000, 64, 0.2);
+        let mut rng = Rng::new(1);
+        let zipf = ecolb_simcore::dist::Zipf::new(50, 1.3);
+        // Warm the window.
+        for _ in 0..200 {
+            array.access(zipf.sample_rank(&mut rng) as u64);
+        }
+        let mut hits = 0;
+        let n = 1000;
+        for _ in 0..n {
+            if array.access(zipf.sample_rank(&mut rng) as u64) {
+                hits += 1;
+            }
+        }
+        assert!(hits > n / 2, "popular blocks served from replicas: {hits}/{n}");
+    }
+
+    #[test]
+    fn replication_saves_power_versus_always_on() {
+        let array = ReplicatedArray::new(8, 1000, 64, 0.2);
+        // Even with 20 % misses the concentrated array beats 8 idle disks.
+        let managed = array.average_power_w(50.0, 0.2);
+        let naive = array.always_on_power_w();
+        assert!(managed < naive, "managed {managed} vs always-on {naive}");
+        // The paper's cited result: up to ~31 % reduction; we should be in
+        // that territory or better with one active disk.
+        assert!(managed < naive * 0.69, "savings at least 31%: {managed} vs {naive}");
+    }
+
+    #[test]
+    fn uniform_access_misses_often() {
+        let mut array = ReplicatedArray::new(8, 1000, 64, 0.05);
+        let mut rng = Rng::new(2);
+        for _ in 0..100 {
+            array.access(rng.uniform_u64(10_000));
+        }
+        let before = array.spinups();
+        for _ in 0..100 {
+            array.access(rng.uniform_u64(10_000));
+        }
+        assert!(array.spinups() > before, "uniform traffic defeats replication");
+    }
+
+    #[test]
+    fn consolidation_reduces_active_nodes() {
+        let mut rng = Rng::new(3);
+        let mut store = VirtualNodeStore::random(10, 1.0, 20, &mut rng);
+        let spread = store.active_nodes();
+        let moved = store.consolidate();
+        let packed = store.active_nodes();
+        assert!(moved > 0);
+        assert!(packed < spread, "consolidation: {spread} -> {packed}");
+        // Capacity respected.
+        for load in store.physical_loads() {
+            assert!(load <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn consolidation_is_idempotent() {
+        let mut rng = Rng::new(4);
+        let mut store = VirtualNodeStore::random(10, 1.0, 20, &mut rng);
+        store.consolidate();
+        let again = store.consolidate();
+        assert_eq!(again, 0, "a consolidated layout does not move");
+    }
+
+    #[test]
+    fn consolidation_saves_storage_power() {
+        let mut rng = Rng::new(5);
+        let mut store = VirtualNodeStore::random(12, 1.0, 18, &mut rng);
+        let before = store.power_w(8.0, 1.0);
+        store.consolidate();
+        let after = store.power_w(8.0, 1.0);
+        assert!(after < before, "power {before} -> {after}");
+    }
+
+    #[test]
+    fn load_is_conserved_by_consolidation() {
+        let mut rng = Rng::new(6);
+        let mut store = VirtualNodeStore::random(10, 1.0, 25, &mut rng);
+        let total_before: f64 = store.physical_loads().iter().sum();
+        store.consolidate();
+        let total_after: f64 = store.physical_loads().iter().sum();
+        assert!((total_before - total_after).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two disks")]
+    fn array_needs_disks() {
+        ReplicatedArray::new(1, 100, 10, 0.1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Terminal plots.
+//!
+//! The figures of the paper are bar charts (Figure 2) and line plots
+//! (Figure 3). The bench harnesses render them as ASCII so a reproduction
+//! run produces *visual* output comparable with the paper without any
+//! plotting dependency. CSV export (see [`crate::report`]) covers real
+//! plotting downstream.
+
+use std::fmt::Write as _;
+
+/// Renders grouped vertical-bar data as a horizontal ASCII bar chart.
+///
+/// `groups` is a list of `(label, values)` where each group carries one bar
+/// per series; `series` are the per-bar legends (e.g. "Initial", "Final").
+pub fn grouped_bars(title: &str, series: &[&str], groups: &[(String, Vec<f64>)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max = groups
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    let label_w = groups.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(5);
+    let series_w = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for (label, values) in groups {
+        for (si, v) in values.iter().enumerate() {
+            let bar_len = ((v / max) * width as f64).round() as usize;
+            let name = if si == 0 { label.as_str() } else { "" };
+            let _ = writeln!(
+                out,
+                "{name:<label_w$} {series:<series_w$} |{bar}{pad}| {v:>10.1}",
+                series = series.get(si).copied().unwrap_or(""),
+                bar = "#".repeat(bar_len),
+                pad = " ".repeat(width - bar_len),
+            );
+        }
+    }
+    out
+}
+
+/// Renders a single numeric series as an ASCII line plot of the given
+/// height, with a y-axis scale.
+pub fn line_plot(title: &str, values: &[f64], height: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if values.is_empty() {
+        let _ = writeln!(out, "(empty series)");
+        return out;
+    }
+    let vmax = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let vmin = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let span = (vmax - vmin).max(1e-12);
+    let height = height.max(2);
+    // grid[r][c]: row 0 is the top.
+    let mut grid = vec![vec![' '; values.len()]; height];
+    for (c, &v) in values.iter().enumerate() {
+        let level = ((v - vmin) / span * (height - 1) as f64).round() as usize;
+        let r = height - 1 - level;
+        grid[r][c] = '*';
+    }
+    for (r, row) in grid.iter().enumerate() {
+        let y = vmax - span * r as f64 / (height - 1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y:>8.3} |{line}");
+    }
+    let _ = writeln!(out, "{:>8} +{}", "", "-".repeat(values.len()));
+    let _ = writeln!(out, "{:>8}  interval 0..{}", "", values.len() - 1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_bars_scales_to_max() {
+        let groups = vec![
+            ("R1".to_string(), vec![10.0, 0.0]),
+            ("R3".to_string(), vec![5.0, 20.0]),
+        ];
+        let s = grouped_bars("t", &["Initial", "Final"], &groups, 20);
+        assert!(s.contains('t'));
+        // The 20.0 bar is the longest: exactly `width` hashes.
+        assert!(s.contains(&"#".repeat(20)), "plot:\n{s}");
+        // The 10.0 bar is half as long.
+        assert!(s.contains(&format!("|{}{}|", "#".repeat(10), " ".repeat(10))), "plot:\n{s}");
+    }
+
+    #[test]
+    fn grouped_bars_handles_all_zero() {
+        let groups = vec![("R1".to_string(), vec![0.0])];
+        let s = grouped_bars("z", &["only"], &groups, 10);
+        assert!(s.contains(&format!("|{}|", " ".repeat(10))));
+    }
+
+    #[test]
+    fn line_plot_places_extremes() {
+        let s = line_plot("lp", &[0.0, 1.0, 0.5], 5);
+        let lines: Vec<&str> = s.lines().collect();
+        // Top row (after title) holds the max (col 1), bottom data row the
+        // min (col 0).
+        assert!(lines[1].contains('*'));
+        assert!(lines[5].contains('*'));
+    }
+
+    #[test]
+    fn line_plot_empty_series() {
+        let s = line_plot("e", &[], 5);
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn line_plot_constant_series_does_not_panic() {
+        let s = line_plot("c", &[2.0, 2.0, 2.0], 4);
+        assert_eq!(s.matches('*').count(), 3);
+    }
+}

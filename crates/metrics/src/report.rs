@@ -1,0 +1,257 @@
+//! Machine-readable experiment reports.
+//!
+//! Every experiment produces a [`Report`]: a named set of scalar metrics,
+//! series, and tables, serializable to JSON (via serde) and to CSV (series
+//! only, hand-rolled writer — CSV is simple enough that a dependency is not
+//! warranted).
+
+use crate::timeseries::TimeSeries;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A structured experiment result.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment identifier, e.g. `"fig2/size=1000/load=30"`.
+    pub id: String,
+    /// RNG seed the experiment ran with.
+    pub seed: u64,
+    /// Scalar metrics in deterministic (sorted) order.
+    pub scalars: BTreeMap<String, f64>,
+    /// Recorded series.
+    pub series: Vec<TimeSeries>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, seed: u64) -> Self {
+        Report { id: id.into(), seed, scalars: BTreeMap::new(), series: Vec::new() }
+    }
+
+    /// Records a scalar metric (overwrites a previous value of the same
+    /// name).
+    pub fn scalar(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.scalars.insert(name.into(), value);
+        self
+    }
+
+    /// Reads a scalar back; panics with a clear message when missing, since
+    /// a missing metric in a pinned experiment is a bug.
+    pub fn get(&self, name: &str) -> f64 {
+        *self
+            .scalars
+            .get(name)
+            .unwrap_or_else(|| panic!("report {:?} has no scalar {name:?}", self.id))
+    }
+
+    /// Looks up a scalar without panicking.
+    pub fn try_get(&self, name: &str) -> Option<f64> {
+        self.scalars.get(name).copied()
+    }
+
+    /// Attaches a series.
+    pub fn push_series(&mut self, ts: TimeSeries) -> &mut Self {
+        self.series.push(ts);
+        self
+    }
+
+    /// Finds a series by name.
+    pub fn find_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// Renders all series as a CSV document: a header row with series names,
+    /// one row per interval. Shorter series leave trailing cells empty.
+    pub fn series_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "interval");
+        for s in &self.series {
+            let _ = write!(out, ",{}", csv_escape(s.name()));
+        }
+        let _ = writeln!(out);
+        let rows = self.series.iter().map(|s| s.len()).max().unwrap_or(0);
+        for i in 0..rows {
+            let _ = write!(out, "{i}");
+            for s in &self.series {
+                match s.values().get(i) {
+                    Some(v) => {
+                        let _ = write!(out, ",{v}");
+                    }
+                    None => {
+                        let _ = write!(out, ",");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the report as a JSON document (hand-rolled writer — the
+    /// structure is small and fixed, so a serializer dependency is not
+    /// warranted; the serde derives remain for binary/IPC use).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"id\":{},", json_string(&self.id));
+        let _ = write!(out, "\"seed\":{},", self.seed);
+        out.push_str("\"scalars\":{");
+        for (i, (k, v)) in self.scalars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_number(*v));
+        }
+        out.push_str("},\"series\":{");
+        for (i, ts) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:[", json_string(ts.name()));
+            for (j, v) in ts.values().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_number(*v));
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the scalar map as a two-column CSV.
+    pub fn scalars_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (k, v) in &self.scalars {
+            let _ = writeln!(out, "{},{v}", csv_escape(k));
+        }
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number; non-finite values become null.
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote, or newline.
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut r = Report::new("t", 1);
+        r.scalar("energy_wh", 12.5);
+        assert_eq!(r.get("energy_wh"), 12.5);
+        assert_eq!(r.try_get("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no scalar")]
+    fn get_missing_panics_with_context() {
+        Report::new("t", 1).get("nope");
+    }
+
+    #[test]
+    fn series_csv_layout() {
+        let mut r = Report::new("t", 1);
+        r.push_series(TimeSeries::from_values("a", vec![1.0, 2.0]));
+        r.push_series(TimeSeries::from_values("b", vec![3.0]));
+        let csv = r.series_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "interval,a,b");
+        assert_eq!(lines[1], "0,1,3");
+        assert_eq!(lines[2], "1,2,");
+    }
+
+    #[test]
+    fn scalars_csv_sorted_and_escaped() {
+        let mut r = Report::new("t", 1);
+        r.scalar("z", 1.0);
+        r.scalar("a,comma", 2.0);
+        let csv = r.scalars_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "metric,value");
+        assert_eq!(lines[1], "\"a,comma\",2");
+        assert_eq!(lines[2], "z,1");
+    }
+
+    #[test]
+    fn csv_escape_rules() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a\"b"), "\"a\"\"b\"");
+        assert_eq!(csv_escape("x\ny"), "\"x\ny\"");
+    }
+
+    #[test]
+    fn find_series_by_name() {
+        let mut r = Report::new("t", 1);
+        r.push_series(TimeSeries::from_values("ratio", vec![0.5]));
+        assert!(r.find_series("ratio").is_some());
+        assert!(r.find_series("other").is_none());
+    }
+
+    #[test]
+    fn json_round_structure() {
+        let mut r = Report::new("fig3/size=100", 7);
+        r.scalar("mean_ratio", 0.5);
+        r.scalar("weird \"name\"", 1.0);
+        r.push_series(TimeSeries::from_values("ratio", vec![1.0, 0.25]));
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"id\":\"fig3/size=100\""));
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\"mean_ratio\":0.5"));
+        assert!(json.contains("\\\"name\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\"ratio\":[1,0.25]"));
+    }
+
+    #[test]
+    fn json_non_finite_becomes_null() {
+        let mut r = Report::new("t", 1);
+        r.push_series(TimeSeries::from_values("x", vec![f64::INFINITY]));
+        assert!(r.to_json().contains("[null]"));
+    }
+
+    #[test]
+    fn empty_report_csv() {
+        let r = Report::new("t", 1);
+        assert_eq!(r.series_csv(), "interval\n");
+        assert_eq!(r.scalars_csv(), "metric,value\n");
+    }
+}

@@ -1,0 +1,36 @@
+//! # ecolb-policies
+//!
+//! The dynamic capacity-management policies surveyed in §3 of *"Energy-
+//! aware Load Balancing Policies for the Cloud Ecosystem"* (Paya &
+//! Marinescu, 2014) and the farm evaluator that scores them on the paper's
+//! two quality metrics — energy saved and SLA violations:
+//!
+//! * [`policy`] — AlwaysOn, Reactive, ReactiveExtraCapacity, AutoScale,
+//!   MovingWindow, LinearRegression, and the Optimal oracle;
+//! * [`farm`] — the request-serving farm with 260 s setup delays,
+//!   near-peak setup power, and per-step energy metering.
+//!
+//! ```
+//! use ecolb_policies::{evaluate, presample_rates, FarmConfig, Reactive, Sizing};
+//! use ecolb_workload::{ArrivalProcess, TraceGenerator, TraceShape};
+//!
+//! let config = FarmConfig::default();
+//! let shape = TraceShape::Flat { rate: 760.0 };
+//! let rates = presample_rates(shape.clone(), 1, 100);
+//! let arrivals = ArrivalProcess::new(TraceGenerator::new(shape, 1), 2, config.step_seconds);
+//! let sizing = Sizing::new(config.per_server_rate, config.sla);
+//! let report = evaluate(Reactive { sizing }, arrivals, &rates, &config, 100);
+//! assert!(report.savings_fraction() > 0.5, "a light flat load needs few servers");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod farm;
+pub mod policy;
+
+pub use farm::{evaluate, presample_rates, FarmConfig, PolicyReport};
+pub use policy::{
+    AlwaysOn, AutoScale, CapacityPolicy, LinearRegression, MovingWindow, Optimal, PolicyInput,
+    Reactive, ReactiveExtraCapacity, Sizing,
+};

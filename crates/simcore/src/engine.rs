@@ -1,0 +1,278 @@
+//! The simulation run-loop.
+//!
+//! [`Engine`] owns the clock and pending-event set and repeatedly pops the
+//! earliest event, advances the clock, and hands the event to a user-supplied
+//! handler. The handler can schedule further events through the
+//! [`Scheduler`] view it receives, but it cannot touch the clock — time only
+//! moves forward through the loop itself.
+//!
+//! The design is deliberately monomorphic over the event payload type `E`
+//! (each simulation defines one event enum) rather than trait objects: event
+//! dispatch is the hottest loop of the simulator and an enum match compiles
+//! to a jump table, whereas boxed closures would allocate per event.
+
+use crate::event::{EventQueue, Priority};
+use crate::time::{SimDuration, SimTime};
+
+/// The scheduling interface handed to event handlers.
+///
+/// A thin wrapper over the queue that also knows the current instant, so
+/// handlers schedule with relative delays.
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute instant, which must not be in the
+    /// past (panics in debug builds otherwise).
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedules with an explicit same-instant priority.
+    #[inline]
+    pub fn schedule_at_with(&mut self, at: SimTime, prio: Priority, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.queue.schedule_with(at, prio, event);
+    }
+
+    /// Number of currently pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The pending-event set drained before any limit was hit.
+    Drained,
+    /// The time horizon was reached.
+    HorizonReached,
+    /// The event-count budget was exhausted (runaway-schedule backstop).
+    EventBudgetExhausted,
+    /// A handler requested an early stop.
+    Stopped,
+}
+
+/// Flow-control decision returned by event handlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Control {
+    /// Keep running.
+    #[default]
+    Continue,
+    /// Stop after this event; `Engine::run` returns [`RunOutcome::Stopped`].
+    Stop,
+}
+
+/// A discrete-event simulation engine over event payload type `E`.
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    horizon: SimTime,
+    event_budget: u64,
+    events_processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with no horizon and a very large event budget.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            horizon: SimTime::MAX,
+            event_budget: u64::MAX,
+            events_processed: 0,
+        }
+    }
+
+    /// Sets the time horizon: events strictly after `horizon` are not
+    /// processed (they stay pending).
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets a hard cap on the number of processed events.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedules an initial event before the run starts (or between runs).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedules an initial event with a same-instant priority.
+    pub fn schedule_at_with(&mut self, at: SimTime, prio: Priority, event: E) {
+        self.queue.schedule_with(at, prio, event);
+    }
+
+    /// Runs the loop until drained, horizon, budget, or handler stop.
+    ///
+    /// The handler receives each event together with a [`Scheduler`] for
+    /// follow-up scheduling and a `&mut S` simulation state.
+    pub fn run<S>(
+        &mut self,
+        state: &mut S,
+        mut handler: impl FnMut(&mut S, &mut Scheduler<'_, E>, E) -> Control,
+    ) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > self.horizon => return RunOutcome::HorizonReached,
+                Some(_) => {}
+            }
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            let (at, event) = self.queue.pop().expect("peeked non-empty queue");
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.events_processed += 1;
+            let mut sched = Scheduler { now: self.now, queue: &mut self.queue };
+            if handler(state, &mut sched, event) == Control::Stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Stop,
+    }
+
+    #[test]
+    fn drains_when_no_follow_ups() {
+        let mut engine = Engine::new();
+        for i in 0..5 {
+            engine.schedule_at(SimTime::from_secs(i), Ev::Tick(i as u32));
+        }
+        let mut seen = Vec::new();
+        let outcome = engine.run(&mut seen, |seen, _s, ev| {
+            if let Ev::Tick(i) = ev {
+                seen.push(i);
+            }
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(engine.events_processed(), 5);
+    }
+
+    #[test]
+    fn self_scheduling_chain_advances_clock() {
+        let mut engine = Engine::new().with_horizon(SimTime::from_secs(10));
+        engine.schedule_at(SimTime::ZERO, Ev::Tick(0));
+        let mut count = 0u32;
+        let outcome = engine.run(&mut count, |count, s, _ev| {
+            *count += 1;
+            s.schedule_in(SimDuration::from_secs(1), Ev::Tick(*count));
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        // Events at t = 0..=10 inclusive fire; t = 11 exceeds the horizon.
+        assert_eq!(count, 11);
+        assert_eq!(engine.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn handler_stop_is_honoured() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_secs(1), Ev::Tick(1));
+        engine.schedule_at(SimTime::from_secs(2), Ev::Stop);
+        engine.schedule_at(SimTime::from_secs(3), Ev::Tick(3));
+        let mut seen = Vec::new();
+        let outcome = engine.run(&mut seen, |seen, _s, ev| match ev {
+            Ev::Stop => Control::Stop,
+            Ev::Tick(i) => {
+                seen.push(i);
+                Control::Continue
+            }
+        });
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(seen, vec![1]);
+    }
+
+    #[test]
+    fn event_budget_backstops_runaway_schedules() {
+        let mut engine = Engine::new().with_event_budget(100);
+        engine.schedule_at(SimTime::ZERO, Ev::Tick(0));
+        let outcome = engine.run(&mut (), |_, s, _| {
+            // Pathological: schedules two follow-ups per event.
+            s.schedule_in(SimDuration::from_secs(1), Ev::Tick(0));
+            s.schedule_in(SimDuration::from_secs(1), Ev::Tick(0));
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::EventBudgetExhausted);
+        assert_eq!(engine.events_processed(), 100);
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let mut engine = Engine::new();
+        for i in [5u64, 1, 9, 3, 3, 7] {
+            engine.schedule_at(SimTime::from_secs(i), Ev::Tick(i as u32));
+        }
+        let mut last = SimTime::ZERO;
+        engine.run(&mut last, |last, s, _| {
+            assert!(s.now() >= *last);
+            *last = s.now();
+            Control::Continue
+        });
+    }
+
+    #[test]
+    fn scheduler_reports_pending() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, Ev::Tick(0));
+        engine.schedule_at(SimTime::from_secs(1), Ev::Tick(1));
+        let mut pendings = Vec::new();
+        engine.run(&mut pendings, |p, s, _| {
+            p.push(s.pending());
+            Control::Continue
+        });
+        assert_eq!(pendings, vec![1, 0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! The pending-event set.
+//!
+//! [`EventQueue`] is a binary min-heap keyed on `(time, priority, seq)`.
+//! The sequence number breaks ties **deterministically in insertion order**,
+//! which is essential for reproducibility: two events scheduled for the same
+//! instant always fire in the order they were scheduled, on every platform
+//! and every run.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Scheduling priority for events that share a timestamp. Lower values fire
+/// first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Fires before everything else at the same instant (e.g. measurement
+    /// snapshots that must observe pre-transition state).
+    pub const FIRST: Priority = Priority(0);
+    /// Default priority.
+    pub const NORMAL: Priority = Priority(128);
+    /// Fires after everything else at the same instant (e.g. end-of-interval
+    /// bookkeeping).
+    pub const LAST: Priority = Priority(255);
+}
+
+/// A scheduled entry: payload `T` plus its firing key.
+#[derive(Debug, Clone)]
+struct Scheduled<T> {
+    at: SimTime,
+    prio: Priority,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> Scheduled<T> {
+    #[inline]
+    fn key(&self) -> (SimTime, Priority, u64) {
+        (self.at, self.prio, self.seq)
+    }
+}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest key on top.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// Deterministic pending-event set.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+    }
+
+    /// Schedules `payload` to fire at `at` with [`Priority::NORMAL`].
+    pub fn schedule(&mut self, at: SimTime, payload: T) {
+        self.schedule_with(at, Priority::NORMAL, payload);
+    }
+
+    /// Schedules `payload` at `at` with an explicit same-instant priority.
+    pub fn schedule_with(&mut self, at: SimTime, prio: Priority, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, prio, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|s| (s.at, s.payload))
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn priority_overrides_insertion_order_within_instant() {
+        let mut q = EventQueue::new();
+        q.schedule_with(t(2), Priority::LAST, "last");
+        q.schedule_with(t(2), Priority::NORMAL, "normal");
+        q.schedule_with(t(2), Priority::FIRST, "first");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["first", "normal", "last"]);
+    }
+
+    #[test]
+    fn time_dominates_priority() {
+        let mut q = EventQueue::new();
+        q.schedule_with(t(1), Priority::LAST, "early-low-prio");
+        q.schedule_with(t(2), Priority::FIRST, "late-high-prio");
+        assert_eq!(q.pop().unwrap().1, "early-low-prio");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(t(4), ());
+        assert_eq!(q.peek_time(), Some(t(4)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 10);
+        q.schedule(t(1), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(t(5), 5);
+        q.schedule(t(2), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 10);
+    }
+}

@@ -1,0 +1,251 @@
+//! Initial workload generation.
+//!
+//! The paper's experiments initialise each server with a load drawn
+//! uniformly from a band of its capacity — `20–40 %` for the low-load
+//! experiments, `60–80 %` for the high-load ones (§5) — realised as a set
+//! of applications whose demands sum to the target.
+
+use crate::application::{AppId, Application};
+use ecolb_simcore::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the initial-placement generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Lower bound of the initial per-server load band (fraction of
+    /// capacity).
+    pub load_lo: f64,
+    /// Upper bound of the initial per-server load band.
+    pub load_hi: f64,
+    /// Smallest application demand carved out of a server's load.
+    pub min_app_demand: f64,
+    /// Largest application demand.
+    pub max_app_demand: f64,
+    /// λ range: each application's maximum per-interval demand growth is
+    /// drawn uniformly from `[lambda_lo, lambda_hi]` — "each application
+    /// has a unique λ_{i,k}" (§4).
+    pub lambda_lo: f64,
+    /// Upper bound of the λ range.
+    pub lambda_hi: f64,
+    /// VM image size range in GiB, uniform.
+    pub image_gib_lo: f64,
+    /// Upper bound of the image-size range.
+    pub image_gib_hi: f64,
+}
+
+impl WorkloadSpec {
+    /// The paper's low-average-load experiment: initial load `U[0.20, 0.40]`.
+    pub fn paper_low_load() -> Self {
+        WorkloadSpec {
+            load_lo: 0.20,
+            load_hi: 0.40,
+            ..Self::defaults()
+        }
+    }
+
+    /// The paper's high-average-load experiment: initial load
+    /// `U[0.60, 0.80]`.
+    pub fn paper_high_load() -> Self {
+        WorkloadSpec {
+            load_lo: 0.60,
+            load_hi: 0.80,
+            ..Self::defaults()
+        }
+    }
+
+    /// The §4 full-range variant: average server load uniformly distributed
+    /// in `[0.10, 0.90]`.
+    pub fn paper_full_range() -> Self {
+        WorkloadSpec {
+            load_lo: 0.10,
+            load_hi: 0.90,
+            ..Self::defaults()
+        }
+    }
+
+    fn defaults() -> Self {
+        WorkloadSpec {
+            load_lo: 0.2,
+            load_hi: 0.4,
+            min_app_demand: 0.02,
+            max_app_demand: 0.25,
+            lambda_lo: 0.005,
+            lambda_hi: 0.15,
+            image_gib_lo: 1.0,
+            image_gib_hi: 16.0,
+        }
+    }
+
+    /// Validates internal consistency; called by the generator.
+    fn validate(&self) {
+        assert!(
+            0.0 <= self.load_lo && self.load_lo <= self.load_hi && self.load_hi <= 1.0,
+            "load band [{}, {}] invalid",
+            self.load_lo,
+            self.load_hi
+        );
+        assert!(
+            0.0 < self.min_app_demand && self.min_app_demand <= self.max_app_demand,
+            "app demand band invalid"
+        );
+        assert!(0.0 <= self.lambda_lo && self.lambda_lo <= self.lambda_hi, "lambda band invalid");
+        assert!(
+            0.0 < self.image_gib_lo && self.image_gib_lo <= self.image_gib_hi,
+            "image band invalid"
+        );
+    }
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self::paper_low_load()
+    }
+}
+
+/// Allocates globally unique application ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AppIdAllocator {
+    next: u64,
+}
+
+impl AppIdAllocator {
+    /// Creates an allocator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh id.
+    pub fn alloc(&mut self) -> AppId {
+        let id = AppId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// Generates the initial application set for one server: applications whose
+/// demands sum to a target drawn from the spec's load band (within one
+/// `min_app_demand` of it).
+pub fn generate_server_apps(
+    spec: &WorkloadSpec,
+    ids: &mut AppIdAllocator,
+    rng: &mut Rng,
+) -> Vec<Application> {
+    spec.validate();
+    let target = rng.uniform(spec.load_lo, spec.load_hi);
+    let mut apps = Vec::new();
+    let mut remaining = target;
+    while remaining > spec.min_app_demand {
+        let hi = spec.max_app_demand.min(remaining);
+        let demand = if hi <= spec.min_app_demand {
+            remaining
+        } else {
+            rng.uniform(spec.min_app_demand, hi)
+        };
+        let lambda = rng.uniform(spec.lambda_lo, spec.lambda_hi);
+        let image = rng.uniform(spec.image_gib_lo, spec.image_gib_hi);
+        apps.push(Application::new(ids.alloc(), demand, lambda, image));
+        remaining -= demand;
+    }
+    apps
+}
+
+/// Total demand of a set of applications.
+pub fn total_demand(apps: &[Application]) -> f64 {
+    apps.iter().map(|a| a.demand).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_load_lands_in_band() {
+        let spec = WorkloadSpec::paper_low_load();
+        let mut ids = AppIdAllocator::new();
+        let mut rng = Rng::new(1);
+        for _ in 0..500 {
+            let apps = generate_server_apps(&spec, &mut ids, &mut rng);
+            let load = total_demand(&apps);
+            assert!(
+                load >= spec.load_lo - spec.min_app_demand - 1e-9
+                    && load <= spec.load_hi + 1e-9,
+                "load {load} outside tolerance of [{}, {}]",
+                spec.load_lo,
+                spec.load_hi
+            );
+        }
+    }
+
+    #[test]
+    fn average_load_is_band_midpoint() {
+        let spec = WorkloadSpec::paper_high_load();
+        let mut ids = AppIdAllocator::new();
+        let mut rng = Rng::new(2);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| total_demand(&generate_server_apps(&spec, &mut ids, &mut rng)))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.70).abs() < 0.02, "mean load {mean}, expected ≈ 0.70");
+    }
+
+    #[test]
+    fn app_ids_are_unique() {
+        let spec = WorkloadSpec::paper_low_load();
+        let mut ids = AppIdAllocator::new();
+        let mut rng = Rng::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            for app in generate_server_apps(&spec, &mut ids, &mut rng) {
+                assert!(seen.insert(app.id), "duplicate id {}", app.id);
+            }
+        }
+    }
+
+    #[test]
+    fn app_demands_respect_bounds() {
+        let spec = WorkloadSpec::paper_high_load();
+        let mut ids = AppIdAllocator::new();
+        let mut rng = Rng::new(4);
+        for _ in 0..200 {
+            for app in generate_server_apps(&spec, &mut ids, &mut rng) {
+                assert!(app.demand <= spec.max_app_demand + 1e-9);
+                assert!(app.demand > 0.0);
+                assert!((spec.lambda_lo..=spec.lambda_hi).contains(&app.lambda));
+                assert!((spec.image_gib_lo..=spec.image_gib_hi).contains(&app.vm_image_gib));
+            }
+        }
+    }
+
+    #[test]
+    fn lambdas_are_heterogeneous() {
+        let spec = WorkloadSpec::paper_low_load();
+        let mut ids = AppIdAllocator::new();
+        let mut rng = Rng::new(5);
+        let apps = generate_server_apps(&spec, &mut ids, &mut rng);
+        if apps.len() >= 2 {
+            assert_ne!(apps[0].lambda, apps[1].lambda, "each app has a unique lambda");
+        }
+    }
+
+    #[test]
+    fn full_range_spec_spans_wide() {
+        let spec = WorkloadSpec::paper_full_range();
+        let mut ids = AppIdAllocator::new();
+        let mut rng = Rng::new(6);
+        let loads: Vec<f64> = (0..1000)
+            .map(|_| total_demand(&generate_server_apps(&spec, &mut ids, &mut rng)))
+            .collect();
+        let min = loads.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = loads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < 0.2, "min {min}");
+        assert!(max > 0.8, "max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "load band")]
+    fn generator_rejects_bad_band() {
+        let spec = WorkloadSpec { load_lo: 0.9, load_hi: 0.1, ..WorkloadSpec::paper_low_load() };
+        generate_server_apps(&spec, &mut AppIdAllocator::new(), &mut Rng::new(0));
+    }
+}

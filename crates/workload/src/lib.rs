@@ -1,0 +1,40 @@
+//! # ecolb-workload
+//!
+//! Workload modelling for the `ecolb` suite:
+//!
+//! * [`application`] — applications `A_{i,k}` with bounded demand-growth
+//!   rates `λ_{i,k}` and the growth models that evolve them per
+//!   reallocation interval (paper §4);
+//! * [`generator`] — initial placement drawing per-server loads from the
+//!   paper's uniform bands (20–40 %, 60–80 %, 10–90 %);
+//! * [`traces`] — the §3 request-rate taxonomy (flat, diurnal, step, spiky,
+//!   random-walk) for the baseline-policy evaluations;
+//! * [`arrival`] — Poisson arrival sampling over a rate trace;
+//! * [`slo`] — M/M/1-PS response-time model and SLA violation counting.
+//!
+//! ```
+//! use ecolb_workload::{generate_server_apps, total_demand, AppIdAllocator, WorkloadSpec};
+//! use ecolb_simcore::Rng;
+//!
+//! let spec = WorkloadSpec::paper_low_load();
+//! let mut ids = AppIdAllocator::new();
+//! let mut rng = Rng::new(1);
+//! let apps = generate_server_apps(&spec, &mut ids, &mut rng);
+//! let load = total_demand(&apps);
+//! assert!(load > 0.1 && load <= 0.4, "initial load in the paper's band");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod application;
+pub mod arrival;
+pub mod generator;
+pub mod slo;
+pub mod traces;
+
+pub use application::{AppId, Application, GrowthModel};
+pub use arrival::ArrivalProcess;
+pub use generator::{generate_server_apps, total_demand, AppIdAllocator, WorkloadSpec};
+pub use slo::{Sla, ViolationCounter};
+pub use traces::{TraceGenerator, TraceShape};

@@ -1,0 +1,178 @@
+//! QoS / SLA modelling.
+//!
+//! The paper's reformulated load-balancing objective keeps servers at an
+//! optimal energy level *"while observing QoS constraints, such as the
+//! response time"*, and measures a policy by *"the number of violations it
+//! causes"* (§3). This module supplies the response-time model used by the
+//! baseline-policy farm: each active server is an M/M/1 processor-sharing
+//! queue, so the mean response time at utilization `u` is
+//! `R(u) = S / (1 − u)` for `u < 1` and unbounded at saturation.
+
+use serde::{Deserialize, Serialize};
+
+/// Service-level agreement for the request-serving farm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sla {
+    /// Mean service time of one request at an unloaded server, seconds.
+    pub service_time_s: f64,
+    /// Response-time target; a step exceeding it is a violation.
+    pub response_target_s: f64,
+}
+
+impl Sla {
+    /// Creates an SLA; panics unless both times are positive and the
+    /// target is at least the bare service time (otherwise it can never be
+    /// met).
+    pub fn new(service_time_s: f64, response_target_s: f64) -> Self {
+        assert!(service_time_s > 0.0, "service time must be positive");
+        assert!(
+            response_target_s >= service_time_s,
+            "target {response_target_s}s below bare service time {service_time_s}s is unsatisfiable"
+        );
+        Sla { service_time_s, response_target_s }
+    }
+
+    /// A typical interactive-service SLA: 20 ms service time, 100 ms
+    /// target (i.e. violated beyond u = 0.8).
+    pub fn interactive() -> Self {
+        Sla::new(0.020, 0.100)
+    }
+
+    /// Mean response time at utilization `u` under M/M/1-PS;
+    /// `f64::INFINITY` at or beyond saturation.
+    pub fn response_time_s(&self, u: f64) -> f64 {
+        if u >= 1.0 {
+            f64::INFINITY
+        } else if u <= 0.0 {
+            self.service_time_s
+        } else {
+            self.service_time_s / (1.0 - u)
+        }
+    }
+
+    /// The utilization at which the response-time target is exactly met:
+    /// `u* = 1 − S/T`. Running hotter violates the SLA.
+    pub fn max_utilization(&self) -> f64 {
+        1.0 - self.service_time_s / self.response_target_s
+    }
+
+    /// True when serving at utilization `u` violates the target.
+    pub fn is_violated(&self, u: f64) -> bool {
+        self.response_time_s(u) > self.response_target_s
+    }
+
+    /// Number of servers needed to serve `rate` requests/second within the
+    /// SLA, given per-server capacity of `per_server_rate` requests/second
+    /// at u = 1. Always at least 1 for a positive rate.
+    pub fn servers_needed(&self, rate: f64, per_server_rate: f64) -> u64 {
+        assert!(per_server_rate > 0.0, "per-server capacity must be positive");
+        if rate <= 0.0 {
+            return 0;
+        }
+        let usable = per_server_rate * self.max_utilization();
+        (rate / usable).ceil().max(1.0) as u64
+    }
+}
+
+impl Default for Sla {
+    fn default() -> Self {
+        Sla::interactive()
+    }
+}
+
+/// Running count of SLA verdicts over an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ViolationCounter {
+    /// Steps that met the SLA.
+    pub ok: u64,
+    /// Steps that violated the SLA.
+    pub violated: u64,
+}
+
+impl ViolationCounter {
+    /// Records one step's verdict.
+    pub fn record(&mut self, violated: bool) {
+        if violated {
+            self.violated += 1;
+        } else {
+            self.ok += 1;
+        }
+    }
+
+    /// Total steps recorded.
+    pub fn total(&self) -> u64 {
+        self.ok + self.violated
+    }
+
+    /// Fraction of steps in violation; 0.0 when nothing recorded.
+    pub fn violation_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.violated as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_time_grows_with_utilization() {
+        let sla = Sla::interactive();
+        assert!(sla.response_time_s(0.5) > sla.response_time_s(0.1));
+        assert_eq!(sla.response_time_s(0.0), 0.020);
+        assert_eq!(sla.response_time_s(-1.0), 0.020);
+        assert_eq!(sla.response_time_s(1.0), f64::INFINITY);
+        assert_eq!(sla.response_time_s(1.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn interactive_knee_is_eighty_percent() {
+        let sla = Sla::interactive();
+        assert!((sla.max_utilization() - 0.8).abs() < 1e-12);
+        assert!(!sla.is_violated(0.79));
+        assert!(sla.is_violated(0.81));
+        assert!(sla.is_violated(1.0));
+    }
+
+    #[test]
+    fn boundary_utilization_exactly_meets_target() {
+        let sla = Sla::new(0.02, 0.1);
+        let u = sla.max_utilization();
+        assert!((sla.response_time_s(u) - 0.1).abs() < 1e-9);
+        // Just inside the knee the SLA holds; just outside it does not.
+        assert!(!sla.is_violated(u - 1e-6));
+        assert!(sla.is_violated(u + 1e-6));
+    }
+
+    #[test]
+    fn servers_needed_covers_load() {
+        let sla = Sla::interactive(); // max u = 0.8
+        // 100 req/s capacity per server → 80 usable.
+        assert_eq!(sla.servers_needed(0.0, 100.0), 0);
+        assert_eq!(sla.servers_needed(1.0, 100.0), 1);
+        assert_eq!(sla.servers_needed(80.0, 100.0), 1);
+        assert_eq!(sla.servers_needed(81.0, 100.0), 2);
+        assert_eq!(sla.servers_needed(800.0, 100.0), 10);
+    }
+
+    #[test]
+    fn violation_counter_fractions() {
+        let mut c = ViolationCounter::default();
+        for i in 0..10 {
+            c.record(i < 3);
+        }
+        assert_eq!(c.violated, 3);
+        assert_eq!(c.ok, 7);
+        assert!((c.violation_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(ViolationCounter::default().violation_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable")]
+    fn rejects_impossible_target() {
+        Sla::new(0.1, 0.05);
+    }
+}

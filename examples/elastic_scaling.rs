@@ -1,0 +1,72 @@
+//! Elastic application scaling: vertical vs horizontal (paper §5).
+//!
+//! Follows a small cluster hosting one aggressively growing application.
+//! While the host has free capacity the demand is absorbed by cheap local
+//! **vertical scaling**; once the VM hits its size ceiling or the host
+//! runs out of headroom, **horizontal scaling** kicks in — a VM moves (or
+//! a new one is created) on another server, paying the leader-brokered
+//! migration cost the paper analyses.
+//!
+//! ```text
+//! cargo run --release --example elastic_scaling
+//! ```
+
+use ecolb::prelude::*;
+
+fn main() {
+    // Migration cost primer — §3, questions 5–8.
+    let model = MigrationCostModel::default();
+    println!("VM migration costs over a {} Gbit/s fabric:", model.link_gbps);
+    let mut table = Table::new(["Image (GiB)", "Duration (s)", "Energy (J)", "Bytes moved (GiB)"]);
+    for gib in [1.0, 4.0, 8.0, 16.0, 32.0] {
+        let app = ecolb::workload::application::Application::new(
+            ecolb::workload::AppId(0),
+            0.2,
+            0.05,
+            gib,
+        );
+        let cost = model.cost_of(&app);
+        table.row([
+            format!("{gib:.0}"),
+            fmt_f(cost.duration.as_secs_f64(), 2),
+            fmt_f(cost.energy_j, 1),
+            fmt_f(cost.bytes_moved as f64 / (1u64 << 30) as f64, 2),
+        ]);
+    }
+    println!("{table}");
+
+    // A cluster under monotone growth: watch the decision mix shift from
+    // local (vertical) to in-cluster (horizontal) as headroom erodes.
+    let mut config = ClusterConfig::paper(50, WorkloadSpec::paper_low_load());
+    config.growth_prob = 0.20; // aggressive growth pressure
+    config.shrink_prob = 0.02;
+    let mut cluster = Cluster::new(config, 11);
+
+    println!("50-server cluster under sustained growth pressure:");
+    let mut table = Table::new([
+        "Interval",
+        "Cluster load",
+        "Local decisions",
+        "In-cluster decisions",
+        "Deferred",
+        "Sleeping",
+    ]);
+    for interval in 0..12 {
+        cluster.run_interval();
+        let counts = cluster.ledger().intervals().last().copied().unwrap_or_default();
+        table.row([
+            interval.to_string(),
+            format!("{:.1}%", cluster.load_fraction() * 100.0),
+            counts.local.to_string(),
+            counts.in_cluster.to_string(),
+            counts.deferred.to_string(),
+            cluster.sleeping_count().to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "As the cluster fills up, vertical headroom disappears and growth is served by\n\
+         in-cluster VM placement — until even that saturates and requests are deferred\n\
+         (the paper's admission-control territory)."
+    );
+}

@@ -1,0 +1,68 @@
+//! Multi-cluster federation with admission control.
+//!
+//! Two clusters start wildly imbalanced — one at 70 % load, one at 30 % —
+//! while new service requests keep arriving at the hot one under a
+//! delay-and-wake admission policy (§6: big requests wait until sleeping
+//! servers are switched on). The federation tier moves applications over
+//! the core network until the loads converge.
+//!
+//! ```text
+//! cargo run --release --example federation
+//! ```
+
+use ecolb::prelude::*;
+
+fn main() {
+    // Hot cluster: high initial load plus an arrival stream, strict
+    // admission.
+    let mut hot = ClusterConfig::paper(120, WorkloadSpec::paper_high_load());
+    hot.arrivals = Some(ArrivalSpec::new(3.0, 0.05, 0.20));
+    hot.admission = AdmissionPolicy::DelayAndWake { wakes_per_interval: 2 };
+    hot.server_mix = ServerMix::typical_enterprise();
+
+    // Cold cluster: lightly loaded, consolidating and sleeping servers.
+    let mut cold = ClusterConfig::paper(120, WorkloadSpec::paper_low_load());
+    cold.server_mix = ServerMix::typical_enterprise();
+
+    let fed_config = FederationConfig { high_watermark: 0.60, ..Default::default() };
+    let mut federation = Federation::new(vec![hot, cold], fed_config, 2024);
+
+    println!("Initial cluster loads: {:?}", rounded(&federation.loads()));
+
+    let report = federation.run(30);
+
+    println!("\nAfter 30 federation intervals:");
+    println!("  final loads:              {:?}", rounded(&federation.loads()));
+    println!("  cross-cluster migrations: {}", report.cross_migrations);
+    println!(
+        "  cross-cluster energy:     {:.1} kJ over the core network",
+        report.cross_migration_energy_j / 1000.0
+    );
+    println!(
+        "  load spread:              {:.3} -> {:.3}",
+        report.load_spread.values().first().unwrap(),
+        report.load_spread.values().last().unwrap()
+    );
+    println!("  servers asleep overall:   {}", report.sleeping_total);
+
+    // Admission outcomes on the hot cluster.
+    let stats = federation.clusters()[0].admission_stats();
+    println!("\nAdmission control at the hot cluster (delay-and-wake):");
+    println!("  submitted: {}", stats.submitted);
+    println!("  admitted:  {} ({:.0}% of resolved)", stats.admitted, stats.admit_fraction() * 100.0);
+    println!("  rejected:  {}", stats.rejected);
+    println!("  pending:   {}", stats.pending());
+    println!("  wakes triggered by queued requests: {}", stats.wakes_triggered);
+
+    // Per-class energy (heterogeneous mix).
+    println!("\nEnergy by server class (hot cluster):");
+    for (class, joules) in federation.clusters()[0].energy_by_class() {
+        if joules > 0.0 {
+            println!("  {class}: {:.1} kWh", joules / 3.6e6);
+        }
+    }
+}
+
+fn rounded(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build a cluster, run the energy-aware balancing protocol,
+//! and read the results.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ecolb::prelude::*;
+
+fn main() {
+    // A 200-server cluster at the paper's low-load operating point
+    // (initial per-server load uniform in 20–40 %).
+    let config = ClusterConfig::paper(200, WorkloadSpec::paper_low_load());
+    let mut cluster = Cluster::new(config, 42);
+
+    println!("Initial census (servers per regime R1..R5): {:?}", cluster.census().counts());
+    println!("Initial cluster load: {:.1}%", cluster.load_fraction() * 100.0);
+
+    // Run the paper's 40 reallocation intervals.
+    let report = cluster.run(40);
+
+    println!("\nAfter 40 reallocation intervals:");
+    println!("  awake census:        {:?}", report.final_census.counts());
+    println!("  servers sleeping:    {}", cluster.sleeping_count());
+    println!(
+        "  undesirable regimes: {:.1}% of awake servers",
+        report.final_census.undesirable_fraction() * 100.0
+    );
+    println!("  VM migrations:       {}", report.migrations);
+    println!(
+        "  decision totals:     {} local (vertical), {} in-cluster (horizontal)",
+        report.decision_totals.local, report.decision_totals.in_cluster
+    );
+    println!(
+        "  mean in-cluster/local ratio: {:.3}",
+        report.ratio_series.stats().mean()
+    );
+    println!(
+        "  energy: {:.1} kWh (always-on reference {:.1} kWh, saved {:.1}%)",
+        report.energy.total_wh() / 1000.0,
+        report.reference_energy_j / 3_600.0 / 1000.0,
+        report.savings_fraction() * 100.0
+    );
+}

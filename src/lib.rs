@@ -1,0 +1,17 @@
+//! # energy-aware-lb
+//!
+//! Façade crate for the reproduction of *"Energy-aware Load Balancing
+//! Policies for the Cloud Ecosystem"* (Paya & Marinescu, 2014).
+//!
+//! This crate re-exports the whole `ecolb` workspace so the runnable
+//! `examples/` and the cross-crate integration tests in `tests/` have a
+//! single dependency root. Library users should depend on the individual
+//! crates (`ecolb`, `ecolb-cluster`, …) directly.
+
+pub use ecolb;
+pub use ecolb_cluster as cluster;
+pub use ecolb_energy as energy;
+pub use ecolb_metrics as metrics;
+pub use ecolb_policies as policies;
+pub use ecolb_simcore as simcore;
+pub use ecolb_workload as workload;

@@ -1,0 +1,142 @@
+//! Cross-crate properties of the §3 capacity policies on the farm
+//! evaluator: the orderings the paper's discussion predicts.
+
+use ecolb::prelude::*;
+
+fn farm() -> FarmConfig {
+    FarmConfig::default()
+}
+
+fn run_policy<P: CapacityPolicy>(
+    policy: P,
+    shape: &TraceShape,
+    steps: u64,
+) -> ecolb::policies::PolicyReport {
+    let config = farm();
+    let rates = presample_rates(shape.clone(), 31, steps);
+    let arrivals =
+        ArrivalProcess::new(TraceGenerator::new(shape.clone(), 31), 77, config.step_seconds);
+    evaluate(policy, arrivals, &rates, &config, steps)
+}
+
+fn sizing() -> Sizing {
+    let config = farm();
+    Sizing::new(config.per_server_rate, config.sla)
+}
+
+#[test]
+fn always_on_never_violates_but_never_saves() {
+    let shape = TraceShape::Diurnal { base: 3000.0, amplitude: 2000.0, period: 400.0 };
+    let r = run_policy(AlwaysOn { n_total: farm().n_servers }, &shape, 800);
+    assert_eq!(r.violations.violated, 0);
+    assert!(r.savings_fraction() < 0.2, "always-on saves nothing meaningful");
+}
+
+#[test]
+fn every_dynamic_policy_saves_energy_on_diurnal_load() {
+    let shape = TraceShape::Diurnal { base: 3000.0, amplitude: 2000.0, period: 400.0 };
+    let always_on = run_policy(AlwaysOn { n_total: farm().n_servers }, &shape, 800);
+    let dynamic: Vec<ecolb::policies::PolicyReport> = vec![
+        run_policy(Reactive { sizing: sizing() }, &shape, 800),
+        run_policy(ReactiveExtraCapacity { sizing: sizing(), margin: 0.2 }, &shape, 800),
+        run_policy(AutoScale::new(sizing(), 30), &shape, 800),
+        run_policy(MovingWindow::new(sizing(), 12), &shape, 800),
+        run_policy(LinearRegression::new(sizing(), 12), &shape, 800),
+    ];
+    for r in dynamic {
+        assert!(
+            r.energy_wh < always_on.energy_wh * 0.8,
+            "{} should save >20% vs always-on: {} vs {}",
+            r.policy,
+            r.energy_wh,
+            always_on.energy_wh
+        );
+    }
+}
+
+#[test]
+fn oracle_is_near_violation_free_on_a_step() {
+    let shape = TraceShape::Step { before: 600.0, after: 5500.0, at: 200 };
+    let r = run_policy(
+        Optimal { sizing: sizing(), setup_steps: farm().setup_steps as usize, noise_margin: 0.1 },
+        &shape,
+        500,
+    );
+    assert!(
+        r.violations.violation_fraction() < 0.02,
+        "oracle violation fraction {}",
+        r.violations.violation_fraction()
+    );
+}
+
+#[test]
+fn reactive_lags_a_step_by_the_setup_time() {
+    let shape = TraceShape::Step { before: 600.0, after: 5500.0, at: 200 };
+    let r = run_policy(Reactive { sizing: sizing() }, &shape, 500);
+    // The farm needs ~26 steps (260 s) to bring capacity online; nearly
+    // all of those steps violate.
+    assert!(
+        r.violations.violated >= farm().setup_steps / 2,
+        "reactive violations {} below setup lag",
+        r.violations.violated
+    );
+}
+
+#[test]
+fn extra_capacity_reduces_violations_versus_plain_reactive() {
+    let shape = TraceShape::Diurnal { base: 4000.0, amplitude: 3000.0, period: 300.0 };
+    let plain = run_policy(Reactive { sizing: sizing() }, &shape, 1000);
+    let margin = run_policy(ReactiveExtraCapacity { sizing: sizing(), margin: 0.2 }, &shape, 1000);
+    assert!(
+        margin.violations.violated <= plain.violations.violated,
+        "20% margin absorbs the ramp: {} vs {}",
+        margin.violations.violated,
+        plain.violations.violated
+    );
+    assert!(margin.avg_active >= plain.avg_active, "the margin costs capacity");
+}
+
+#[test]
+fn autoscale_holds_capacity_through_spikes() {
+    let shape = TraceShape::Spiky { base: 2000.0, mean_gap: 50.0, magnitude: 3.0, duration: 6 };
+    let reactive = run_policy(Reactive { sizing: sizing() }, &shape, 1000);
+    let autoscale = run_policy(AutoScale::new(sizing(), 30), &shape, 1000);
+    assert!(
+        autoscale.violations.violated <= reactive.violations.violated,
+        "autoscale {} vs reactive {}",
+        autoscale.violations.violated,
+        reactive.violations.violated
+    );
+    assert!(autoscale.setups <= reactive.setups, "autoscale churns fewer setups");
+}
+
+#[test]
+fn predictive_policies_track_a_ramp_better_than_moving_average_lag() {
+    // On a steady rising ramp (a quarter of a long diurnal period) the
+    // linear regression leads the trend while the moving average trails
+    // it; regression must suffer no more violations up to sizing noise.
+    let shape = TraceShape::Diurnal { base: 2000.0, amplitude: 3000.0, period: 4000.0 };
+    let mw = run_policy(MovingWindow::new(sizing(), 20), &shape, 1000);
+    let lr = run_policy(LinearRegression::new(sizing(), 20), &shape, 1000);
+    assert!(
+        lr.violations.violated <= mw.violations.violated + 20,
+        "regression {} vs moving-window {}",
+        lr.violations.violated,
+        mw.violations.violated
+    );
+    // The regression's predictions sit above the lagging average on the
+    // ramp, so it provisions at least as much capacity.
+    assert!(lr.avg_active + 0.5 >= mw.avg_active);
+}
+
+#[test]
+fn oracle_energy_is_a_lower_bound_among_violation_free_policies() {
+    let shape = TraceShape::Diurnal { base: 3000.0, amplitude: 2000.0, period: 400.0 };
+    let oracle = run_policy(
+        Optimal { sizing: sizing(), setup_steps: farm().setup_steps as usize, noise_margin: 0.1 },
+        &shape,
+        800,
+    );
+    let always_on = run_policy(AlwaysOn { n_total: farm().n_servers }, &shape, 800);
+    assert!(oracle.energy_wh < always_on.energy_wh * 0.7);
+}

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests for the extension subsystems: the timed
+//! (event-driven) simulation, admission control, federation, DVFS, and
+//! heterogeneous server mixes.
+
+use ecolb::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Timed simulation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn timed_sim_agrees_with_synchronous_cluster_at_scale() {
+    let config = ClusterConfig::paper(150, WorkloadSpec::paper_high_load());
+    let timed = TimedClusterSim::new(config.clone(), 77, 20).run();
+    let mut sync = Cluster::new(config, 77);
+    let report = sync.run(20);
+    assert_eq!(timed.base.ratio_series, report.ratio_series);
+    assert_eq!(timed.base.migrations, report.migrations);
+    assert_eq!(timed.base.final_census, report.final_census);
+}
+
+#[test]
+fn timed_sim_measures_wake_latencies_when_wakes_happen() {
+    // Force wakes: strict admission on a cluster with sleepers.
+    let mut config = ClusterConfig::paper(100, WorkloadSpec::paper_low_load());
+    config.arrivals = Some(ArrivalSpec::new(4.0, 0.10, 0.25));
+    config.admission = AdmissionPolicy::DelayAndWake { wakes_per_interval: 2 };
+    let timed = TimedClusterSim::new(config, 5, 30).run();
+    // Sleepers exist at 30 % load; sustained arrivals should trigger at
+    // least some admission wakes whose latency the timed layer observes
+    // via events (the controller's wakes are tracked by admission stats).
+    assert!(timed.base.admission.submitted > 0);
+}
+
+#[test]
+fn slower_network_increases_downtime_not_decisions() {
+    let fast_cfg = ClusterConfig::paper(120, WorkloadSpec::paper_low_load());
+    let mut slow_cfg = fast_cfg.clone();
+    slow_cfg.migration.link_gbps = 1.0; // 10× slower fabric
+    let fast = TimedClusterSim::new(fast_cfg, 9, 15).run();
+    let slow = TimedClusterSim::new(slow_cfg, 9, 15).run();
+    // Same decision sequence (costs don't influence placement)…
+    assert_eq!(fast.base.decision_totals, slow.base.decision_totals);
+    // …but transfers take longer, so interruption grows.
+    if fast.base.migrations > 0 {
+        assert!(slow.downtime_demand_seconds > fast.downtime_demand_seconds);
+        assert!(slow.transfer_time_s.mean() > fast.transfer_time_s.mean());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+#[test]
+fn arrival_stream_grows_the_cluster_load() {
+    let mut with = ClusterConfig::paper(100, WorkloadSpec::paper_low_load());
+    with.arrivals = Some(ArrivalSpec::new(5.0, 0.05, 0.15));
+    let mut without = ClusterConfig::paper(100, WorkloadSpec::paper_low_load());
+    without.arrivals = None;
+
+    let mut a = Cluster::new(with, 11);
+    let ra = a.run(20);
+    let mut b = Cluster::new(without, 11);
+    let rb = b.run(20);
+
+    assert!(ra.admission.submitted > 0);
+    assert!(ra.admission.admitted > 0);
+    assert_eq!(rb.admission.submitted, 0);
+    let last = |r: &ClusterRunReport| *r.load_series.values().last().unwrap();
+    assert!(
+        last(&ra) > last(&rb) + 0.05,
+        "arrivals raise the load: {} vs {}",
+        last(&ra),
+        last(&rb)
+    );
+}
+
+#[test]
+fn threshold_admission_rejects_under_pressure() {
+    let mut config = ClusterConfig::paper(60, WorkloadSpec::paper_high_load());
+    config.arrivals = Some(ArrivalSpec::new(8.0, 0.10, 0.25));
+    config.admission = AdmissionPolicy::CapacityThreshold { max_load: 0.65 };
+    let mut cluster = Cluster::new(config, 13);
+    let report = cluster.run(30);
+    assert!(
+        report.admission.rejected > 0,
+        "a hot cluster under heavy arrivals must reject: {:?}",
+        report.admission
+    );
+    // The threshold protects the cluster: load stays bounded.
+    let max_load = report.load_series.values().iter().copied().fold(0.0_f64, f64::max);
+    assert!(max_load < 0.95, "admission control caps the load, saw {max_load}");
+}
+
+#[test]
+fn delay_and_wake_admits_more_than_threshold_rejects() {
+    let base = {
+        let mut c = ClusterConfig::paper(100, WorkloadSpec::paper_low_load());
+        c.arrivals = Some(ArrivalSpec::new(6.0, 0.10, 0.25));
+        c
+    };
+    let mut strict = base.clone();
+    strict.admission = AdmissionPolicy::CapacityThreshold { max_load: 0.40 };
+    let mut waking = base.clone();
+    waking.admission = AdmissionPolicy::DelayAndWake { wakes_per_interval: 3 };
+
+    let rs = Cluster::new(strict, 17).run(30);
+    let rw = Cluster::new(waking, 17).run(30);
+    assert!(rw.admission.admitted >= rs.admission.admitted);
+    assert_eq!(rw.admission.rejected, 0, "delay-and-wake never rejects");
+}
+
+// ---------------------------------------------------------------------------
+// Federation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn federation_narrows_the_load_spread() {
+    let configs = vec![
+        ClusterConfig::paper(80, WorkloadSpec::paper_high_load()),
+        ClusterConfig::paper(80, WorkloadSpec::paper_low_load()),
+    ];
+    let fed_config = FederationConfig { high_watermark: 0.60, ..Default::default() };
+    let mut fed = Federation::new(configs, fed_config, 23);
+    let report = fed.run(25);
+    assert!(report.cross_migrations > 0);
+    let spread = report.load_spread.values();
+    assert!(spread.last().unwrap() < &0.25, "spread should converge, got {:?}", spread.last());
+}
+
+#[test]
+fn federation_cross_moves_cost_more_than_local_ones() {
+    let fed_config = FederationConfig::default();
+    let intra = MigrationCostModel::default();
+    let app = ecolb::workload::application::Application::new(
+        ecolb::workload::AppId(0),
+        0.2,
+        0.01,
+        8.0,
+    );
+    assert!(
+        fed_config.inter_cluster_network.cost_of(&app).energy_j > intra.cost_of(&app).energy_j,
+        "q_inter > q_intra"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// DVFS
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dvfs_governed_cpu_is_a_valid_cluster_power_model() {
+    let dvfs = DvfsGoverned { model: DvfsModel::typical_server_cpu() };
+    // Sanity across the PowerModel trait surface.
+    assert!(dvfs.idle_power_w() > 0.0);
+    assert!(dvfs.peak_power_w() > dvfs.idle_power_w());
+    assert!((0.0..=1.0).contains(&dvfs.normalized_energy(0.5)));
+    assert!(dvfs.optimal_utilization() > 0.0);
+}
+
+#[test]
+fn dvfs_sweet_spot_beats_extremes_under_static_power() {
+    let m = DvfsModel::typical_server_cpu();
+    let best = m.most_efficient_f();
+    assert!(m.energy_per_op(best) <= m.energy_per_op(m.f_min_ghz));
+    assert!(m.energy_per_op(best) <= m.energy_per_op(m.f_max_ghz));
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous mixes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn enterprise_mix_burns_more_than_all_volume() {
+    let mut hetero = ClusterConfig::paper(150, WorkloadSpec::paper_low_load());
+    hetero.server_mix = ServerMix::typical_enterprise();
+    let homo = ClusterConfig::paper(150, WorkloadSpec::paper_low_load());
+
+    let rh = Cluster::new(hetero, 31).run(15);
+    let rv = Cluster::new(homo, 31).run(15);
+    assert!(
+        rh.energy.total_j() > rv.energy.total_j(),
+        "mid/high-end servers raise the bill: {} vs {}",
+        rh.energy.total_j(),
+        rv.energy.total_j()
+    );
+}
+
+#[test]
+fn energy_by_class_partitions_the_total() {
+    let mut config = ClusterConfig::paper(120, WorkloadSpec::paper_low_load());
+    config.server_mix = ServerMix::typical_enterprise();
+    let mut cluster = Cluster::new(config, 37);
+    cluster.run(10);
+    let by_class: f64 = cluster.energy_by_class().iter().map(|&(_, j)| j).sum();
+    let total = cluster.energy().total_j();
+    assert!((by_class - total).abs() < 1e-6, "class split {by_class} vs total {total}");
+    assert_eq!(cluster.server_classes().len(), 120);
+}
