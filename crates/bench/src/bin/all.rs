@@ -10,7 +10,13 @@ use ecolb_bench::{render_all, render_homogeneous, render_table1, HarnessOptions}
 fn main() {
     let opts = HarnessOptions::parse(std::env::args().skip(1));
     println!("=== Table 1 ===\n{}", render_table1());
-    println!("=== Homogeneous model (eqs. 6–13) ===\n{}", render_homogeneous());
+    println!(
+        "=== Homogeneous model (eqs. 6–13) ===\n{}",
+        render_homogeneous()
+    );
     println!("=== Figures 2 & 3, Table 2 ===\n{}", render_all(&opts));
-    println!("=== Policy suite (§3, experiment P1) ===\n{}", ecolb_bench::policy_suite::render_suite(opts.seed));
+    println!(
+        "=== Policy suite (§3, experiment P1) ===\n{}",
+        ecolb_bench::policy_suite::render_suite(opts.seed)
+    );
 }

@@ -18,7 +18,9 @@ fn main() {
         opts.sizes = vec![100, 1_000];
     }
     let seeds: Vec<u64> = (0..10).map(|i| opts.seed.wrapping_add(i * 7919)).collect();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let rows = multi_seed_table2(&seeds, &opts.sizes, opts.intervals, workers);
     print!("{}", render_sweep(&rows, seeds.len()));
 }

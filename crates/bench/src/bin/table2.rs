@@ -12,8 +12,9 @@ fn main() {
     let opts = HarnessOptions::parse(std::env::args().skip(1));
     let cells = run_matrix_parallel(opts.seed, &opts.sizes, opts.intervals);
     if let Some(dir) = &opts.csv_dir {
-        let files = ecolb_bench::write_matrix_csvs(&cells, dir).expect("CSV export");
-        eprintln!("wrote {} CSV files to {dir}", files.len());
+        let mut files = ecolb_bench::write_matrix_csvs(&cells, dir).expect("CSV export");
+        files.extend(ecolb_bench::write_matrix_json(&cells, &opts, dir).expect("JSON export"));
+        eprintln!("wrote {} result files to {dir}", files.len());
     }
     print!("{}", render_table2(&cells));
 }

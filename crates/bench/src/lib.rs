@@ -5,7 +5,10 @@
 //! Criterion benches.
 //!
 //! The experiment matrix is embarrassingly parallel across cells, so
-//! [`run_matrix_parallel`] fans the six configurations out with `rayon`.
+//! [`run_matrix_parallel`] fans the configurations out with the hermetic
+//! [`ecolb_simcore::par`] thread pool. Every cell is seeded from
+//! `(base_seed, size, load)` alone, so the fan-out is bit-identical to
+//! the serial run at any thread count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -16,24 +19,35 @@ use ecolb::experiments::{
 };
 use ecolb_energy::regimes::OperatingRegime;
 use ecolb_energy::server_class::TABLE1_YEARS;
+use ecolb_metrics::json::{ObjectWriter, ToJson};
 use ecolb_metrics::plot::{grouped_bars, line_plot};
 use ecolb_metrics::table::{fmt_f, Table};
-use rayon::prelude::*;
+use ecolb_simcore::par;
 use std::fmt::Write as _;
 
 /// Default seed used by every regenerator (override with `--seed`).
 pub const DEFAULT_SEED: u64 = 20140109; // the paper's arXiv date
 
-/// Runs the §5 experiment matrix with one rayon task per cell.
+/// Runs the §5 experiment matrix with one worker task per cell.
 pub fn run_matrix_parallel(base_seed: u64, sizes: &[usize], intervals: u64) -> Vec<MatrixCell> {
+    run_matrix_threads(base_seed, sizes, intervals, par::default_threads())
+}
+
+/// [`run_matrix_parallel`] with an explicit thread count. Output is
+/// identical for every `threads` value (the determinism suite pins this).
+pub fn run_matrix_threads(
+    base_seed: u64,
+    sizes: &[usize],
+    intervals: u64,
+    threads: usize,
+) -> Vec<MatrixCell> {
     let cells: Vec<(usize, LoadLevel)> = sizes
         .iter()
         .flat_map(|&s| LoadLevel::ALL.into_iter().map(move |l| (s, l)))
         .collect();
-    cells
-        .into_par_iter()
-        .map(|(size, load)| run_cell(base_seed, size, load, intervals))
-        .collect()
+    par::map_indexed(cells, threads, |_, (size, load)| {
+        run_cell(base_seed, size, load, intervals)
+    })
 }
 
 /// Minimal CLI options shared by the regenerator binaries.
@@ -92,14 +106,27 @@ impl HarnessOptions {
                     opts.sizes = vec![100, 1_000];
                 }
                 "--csv" => {
-                    opts.csv_dir =
-                        Some(args.next().unwrap_or_else(|| usage("--csv needs a directory")));
+                    opts.csv_dir = Some(
+                        args.next()
+                            .unwrap_or_else(|| usage("--csv needs a directory")),
+                    );
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument {other:?}")),
             }
         }
         opts
+    }
+}
+
+impl ToJson for HarnessOptions {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("seed", &self.seed)
+            .field("sizes", &self.sizes)
+            .field("intervals", &self.intervals)
+            .field("csv_dir", &self.csv_dir)
+            .finish();
     }
 }
 
@@ -131,7 +158,13 @@ pub fn render_table1() -> String {
     let _ = writeln!(out, "Least-squares trend (W/year):");
     for class in ecolb_energy::server_class::ServerClass::ALL {
         let t = ecolb_energy::server_class::PowerTrend::fit(class);
-        let _ = writeln!(out, "  {:<5} {:+8.1} W/yr (2010 projection: {:.0} W)", class.label(), t.slope, t.predict(2010));
+        let _ = writeln!(
+            out,
+            "  {:<5} {:+8.1} W/yr (2010 projection: {:.0} W)",
+            class.label(),
+            t.slope,
+            t.predict(2010)
+        );
     }
     out
 }
@@ -145,8 +178,16 @@ pub fn render_homogeneous() -> String {
         "Homogeneous model (eq. 13 check): a_avg=0.3 b_avg=0.6 a_opt={} b_opt={} -> E_ref/E_opt = {:.4} (paper: 2.25), n_sleep/1000 = {}",
         p.a_opt, p.b_opt, p.ratio, p.n_sleep
     );
-    let mut table = Table::new(["a_opt \\ b_opt", "0.65", "0.70", "0.75", "0.80", "0.90", "1.00"])
-        .with_title("E_ref/E_opt sweep (n = 1000, a_avg = 0.3, b_avg = 0.6)");
+    let mut table = Table::new([
+        "a_opt \\ b_opt",
+        "0.65",
+        "0.70",
+        "0.75",
+        "0.80",
+        "0.90",
+        "1.00",
+    ])
+    .with_title("E_ref/E_opt sweep (n = 1000, a_avg = 0.3, b_avg = 0.6)");
     let rows = homogeneous_rows();
     for chunk in rows.chunks(6) {
         let mut row = vec![format!("{:.1}", chunk[0].a_opt)];
@@ -176,7 +217,11 @@ pub fn render_fig2(panels: &[Fig2Panel]) -> String {
                 )
             })
             .collect();
-        let _ = writeln!(out, "{}", grouped_bars(&title, &["Initial", "Final"], &groups, 48));
+        let _ = writeln!(
+            out,
+            "{}",
+            grouped_bars(&title, &["Initial", "Final"], &groups, 48)
+        );
     }
     out
 }
@@ -259,6 +304,38 @@ pub fn write_matrix_csvs(cells: &[MatrixCell], dir: &str) -> std::io::Result<Vec
     Ok(written)
 }
 
+/// Writes one machine-readable JSON report per cell into `dir` (scalars
+/// plus all three per-interval series), and a `config.json` describing
+/// the run. Returns the files written.
+pub fn write_matrix_json(
+    cells: &[MatrixCell],
+    opts: &HarnessOptions,
+    dir: &str,
+) -> std::io::Result<Vec<String>> {
+    use ecolb_metrics::report::Report;
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for cell in cells {
+        let id = format!("size{}_load{}", cell.size, cell.load.percent());
+        let mut report = Report::new(id.clone(), opts.seed);
+        let stats = cell.report.ratio_series.stats();
+        report.scalar("avg_ratio", stats.mean());
+        report.scalar("ratio_sd", stats.std_dev());
+        report.scalar("avg_sleeping", cell.report.sleeping_series.stats().mean());
+        report.scalar("savings_fraction", cell.report.savings_fraction());
+        report.push_series(cell.report.ratio_series.clone());
+        report.push_series(cell.report.sleeping_series.clone());
+        report.push_series(cell.report.load_series.clone());
+        let path = format!("{dir}/{id}.json");
+        std::fs::write(&path, report.to_json())?;
+        written.push(path);
+    }
+    let path = format!("{dir}/config.json");
+    std::fs::write(&path, opts.to_json())?;
+    written.push(path);
+    Ok(written)
+}
+
 /// Convenience: run the matrix and render figure 2 + figure 3 + table 2.
 pub fn render_all(opts: &HarnessOptions) -> String {
     let cells = run_matrix_parallel(opts.seed, &opts.sizes, opts.intervals);
@@ -267,12 +344,15 @@ pub fn render_all(opts: &HarnessOptions) -> String {
     let _ = writeln!(out, "{}", render_fig3(&fig3_panels(&cells)));
     let _ = writeln!(out, "{}", render_table2(&cells));
     if let Some(dir) = &opts.csv_dir {
-        match write_matrix_csvs(&cells, dir) {
+        match write_matrix_csvs(&cells, dir).and_then(|mut files| {
+            files.extend(write_matrix_json(&cells, opts, dir)?);
+            Ok(files)
+        }) {
             Ok(files) => {
-                let _ = writeln!(out, "CSV files written: {}", files.join(", "));
+                let _ = writeln!(out, "Result files written: {}", files.join(", "));
             }
             Err(e) => {
-                let _ = writeln!(out, "CSV export failed: {e}");
+                let _ = writeln!(out, "Result export failed: {e}");
             }
         }
     }
@@ -319,7 +399,7 @@ mod tests {
     fn parallel_matrix_matches_serial() {
         let par = run_matrix_parallel(3, &[40], 5);
         let ser = ecolb::experiments::run_matrix(3, &[40], 5);
-        assert_eq!(par, ser, "rayon fan-out must not change results");
+        assert_eq!(par, ser, "thread fan-out must not change results");
     }
 
     #[test]
@@ -330,6 +410,8 @@ mod tests {
         assert!(render_table2(&cells).contains("Table 2"));
     }
 }
+
+pub mod perf;
 
 pub mod policy_suite;
 

@@ -9,8 +9,8 @@
 use ecolb_metrics::table::{fmt_f, Table};
 use ecolb_policies::farm::{evaluate, presample_rates, FarmConfig, PolicyReport};
 use ecolb_policies::policy::{
-    AlwaysOn, AutoScale, LinearRegression, MovingWindow, Optimal, Reactive,
-    ReactiveExtraCapacity, Sizing,
+    AlwaysOn, AutoScale, LinearRegression, MovingWindow, Optimal, Reactive, ReactiveExtraCapacity,
+    Sizing,
 };
 use ecolb_workload::arrival::ArrivalProcess;
 use ecolb_workload::traces::{TraceGenerator, TraceShape};
@@ -32,12 +32,21 @@ pub fn default_scenarios() -> Vec<Scenario> {
     vec![
         Scenario {
             name: "diurnal (slow-varying, predictable)",
-            shape: TraceShape::Diurnal { base: 4000.0, amplitude: 3000.0, period: 500.0 },
+            shape: TraceShape::Diurnal {
+                base: 4000.0,
+                amplitude: 3000.0,
+                period: 500.0,
+            },
             steps: 2_000,
         },
         Scenario {
             name: "spiky (fast-varying, unpredictable)",
-            shape: TraceShape::Spiky { base: 2000.0, mean_gap: 60.0, magnitude: 3.0, duration: 8 },
+            shape: TraceShape::Spiky {
+                base: 2000.0,
+                mean_gap: 60.0,
+                magnitude: 3.0,
+                duration: 8,
+            },
             steps: 2_000,
         },
     ]
@@ -47,21 +56,61 @@ pub fn default_scenarios() -> Vec<Scenario> {
 pub fn run_scenario(scenario: &Scenario, seed: u64, config: &FarmConfig) -> Vec<PolicyReport> {
     let rates = presample_rates(scenario.shape.clone(), seed, scenario.steps);
     let sizing = Sizing::new(config.per_server_rate, config.sla);
-    let arrivals =
-        || ArrivalProcess::new(TraceGenerator::new(scenario.shape.clone(), seed), seed ^ 0xA5A5, config.step_seconds);
+    let arrivals = || {
+        ArrivalProcess::new(
+            TraceGenerator::new(scenario.shape.clone(), seed),
+            seed ^ 0xA5A5,
+            config.step_seconds,
+        )
+    };
     vec![
-        evaluate(AlwaysOn { n_total: config.n_servers }, arrivals(), &rates, config, scenario.steps),
-        evaluate(Reactive { sizing }, arrivals(), &rates, config, scenario.steps),
         evaluate(
-            ReactiveExtraCapacity { sizing, margin: 0.20 },
+            AlwaysOn {
+                n_total: config.n_servers,
+            },
             arrivals(),
             &rates,
             config,
             scenario.steps,
         ),
-        evaluate(AutoScale::new(sizing, 30), arrivals(), &rates, config, scenario.steps),
-        evaluate(MovingWindow::new(sizing, 12), arrivals(), &rates, config, scenario.steps),
-        evaluate(LinearRegression::new(sizing, 12), arrivals(), &rates, config, scenario.steps),
+        evaluate(
+            Reactive { sizing },
+            arrivals(),
+            &rates,
+            config,
+            scenario.steps,
+        ),
+        evaluate(
+            ReactiveExtraCapacity {
+                sizing,
+                margin: 0.20,
+            },
+            arrivals(),
+            &rates,
+            config,
+            scenario.steps,
+        ),
+        evaluate(
+            AutoScale::new(sizing, 30),
+            arrivals(),
+            &rates,
+            config,
+            scenario.steps,
+        ),
+        evaluate(
+            MovingWindow::new(sizing, 12),
+            arrivals(),
+            &rates,
+            config,
+            scenario.steps,
+        ),
+        evaluate(
+            LinearRegression::new(sizing, 12),
+            arrivals(),
+            &rates,
+            config,
+            scenario.steps,
+        ),
         evaluate(
             Optimal {
                 sizing,
@@ -79,7 +128,11 @@ pub fn run_scenario(scenario: &Scenario, seed: u64, config: &FarmConfig) -> Vec<
 /// Renders a scenario's reports as a table.
 pub fn render_reports(scenario: &Scenario, reports: &[PolicyReport]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Scenario: {} ({} steps)", scenario.name, scenario.steps);
+    let _ = writeln!(
+        out,
+        "Scenario: {} ({} steps)",
+        scenario.name, scenario.steps
+    );
     let mut table = Table::new([
         "Policy",
         "Energy (kWh)",
@@ -123,7 +176,10 @@ mod tests {
 
     #[test]
     fn suite_covers_all_policies() {
-        let config = FarmConfig { n_servers: 30, ..Default::default() };
+        let config = FarmConfig {
+            n_servers: 30,
+            ..Default::default()
+        };
         let scenario = Scenario {
             name: "test",
             shape: TraceShape::Flat { rate: 500.0 },
@@ -147,9 +203,15 @@ mod tests {
 
     #[test]
     fn always_on_burns_most_energy_on_light_load() {
-        let config = FarmConfig { n_servers: 50, ..Default::default() };
-        let scenario =
-            Scenario { name: "light", shape: TraceShape::Flat { rate: 400.0 }, steps: 200 };
+        let config = FarmConfig {
+            n_servers: 50,
+            ..Default::default()
+        };
+        let scenario = Scenario {
+            name: "light",
+            shape: TraceShape::Flat { rate: 400.0 },
+            steps: 200,
+        };
         let reports = run_scenario(&scenario, 2, &config);
         let always_on = &reports[0];
         for r in &reports[1..] {
@@ -165,9 +227,15 @@ mod tests {
 
     #[test]
     fn render_mentions_each_policy() {
-        let config = FarmConfig { n_servers: 20, ..Default::default() };
-        let scenario =
-            Scenario { name: "r", shape: TraceShape::Flat { rate: 300.0 }, steps: 40 };
+        let config = FarmConfig {
+            n_servers: 20,
+            ..Default::default()
+        };
+        let scenario = Scenario {
+            name: "r",
+            shape: TraceShape::Flat { rate: 300.0 },
+            steps: 40,
+        };
         let reports = run_scenario(&scenario, 3, &config);
         let s = render_reports(&scenario, &reports);
         for name in ["always-on", "reactive", "autoscale", "optimal"] {

@@ -5,18 +5,18 @@
 //! matrix across many seeds and reports cross-seed mean ± deviation for
 //! every summary statistic.
 //!
-//! The driver demonstrates the channel-worker idiom: a crossbeam scope
-//! fans worker threads over a job channel, and a `parking_lot`-protected
-//! sink accumulates [`OnlineStats`] per configuration — no job ordering,
-//! no per-thread result vectors, deterministic aggregate (the statistics
-//! merge is order-insensitive up to float rounding, and we sort rows at
-//! the end).
+//! The fan-out uses the hermetic [`ecolb_simcore::par`] pool: each
+//! `(seed, size, load)` job is independent and fully determined by its
+//! inputs, workers return results in job order, and the aggregation runs
+//! serially over that ordered list. The sweep is therefore **byte
+//! identical at any worker count** — not merely equal up to float
+//! rounding, as the earlier channel-based implementation was — which is
+//! what lets `tests/determinism.rs` pin the rendered table verbatim.
 
-use crossbeam::channel;
 use ecolb::experiments::{run_cell, LoadLevel};
 use ecolb_metrics::summary::OnlineStats;
 use ecolb_metrics::table::{fmt_f, Table};
-use parking_lot::Mutex;
+use ecolb_simcore::par;
 use std::collections::BTreeMap;
 
 /// Cross-seed statistics for one cluster configuration.
@@ -40,38 +40,40 @@ pub fn multi_seed_table2(
     workers: usize,
 ) -> BTreeMap<(usize, u32), SweepRow> {
     assert!(workers > 0, "need at least one worker");
-    let sink: Mutex<BTreeMap<(usize, u32), SweepRow>> = Mutex::new(BTreeMap::new());
-    let (tx, rx) = channel::unbounded::<(u64, usize, LoadLevel)>();
-    for &seed in seeds {
-        for &size in sizes {
-            for load in LoadLevel::ALL {
-                tx.send((seed, size, load)).expect("channel open");
-            }
-        }
+    let jobs: Vec<(u64, usize, LoadLevel)> = seeds
+        .iter()
+        .flat_map(|&seed| {
+            sizes.iter().flat_map(move |&size| {
+                LoadLevel::ALL
+                    .into_iter()
+                    .map(move |load| (seed, size, load))
+            })
+        })
+        .collect();
+
+    let results = par::map_indexed(jobs, workers, |_, (seed, size, load)| {
+        let cell = run_cell(seed, size, load, intervals);
+        let stats = cell.report.ratio_series.stats();
+        let sleeping = cell.report.sleeping_series.stats().mean();
+        (
+            size,
+            load.percent(),
+            stats.mean(),
+            sleeping,
+            stats.std_dev(),
+        )
+    });
+
+    // Serial fold in job order: the float accumulation sequence is fixed,
+    // so the sweep output does not depend on the worker count.
+    let mut rows: BTreeMap<(usize, u32), SweepRow> = BTreeMap::new();
+    for (size, load_pct, ratio_mean, sleeping, ratio_sd) in results {
+        let row = rows.entry((size, load_pct)).or_default();
+        row.avg_ratio.push(ratio_mean);
+        row.avg_sleeping.push(sleeping);
+        row.ratio_sd.push(ratio_sd);
     }
-    drop(tx);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let sink = &sink;
-            scope.spawn(move |_| {
-                while let Ok((seed, size, load)) = rx.recv() {
-                    let cell = run_cell(seed, size, load, intervals);
-                    let stats = cell.report.ratio_series.stats();
-                    let sleeping = cell.report.sleeping_series.stats().mean();
-                    let mut sink = sink.lock();
-                    let row = sink.entry((size, load.percent())).or_default();
-                    row.avg_ratio.push(stats.mean());
-                    row.avg_sleeping.push(sleeping);
-                    row.ratio_sd.push(stats.std_dev());
-                }
-            });
-        }
-    })
-    .expect("sweep workers do not panic");
-
-    sink.into_inner()
+    rows
 }
 
 /// Renders a sweep as a table: per configuration, cross-seed mean ± sd of
@@ -89,7 +91,11 @@ pub fn render_sweep(rows: &BTreeMap<(usize, u32), SweepRow>, n_seeds: usize) -> 
         table.row([
             size.to_string(),
             format!("{load}%"),
-            format!("{} ± {}", fmt_f(row.avg_ratio.mean(), 4), fmt_f(row.avg_ratio.std_dev(), 4)),
+            format!(
+                "{} ± {}",
+                fmt_f(row.avg_ratio.mean(), 4),
+                fmt_f(row.avg_ratio.std_dev(), 4)
+            ),
             format!(
                 "{} ± {}",
                 fmt_f(row.avg_sleeping.mean(), 1),
@@ -115,13 +121,20 @@ mod tests {
     }
 
     #[test]
-    fn sweep_is_thread_count_invariant() {
+    fn sweep_is_bit_identical_across_thread_counts() {
         let one = multi_seed_table2(&[5, 6], &[40], 5, 1);
         let many = multi_seed_table2(&[5, 6], &[40], 5, 8);
+        // Exact equality, not epsilon: the serial fold fixes the float
+        // accumulation order independently of the worker count.
+        assert_eq!(render_sweep(&one, 2), render_sweep(&many, 2));
         for (key, a) in &one {
             let b = &many[key];
-            assert!((a.avg_ratio.mean() - b.avg_ratio.mean()).abs() < 1e-12);
-            assert!((a.avg_sleeping.mean() - b.avg_sleeping.mean()).abs() < 1e-12);
+            assert_eq!(a.avg_ratio.mean().to_bits(), b.avg_ratio.mean().to_bits());
+            assert_eq!(
+                a.avg_sleeping.mean().to_bits(),
+                b.avg_sleeping.mean().to_bits()
+            );
+            assert_eq!(a.ratio_sd.mean().to_bits(), b.ratio_sd.mean().to_bits());
         }
     }
 

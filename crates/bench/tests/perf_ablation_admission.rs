@@ -5,8 +5,9 @@
 //! lightly loaded cluster with a steady stream of new service requests and
 //! compares the §6 delay-and-wake behaviour against always-admit and a
 //! capacity threshold, on admitted work, rejections, load, and energy.
+//! Formerly a Criterion bench.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecolb_bench::perf::time;
 use ecolb_bench::DEFAULT_SEED;
 use ecolb_cluster::admission::{AdmissionPolicy, ArrivalSpec};
 use ecolb_cluster::cluster::{Cluster, ClusterConfig, ClusterRunReport};
@@ -16,8 +17,16 @@ use std::hint::black_box;
 
 const POLICIES: [(&str, AdmissionPolicy); 3] = [
     ("always-admit", AdmissionPolicy::AlwaysAdmit),
-    ("threshold-65%", AdmissionPolicy::CapacityThreshold { max_load: 0.65 }),
-    ("delay-and-wake", AdmissionPolicy::DelayAndWake { wakes_per_interval: 2 }),
+    (
+        "threshold-65%",
+        AdmissionPolicy::CapacityThreshold { max_load: 0.65 },
+    ),
+    (
+        "delay-and-wake",
+        AdmissionPolicy::DelayAndWake {
+            wakes_per_interval: 2,
+        },
+    ),
 ];
 
 fn run(policy: AdmissionPolicy, size: usize) -> ClusterRunReport {
@@ -27,7 +36,9 @@ fn run(policy: AdmissionPolicy, size: usize) -> ClusterRunReport {
     Cluster::new(config, DEFAULT_SEED).run(40)
 }
 
-fn bench(c: &mut Criterion) {
+#[test]
+#[ignore = "perf smoke"]
+fn perf_ablation_admission_policies() {
     let mut table = Table::new([
         "Admission policy",
         "Admitted",
@@ -37,7 +48,9 @@ fn bench(c: &mut Criterion) {
         "Final load",
         "Energy (MJ)",
     ])
-    .with_title("Ablation A3: admission policies, 1000 servers at 30% load + arrivals, 40 intervals");
+    .with_title(
+        "Ablation A3: admission policies, 1000 servers at 30% load + arrivals, 40 intervals",
+    );
     for (name, policy) in POLICIES {
         let r = run(policy, 1_000);
         table.row([
@@ -52,15 +65,10 @@ fn bench(c: &mut Criterion) {
     }
     println!("{table}");
 
-    let mut group = c.benchmark_group("ablation_admission");
-    group.sample_size(10);
     for (name, policy) in POLICIES {
-        group.bench_with_input(BenchmarkId::new("run", name), &policy, |b, &policy| {
-            b.iter(|| black_box(run(policy, 200)))
+        let r = time(&format!("ablation_admission/{name}"), 3, || {
+            black_box(run(policy, 200))
         });
+        assert!(r.admission.submitted > 0);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,9 +4,9 @@
 //! partners a server contacts. This ablation sweeps the shed fill ceiling
 //! (`α^{opt,l}` / band midpoint / `α^{opt,h}`) and the partner cap, and
 //! reports their effect on the decision ratio and the undesirable-regime
-//! residue.
+//! residue. Formerly a Criterion bench.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecolb_bench::perf::time;
 use ecolb_bench::DEFAULT_SEED;
 use ecolb_cluster::balance::FillLimit;
 use ecolb_cluster::cluster::{Cluster, ClusterConfig};
@@ -14,7 +14,11 @@ use ecolb_metrics::table::{fmt_f, Table};
 use ecolb_workload::generator::WorkloadSpec;
 use std::hint::black_box;
 
-fn run(fill: FillLimit, max_partners: Option<usize>, size: usize) -> ecolb_cluster::cluster::ClusterRunReport {
+fn run(
+    fill: FillLimit,
+    max_partners: Option<usize>,
+    size: usize,
+) -> ecolb_cluster::cluster::ClusterRunReport {
     let mut config = ClusterConfig::paper(size, WorkloadSpec::paper_high_load());
     config.balance.shed_fill = fill;
     config.balance.max_partners = max_partners;
@@ -22,7 +26,9 @@ fn run(fill: FillLimit, max_partners: Option<usize>, size: usize) -> ecolb_clust
     cluster.run(40)
 }
 
-fn bench(c: &mut Criterion) {
+#[test]
+#[ignore = "perf smoke"]
+fn perf_ablation_fill_and_partner_cap() {
     let fills = [
         ("fill-to-opt-low", FillLimit::OptLow),
         ("fill-to-target", FillLimit::OptTarget),
@@ -52,15 +58,10 @@ fn bench(c: &mut Criterion) {
     }
     println!("{table}");
 
-    let mut group = c.benchmark_group("ablation_delta");
-    group.sample_size(10);
     for (fname, fill) in fills {
-        group.bench_with_input(BenchmarkId::new("fill", fname), &fill, |b, &fill| {
-            b.iter(|| black_box(run(fill, None, 200)))
+        let r = time(&format!("ablation_delta/fill/{fname}"), 3, || {
+            black_box(run(fill, None, 200))
         });
+        assert_eq!(r.ratio_series.len(), 40);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,9 +3,9 @@
 //! §3, questions 5 and 8: how much energy and time does a VM migration
 //! cost? The timed simulation layer answers with measured
 //! service-interruption: the same decision sequence replayed over faster
-//! and slower fabrics.
+//! and slower fabrics. Formerly a Criterion bench.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecolb_bench::perf::time;
 use ecolb_bench::DEFAULT_SEED;
 use ecolb_cluster::cluster::ClusterConfig;
 use ecolb_cluster::sim::TimedClusterSim;
@@ -21,7 +21,9 @@ fn run(link_gbps: f64, size: usize, intervals: u64) -> ecolb_cluster::sim::Timed
     TimedClusterSim::new(config, DEFAULT_SEED, intervals).run()
 }
 
-fn bench(c: &mut Criterion) {
+#[test]
+#[ignore = "perf smoke"]
+fn perf_ablation_fabric_bandwidth() {
     let mut table = Table::new([
         "Fabric (Gbit/s)",
         "Migrations",
@@ -42,15 +44,12 @@ fn bench(c: &mut Criterion) {
     }
     println!("{table}");
 
-    let mut group = c.benchmark_group("ablation_network");
-    group.sample_size(10);
     for link in [1.0, 40.0] {
-        group.bench_with_input(BenchmarkId::new("timed_run", link as u64), &link, |b, &link| {
-            b.iter(|| black_box(run(link, 200, 40)))
-        });
+        let r = time(
+            &format!("ablation_network/timed_run/{}gbps", link as u64),
+            3,
+            || black_box(run(link, 200, 40)),
+        );
+        assert_eq!(r.base.ratio_series.len(), 40);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

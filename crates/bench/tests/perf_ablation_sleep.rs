@@ -3,9 +3,9 @@
 //! The paper's §6 rule picks C6 below 60 % cluster load and C3 above.
 //! This ablation compares it against always-C3, always-C6, and never-sleep
 //! on energy and wake behaviour at the low-load operating point, and times
-//! a run under each rule.
+//! a run under each rule. Formerly a Criterion bench.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecolb_bench::perf::time;
 use ecolb_bench::DEFAULT_SEED;
 use ecolb_cluster::cluster::{Cluster, ClusterConfig};
 use ecolb_energy::sleep::SleepPolicy;
@@ -14,7 +14,10 @@ use ecolb_workload::generator::WorkloadSpec;
 use std::hint::black_box;
 
 const POLICIES: [(&str, SleepPolicy); 4] = [
-    ("paper-60%-rule", SleepPolicy::ClusterLoadThreshold { threshold: 0.60 }),
+    (
+        "paper-60%-rule",
+        SleepPolicy::ClusterLoadThreshold { threshold: 0.60 },
+    ),
     ("always-C3", SleepPolicy::AlwaysC3),
     ("always-C6", SleepPolicy::AlwaysC6),
     ("never-sleep", SleepPolicy::NeverSleep),
@@ -27,7 +30,9 @@ fn run(policy: SleepPolicy, size: usize) -> ecolb_cluster::cluster::ClusterRunRe
     cluster.run(40)
 }
 
-fn bench(c: &mut Criterion) {
+#[test]
+#[ignore = "perf smoke"]
+fn perf_ablation_sleep_rules() {
     let mut table = Table::new([
         "Sleep policy",
         "Avg sleeping",
@@ -48,15 +53,10 @@ fn bench(c: &mut Criterion) {
     }
     println!("{table}");
 
-    let mut group = c.benchmark_group("ablation_sleep");
-    group.sample_size(10);
     for (name, policy) in POLICIES {
-        group.bench_with_input(BenchmarkId::new("run", name), &policy, |b, &policy| {
-            b.iter(|| black_box(run(policy, 200)))
+        let r = time(&format!("ablation_sleep/{name}"), 3, || {
+            black_box(run(policy, 200))
         });
+        assert_eq!(r.sleeping_series.len(), 40);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

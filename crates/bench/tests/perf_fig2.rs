@@ -1,0 +1,31 @@
+//! Perf smoke test for the Figure 2 regeneration (experiment F2): the
+//! before/after regime census of a balanced cluster. Formerly a Criterion
+//! bench; the full 10⁴ panel remains with `--bin fig2`.
+
+use ecolb::experiments::{fig2_panels, run_cell, LoadLevel};
+use ecolb_bench::perf::time;
+use ecolb_bench::DEFAULT_SEED;
+use std::hint::black_box;
+
+#[test]
+#[ignore = "perf smoke"]
+fn perf_fig2_quick_panels() {
+    // Reproduce and print the quick panels once.
+    let cells: Vec<_> = [100usize, 1_000]
+        .iter()
+        .flat_map(|&s| LoadLevel::ALL.map(|l| run_cell(DEFAULT_SEED, s, l, 40)))
+        .collect();
+    let render = ecolb_bench::render_fig2(&fig2_panels(&cells));
+    println!("{render}");
+    assert!(render.contains("Figure 2"));
+
+    for &size in &[100usize, 1_000] {
+        for load in LoadLevel::ALL {
+            let label = format!("fig2/load{}/size{size}", load.percent());
+            let cell = time(&label, 3, || {
+                black_box(run_cell(DEFAULT_SEED, size, load, 40))
+            });
+            assert_eq!(cell.size, size);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Perf smoke test for the Figure 3 regeneration (experiment F3): the
+//! per-interval decision-ratio series. Formerly a Criterion bench.
+
+use ecolb::experiments::{fig3_panels, run_cell, LoadLevel};
+use ecolb_bench::perf::time;
+use ecolb_bench::DEFAULT_SEED;
+use std::hint::black_box;
+
+#[test]
+#[ignore = "perf smoke"]
+fn perf_fig3_series_and_end_to_end() {
+    let cells: Vec<_> = [100usize, 1_000]
+        .iter()
+        .flat_map(|&s| LoadLevel::ALL.map(|l| run_cell(DEFAULT_SEED, s, l, 40)))
+        .collect();
+    let render = ecolb_bench::render_fig3(&fig3_panels(&cells));
+    println!("{render}");
+    assert!(render.contains("Figure 3"));
+
+    // Series extraction + stats, separately from the simulation itself.
+    let stats = time("fig3/extract_series", 20, || {
+        let panels = fig3_panels(black_box(&cells));
+        let stats: Vec<_> = panels.iter().map(|p| p.series.stats()).collect();
+        black_box(stats)
+    });
+    assert_eq!(stats.len(), cells.len());
+
+    // End-to-end regeneration of one panel per load level.
+    for load in LoadLevel::ALL {
+        let label = format!("fig3/end_to_end_load{}", load.percent());
+        let cell = time(&label, 3, || {
+            black_box(run_cell(DEFAULT_SEED, 1_000, load, 40))
+        });
+        assert_eq!(cell.report.ratio_series.len(), 40);
+    }
+}

@@ -1,0 +1,25 @@
+//! Perf smoke test for the homogeneous-model reproduction (experiment
+//! HM, paper eqs. 6–13). Formerly a Criterion bench.
+
+use ecolb::experiments::{homogeneous_paper_point, homogeneous_rows};
+use ecolb_bench::perf::time;
+use ecolb_energy::homogeneous::HomogeneousModel;
+use std::hint::black_box;
+
+#[test]
+#[ignore = "perf smoke"]
+fn perf_homogeneous_sweep_and_point() {
+    println!("{}", ecolb_bench::render_homogeneous());
+    assert!(
+        (homogeneous_paper_point().ratio - 2.25).abs() < 1e-12,
+        "eq. 13 must hold"
+    );
+
+    let rows = time("homogeneous/sweep", 50, || black_box(homogeneous_rows()));
+    assert!(!rows.is_empty());
+    let point = time("homogeneous/single_point", 100, || {
+        let m = HomogeneousModel::paper_example(black_box(1000));
+        black_box((m.energy_ratio(), m.n_sleep(), m.e_ref(), m.e_opt()))
+    });
+    assert!(point.0 > 1.0);
+}

@@ -1,0 +1,27 @@
+//! Perf smoke test for the policy suite (experiment P1): all seven §3
+//! capacity policies on the two discriminating traces. Formerly a
+//! Criterion bench.
+
+use ecolb_bench::perf::time;
+use ecolb_bench::policy_suite::{default_scenarios, run_scenario};
+use ecolb_bench::DEFAULT_SEED;
+use ecolb_policies::farm::FarmConfig;
+use std::hint::black_box;
+
+#[test]
+#[ignore = "perf smoke"]
+fn perf_policy_suite_scenarios() {
+    println!("{}", ecolb_bench::policy_suite::render_suite(DEFAULT_SEED));
+
+    let config = FarmConfig::default();
+    for scenario in default_scenarios() {
+        let label = format!(
+            "policies/suite/{}",
+            scenario.name.split(' ').next().unwrap_or("s")
+        );
+        let reports = time(&label, 3, || {
+            black_box(run_scenario(&scenario, DEFAULT_SEED, &config))
+        });
+        black_box(reports);
+    }
+}

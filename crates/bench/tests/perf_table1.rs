@@ -1,0 +1,27 @@
+//! Perf smoke test for the Table 1 regeneration (experiment T1):
+//! dataset lookup, trend fitting, and rendering. Formerly a Criterion
+//! bench.
+
+use ecolb_bench::perf::time;
+use ecolb_energy::server_class::{PowerTrend, ServerClass};
+use std::hint::black_box;
+
+#[test]
+#[ignore = "perf smoke"]
+fn perf_table1_render_and_trend_fit() {
+    // Print the artifact once so the smoke-test output contains the
+    // reproduced table.
+    let render = ecolb_bench::render_table1();
+    println!("{render}");
+    assert!(render.contains("Table 1"));
+
+    let s = time("table1/render", 50, || {
+        black_box(ecolb_bench::render_table1())
+    });
+    assert!(!s.is_empty());
+    time("table1/trend_fit", 100, || {
+        for class in ServerClass::ALL {
+            black_box(PowerTrend::fit(black_box(class)));
+        }
+    });
+}

@@ -1,0 +1,26 @@
+//! Perf smoke test for the Table 2 regeneration (experiment T2): the
+//! quick matrix plus summary statistics, including the thread fan-out.
+//! Formerly a Criterion bench.
+
+use ecolb::experiments::table2_rows;
+use ecolb_bench::perf::time;
+use ecolb_bench::{run_matrix_parallel, DEFAULT_SEED};
+use std::hint::black_box;
+
+#[test]
+#[ignore = "perf smoke"]
+fn perf_table2_stats_and_parallel_matrix() {
+    let cells = run_matrix_parallel(DEFAULT_SEED, &[100, 1_000], 40);
+    let render = ecolb_bench::render_table2(&cells);
+    println!("{render}");
+    assert!(render.contains("Table 2"));
+
+    let rows = time("table2/stats_from_matrix", 50, || {
+        black_box(table2_rows(black_box(&cells)))
+    });
+    assert_eq!(rows.len(), cells.len());
+    let quick = time("table2/quick_matrix_parallel", 3, || {
+        black_box(run_matrix_parallel(DEFAULT_SEED, &[100, 200], 40))
+    });
+    assert_eq!(quick.len(), 4);
+}

@@ -27,11 +27,10 @@ use ecolb_energy::sleep::SleepModel;
 use ecolb_simcore::time::SimTime;
 use ecolb_workload::application::Application;
 use ecolb_workload::generator::AppIdAllocator;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A new service request: an application looking for a home.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceRequest {
     /// CPU demand, fraction of one server's capacity.
     pub demand: f64,
@@ -42,7 +41,7 @@ pub struct ServiceRequest {
 }
 
 /// What to do with requests the cluster cannot place right now.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum AdmissionPolicy {
     /// Admit everything; unplaceable requests land on the least-loaded
     /// awake server even if that pushes it out of its optimal band.
@@ -63,7 +62,7 @@ pub enum AdmissionPolicy {
 }
 
 /// Lifetime admission statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AdmissionStats {
     /// Requests submitted.
     pub submitted: u64,
@@ -96,7 +95,7 @@ impl AdmissionStats {
 /// A stochastic stream of new service requests: each reallocation
 /// interval `Poisson(mean_per_interval)` requests arrive with demands
 /// uniform in `[demand_lo, demand_hi]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArrivalSpec {
     /// Mean new requests per reallocation interval.
     pub mean_per_interval: f64,
@@ -109,17 +108,24 @@ pub struct ArrivalSpec {
 impl ArrivalSpec {
     /// Creates a spec, validating the demand band.
     pub fn new(mean_per_interval: f64, demand_lo: f64, demand_hi: f64) -> Self {
-        assert!(mean_per_interval >= 0.0, "arrival rate must be non-negative");
+        assert!(
+            mean_per_interval >= 0.0,
+            "arrival rate must be non-negative"
+        );
         assert!(
             0.0 < demand_lo && demand_lo <= demand_hi && demand_hi <= 1.0,
             "demand band ({demand_lo}, {demand_hi}] invalid"
         );
-        ArrivalSpec { mean_per_interval, demand_lo, demand_hi }
+        ArrivalSpec {
+            mean_per_interval,
+            demand_lo,
+            demand_hi,
+        }
     }
 }
 
 /// The queue + policy in front of the cluster.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AdmissionController {
     policy: AdmissionPolicy,
     queue: VecDeque<ServiceRequest>,
@@ -129,7 +135,11 @@ pub struct AdmissionController {
 impl AdmissionController {
     /// Creates a controller with the given policy.
     pub fn new(policy: AdmissionPolicy) -> Self {
-        AdmissionController { policy, queue: VecDeque::new(), stats: AdmissionStats::default() }
+        AdmissionController {
+            policy,
+            queue: VecDeque::new(),
+            stats: AdmissionStats::default(),
+        }
     }
 
     /// The active policy.
@@ -150,7 +160,10 @@ impl AdmissionController {
     /// Enqueues a new request; placement happens at the next
     /// [`AdmissionController::process`] call.
     pub fn submit(&mut self, request: ServiceRequest) {
-        assert!(request.demand > 0.0 && request.demand <= 1.0, "demand outside (0, 1]");
+        assert!(
+            request.demand > 0.0 && request.demand <= 1.0,
+            "demand outside (0, 1]"
+        );
         self.stats.submitted += 1;
         self.queue.push_back(request);
     }
@@ -192,9 +205,7 @@ impl AdmissionController {
                         let fallback = servers
                             .iter()
                             .filter(|s| s.is_awake())
-                            .min_by(|a, b| {
-                                a.load().partial_cmp(&b.load()).expect("finite loads")
-                            })
+                            .min_by(|a, b| a.load().partial_cmp(&b.load()).expect("finite loads"))
                             .map(Server::id);
                         match fallback {
                             Some(id) => {
@@ -262,16 +273,22 @@ mod tests {
     }
 
     fn req(demand: f64) -> ServiceRequest {
-        ServiceRequest { demand, lambda: 0.01, image_gib: 4.0 }
+        ServiceRequest {
+            demand,
+            lambda: 0.01,
+            image_gib: 4.0,
+        }
     }
 
-    fn process(
-        ctl: &mut AdmissionController,
-        servers: &mut [Server],
-        leader: &mut Leader,
-    ) -> u64 {
+    fn process(ctl: &mut AdmissionController, servers: &mut [Server], leader: &mut Leader) -> u64 {
         let mut ids = AppIdAllocator::new();
-        ctl.process(servers, leader, &mut ids, &SleepModel::default(), SimTime::ZERO)
+        ctl.process(
+            servers,
+            leader,
+            &mut ids,
+            &SleepModel::default(),
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -336,8 +353,9 @@ mod tests {
         let mut servers = vec![mk_server(0, 0.69), mk_server(1, 0.0)];
         servers[1].enter_sleep(SimTime::ZERO, CState::C3, &sleep_model);
         let mut leader = Leader::new(2);
-        let mut ctl =
-            AdmissionController::new(AdmissionPolicy::DelayAndWake { wakes_per_interval: 1 });
+        let mut ctl = AdmissionController::new(AdmissionPolicy::DelayAndWake {
+            wakes_per_interval: 1,
+        });
         ctl.submit(req(0.3));
         let n = process(&mut ctl, &mut servers, &mut leader);
         assert_eq!(n, 0, "not placeable yet");
@@ -357,14 +375,19 @@ mod tests {
     #[test]
     fn wake_budget_is_respected() {
         let sleep_model = SleepModel::default();
-        let mut servers =
-            vec![mk_server(0, 0.69), mk_server(1, 0.0), mk_server(2, 0.0), mk_server(3, 0.0)];
+        let mut servers = vec![
+            mk_server(0, 0.69),
+            mk_server(1, 0.0),
+            mk_server(2, 0.0),
+            mk_server(3, 0.0),
+        ];
         for s in &mut servers[1..] {
             s.enter_sleep(SimTime::ZERO, CState::C3, &sleep_model);
         }
         let mut leader = Leader::new(4);
-        let mut ctl =
-            AdmissionController::new(AdmissionPolicy::DelayAndWake { wakes_per_interval: 2 });
+        let mut ctl = AdmissionController::new(AdmissionPolicy::DelayAndWake {
+            wakes_per_interval: 2,
+        });
         for _ in 0..5 {
             ctl.submit(req(0.3));
         }
@@ -376,7 +399,8 @@ mod tests {
     fn queue_drains_over_multiple_rounds() {
         let mut servers = vec![mk_server(0, 0.4)];
         let mut leader = Leader::new(1);
-        let mut ctl = AdmissionController::new(AdmissionPolicy::CapacityThreshold { max_load: 0.9 });
+        let mut ctl =
+            AdmissionController::new(AdmissionPolicy::CapacityThreshold { max_load: 0.9 });
         ctl.submit(req(0.25)); // fits (0.4 + 0.25 < 0.7)
         ctl.submit(req(0.25)); // won't fit after the first lands (0.65+0.25)
         let n = process(&mut ctl, &mut servers, &mut leader);

@@ -30,14 +30,13 @@ use ecolb_energy::regimes::OperatingRegime;
 use ecolb_energy::sleep::{CState, SleepModel, SleepPolicy};
 use ecolb_simcore::time::SimTime;
 use ecolb_workload::application::AppId;
-use serde::{Deserialize, Serialize};
 
 /// Tolerance for load/room comparisons: demands are sums of many f64
 /// terms, so exact comparisons reject placements that fit by construction.
 const EPS: f64 = 1e-9;
 
 /// Where a receiver stops accepting transferred load.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FillLimit {
     /// Up to the lower edge of the optimal band `α^{opt,l}` —
     /// conservative; used when filling receivers from draining servers.
@@ -62,7 +61,7 @@ impl FillLimit {
 }
 
 /// Tunables of one balancing round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BalanceConfig {
     /// Master switch: disable to run the cluster with *no* load balancing
     /// at all (the "wasteful resource management policy when the servers
@@ -117,7 +116,7 @@ impl Default for BalanceConfig {
 }
 
 /// A committed VM transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationRecord {
     /// Donor server.
     pub from: ServerId,
@@ -132,7 +131,7 @@ pub struct MigrationRecord {
 }
 
 /// Everything one balancing round did.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BalanceOutcome {
     /// VM transfers committed this round.
     pub migrations: Vec<MigrationRecord>,
@@ -181,7 +180,13 @@ fn commit_migration(
     servers[from.index()].migrations_out += 1;
     servers[to.index()].migrations_in += 1;
     servers[to.index()].place_app(application);
-    MigrationRecord { from, to, app, demand, cost }
+    MigrationRecord {
+        from,
+        to,
+        app,
+        demand,
+        cost,
+    }
 }
 
 /// Truncates a partner list to the configured negotiation budget.
@@ -415,15 +420,20 @@ fn drain_phase(
         receivers.sort_by(|&a, &b| {
             let ha = config.drain_fill.ceiling(&servers[a.index()]) - servers[a.index()].load();
             let hb = config.drain_fill.ceiling(&servers[b.index()]) - servers[b.index()].load();
-            hb.partial_cmp(&ha).expect("finite headroom").then(a.cmp(&b))
+            hb.partial_cmp(&ha)
+                .expect("finite headroom")
+                .then(a.cmp(&b))
         });
         let receivers = cap(&receivers, config).to_vec();
 
         // Move the largest placeable apps within the interval budget.
         let mut moved = 0usize;
         while moved < config.drain_moves_per_candidate {
-            let mut apps: Vec<(AppId, f64)> =
-                servers[cand.index()].apps().iter().map(|a| (a.id, a.demand)).collect();
+            let mut apps: Vec<(AppId, f64)> = servers[cand.index()]
+                .apps()
+                .iter()
+                .map(|a| (a.id, a.demand))
+                .collect();
             apps.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
             let mut placed = None;
             'search: for (app, demand) in &apps {
@@ -512,7 +522,14 @@ pub fn balance_round(
     if !config.enabled {
         return outcome; // no-balancing baseline: report sweep only
     }
-    shed_phase(servers, leader, ledger, migration_model, config, &mut outcome);
+    shed_phase(
+        servers,
+        leader,
+        ledger,
+        migration_model,
+        config,
+        &mut outcome,
+    );
     drain_phase(
         servers,
         leader,
@@ -582,8 +599,15 @@ mod tests {
         assert_eq!(servers[0].regime(), OperatingRegime::UndesirableHigh);
         let out = run(&mut servers, &mut leader, &BalanceConfig::default());
         assert!(!out.migrations.is_empty());
-        assert!(!servers[0].regime().is_overloaded(), "donor relieved: {}", servers[0].load());
-        assert!(servers[1].load() <= 0.7 + 1e-9, "receiver capped at opt_high");
+        assert!(
+            !servers[0].regime().is_overloaded(),
+            "donor relieved: {}",
+            servers[0].load()
+        );
+        assert!(
+            servers[1].load() <= 0.7 + 1e-9,
+            "receiver capped at opt_high"
+        );
     }
 
     #[test]
@@ -603,7 +627,10 @@ mod tests {
         // with drain room to opt_low = 0.3. A budget of 8 moves lets the
         // drain finish within one interval.
         let (mut servers, mut leader) = mk_cluster(&[&[0.05, 0.05], &[0.25], &[0.25]]);
-        let config = BalanceConfig { drain_moves_per_candidate: 8, ..Default::default() };
+        let config = BalanceConfig {
+            drain_moves_per_candidate: 8,
+            ..Default::default()
+        };
         let out = run(&mut servers, &mut leader, &config);
         assert_eq!(out.slept.len(), 1);
         assert_eq!(out.slept[0].0, ServerId(0));
@@ -726,13 +753,19 @@ mod tests {
         let before: f64 = servers.iter().map(Server::load).sum();
         run(&mut servers, &mut leader, &BalanceConfig::default());
         let after: f64 = servers.iter().map(Server::load).sum();
-        assert!((before - after).abs() < 1e-9, "load conserved: {before} vs {after}");
+        assert!(
+            (before - after).abs() < 1e-9,
+            "load conserved: {before} vs {after}"
+        );
     }
 
     #[test]
     fn sleep_disabled_keeps_everyone_awake() {
         let (mut servers, mut leader) = mk_cluster(&[&[0.05, 0.05], &[0.25], &[0.25]]);
-        let config = BalanceConfig { allow_sleep: false, ..Default::default() };
+        let config = BalanceConfig {
+            allow_sleep: false,
+            ..Default::default()
+        };
         let out = run(&mut servers, &mut leader, &config);
         assert!(out.slept.is_empty());
         assert!(servers.iter().all(Server::is_awake));
@@ -743,11 +776,17 @@ mod tests {
     fn partner_cap_limits_negotiation() {
         // Donor must spread over two receivers, but the cap allows one.
         let (mut servers, mut leader) = mk_cluster(&[&[0.45, 0.45], &[0.25], &[0.25]]);
-        let config = BalanceConfig { max_partners: Some(1), ..Default::default() };
+        let config = BalanceConfig {
+            max_partners: Some(1),
+            ..Default::default()
+        };
         let out = run(&mut servers, &mut leader, &config);
         let targets: std::collections::BTreeSet<ServerId> =
             out.migrations.iter().map(|m| m.to).collect();
-        assert!(targets.len() <= 1, "negotiated with more partners than allowed");
+        assert!(
+            targets.len() <= 1,
+            "negotiated with more partners than allowed"
+        );
     }
 
     #[test]

@@ -18,8 +18,12 @@
 //! 3. **accounting** — energy meters advance, the decision ledger closes
 //!    the interval, and the census/sleeper series gain a point.
 
-use crate::admission::{AdmissionController, AdmissionPolicy, AdmissionStats, ArrivalSpec, ServiceRequest};
-use crate::balance::{balance_round, BalanceConfig, BalanceOutcome, MigrationRecord, cluster_load_fraction};
+use crate::admission::{
+    AdmissionController, AdmissionPolicy, AdmissionStats, ArrivalSpec, ServiceRequest,
+};
+use crate::balance::{
+    balance_round, cluster_load_fraction, BalanceConfig, BalanceOutcome, MigrationRecord,
+};
 use crate::leader::Leader;
 use crate::migration::MigrationCostModel;
 use crate::mix::ServerMix;
@@ -33,14 +37,13 @@ use ecolb_simcore::rng::Rng;
 use ecolb_simcore::time::{SimDuration, SimTime};
 use ecolb_workload::application::{AppId, Application};
 use ecolb_workload::generator::{generate_server_apps, AppIdAllocator, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// Demand floor below which a VM is decommissioned (its application has
 /// effectively gone idle).
 const VM_RETIRE_FLOOR: f64 = 0.005;
 
 /// Full configuration of a cluster experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of servers `n`.
     pub n_servers: usize,
@@ -101,7 +104,7 @@ impl Default for ClusterConfig {
 }
 
 /// Result of a multi-interval run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterRunReport {
     /// Census of awake servers before any balancing.
     pub initial_census: RegimeCensus,
@@ -339,7 +342,11 @@ impl Cluster {
     /// Cumulative energy per server class, Joules.
     pub fn energy_by_class(&self) -> Vec<(ecolb_energy::server_class::ServerClass, f64)> {
         use ecolb_energy::server_class::ServerClass;
-        let mut totals = [(ServerClass::Volume, 0.0), (ServerClass::MidRange, 0.0), (ServerClass::HighEnd, 0.0)];
+        let mut totals = [
+            (ServerClass::Volume, 0.0),
+            (ServerClass::MidRange, 0.0),
+            (ServerClass::HighEnd, 0.0),
+        ];
         for (server, &class) in self.servers.iter().zip(&self.classes) {
             let slot = match class {
                 ServerClass::Volume => &mut totals[0].1,
@@ -366,15 +373,23 @@ impl Cluster {
             }
             return;
         };
-        let count = ecolb_simcore::dist::Poisson::new(spec.mean_per_interval)
-            .sample_count(&mut self.rng);
+        let count =
+            ecolb_simcore::dist::Poisson::new(spec.mean_per_interval).sample_count(&mut self.rng);
         for _ in 0..count {
             let demand = self.rng.uniform(spec.demand_lo, spec.demand_hi);
-            let lambda =
-                self.rng.uniform(self.config.workload.lambda_lo, self.config.workload.lambda_hi);
-            let image =
-                self.rng.uniform(self.config.workload.image_gib_lo, self.config.workload.image_gib_hi);
-            self.admission.submit(ServiceRequest { demand, lambda, image_gib: image });
+            let lambda = self.rng.uniform(
+                self.config.workload.lambda_lo,
+                self.config.workload.lambda_hi,
+            );
+            let image = self.rng.uniform(
+                self.config.workload.image_gib_lo,
+                self.config.workload.image_gib_hi,
+            );
+            self.admission.submit(ServiceRequest {
+                demand,
+                lambda,
+                image_gib: image,
+            });
         }
         self.admission.process(
             &mut self.servers,
@@ -405,7 +420,9 @@ impl Cluster {
             .filter(|&(_, room)| room > 0.0)
             .collect();
         pool.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1).expect("finite room").then(a.0.cmp(&b.0))
+            a.1.partial_cmp(&b.1)
+                .expect("finite room")
+                .then(a.0.cmp(&b.0))
         }); // least room first = fullest first
 
         let vm_cap = self.config.workload.max_app_demand;
@@ -524,7 +541,9 @@ impl Cluster {
                 }
             }
             if retire {
-                self.servers[i].apps_mut().retain(|a| a.demand > VM_RETIRE_FLOOR);
+                self.servers[i]
+                    .apps_mut()
+                    .retain(|a| a.demand > VM_RETIRE_FLOOR);
                 self.servers[i].refresh_load();
             }
         }
@@ -572,7 +591,8 @@ impl Cluster {
         );
         self.migration_energy_j += outcome.migration_energy_j();
         self.migrations += outcome.migrations.len() as u64;
-        self.interval_migrations.extend_from_slice(&outcome.migrations);
+        self.interval_migrations
+            .extend_from_slice(&outcome.migrations);
 
         // Step 3: close the interval.
         self.ledger.close_interval();
@@ -650,7 +670,10 @@ mod tests {
         let before = c.load_fraction();
         c.run(40);
         let after = c.load_fraction();
-        assert!((after - before).abs() < 0.12, "load drifted {before} → {after}");
+        assert!(
+            (after - before).abs() < 0.12,
+            "load drifted {before} → {after}"
+        );
     }
 
     #[test]
@@ -674,7 +697,10 @@ mod tests {
     fn decisions_accumulate() {
         let mut c = Cluster::new(small_config(), 6);
         let r = c.run(20);
-        assert!(r.decision_totals.local > 0, "some vertical scaling happened");
+        assert!(
+            r.decision_totals.local > 0,
+            "some vertical scaling happened"
+        );
         assert!(
             r.decision_totals.local + r.decision_totals.in_cluster > 50,
             "a 50-server cluster over 20 intervals makes many decisions"
@@ -683,10 +709,7 @@ mod tests {
 
     #[test]
     fn energy_accrues_and_reference_dominates_when_sleeping() {
-        let mut c = Cluster::new(
-            ClusterConfig::paper(100, WorkloadSpec::paper_low_load()),
-            7,
-        );
+        let mut c = Cluster::new(ClusterConfig::paper(100, WorkloadSpec::paper_low_load()), 7);
         let r = c.run(30);
         assert!(r.energy.total_j() > 0.0);
         assert!(r.reference_energy_j > 0.0);

@@ -17,10 +17,9 @@ use crate::migration::MigrationCostModel;
 use crate::server::Server;
 use ecolb_metrics::timeseries::TimeSeries;
 use ecolb_workload::application::Application;
-use serde::{Deserialize, Serialize};
 
 /// Federation-level tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FederationConfig {
     /// A cluster above this load fraction is a cross-cluster donor.
     pub high_watermark: f64,
@@ -51,7 +50,7 @@ impl Default for FederationConfig {
 }
 
 /// Result of a federation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FederationReport {
     /// Per-cluster load series.
     pub cluster_loads: Vec<TimeSeries>,
@@ -90,7 +89,12 @@ impl Federation {
             .enumerate()
             .map(|(i, c)| Cluster::new(c, seed.wrapping_add(0x9E37 * (i as u64 + 1))))
             .collect();
-        Federation { clusters, config, cross_migrations: 0, cross_migration_energy_j: 0.0 }
+        Federation {
+            clusters,
+            config,
+            cross_migrations: 0,
+            cross_migration_energy_j: 0.0,
+        }
     }
 
     /// The member clusters.
@@ -181,7 +185,9 @@ impl Federation {
             .filter(|s| s.is_awake() && s.load() + demand <= s.boundaries().opt_high)
             .max_by(|a, b| a.load().partial_cmp(&b.load()).expect("finite"))
             .map(Server::id);
-        let Some(receiver) = receiver else { return false };
+        let Some(receiver) = receiver else {
+            return false;
+        };
 
         let app: Application = self.clusters[hot]
             .take_app_for_federation(donor_server, app_id)
@@ -228,14 +234,20 @@ mod tests {
         let configs = loads.iter().map(|w| ClusterConfig::paper(60, *w)).collect();
         // A 70 %-load cluster hovers right at the default watermark;
         // tighten it so the imbalance is unambiguous for the tests.
-        let config = FederationConfig { high_watermark: 0.60, ..Default::default() };
+        let config = FederationConfig {
+            high_watermark: 0.60,
+            ..Default::default()
+        };
         Federation::new(configs, config, seed)
     }
 
     #[test]
     fn imbalanced_federation_moves_apps_to_the_cold_cluster() {
         let mut fed = federation(
-            &[WorkloadSpec::paper_high_load(), WorkloadSpec::paper_low_load()],
+            &[
+                WorkloadSpec::paper_high_load(),
+                WorkloadSpec::paper_low_load(),
+            ],
             1,
         );
         let before = fed.loads();
@@ -255,7 +267,10 @@ mod tests {
     #[test]
     fn balanced_federation_stays_put() {
         let mut fed = federation(
-            &[WorkloadSpec::paper_low_load(), WorkloadSpec::paper_low_load()],
+            &[
+                WorkloadSpec::paper_low_load(),
+                WorkloadSpec::paper_low_load(),
+            ],
             2,
         );
         let report = fed.run(10);
@@ -277,7 +292,10 @@ mod tests {
             ClusterConfig::paper(60, WorkloadSpec::paper_low_load()),
         ];
         // Impossible watermark: hot threshold above any achievable load.
-        let config = FederationConfig { high_watermark: 0.99, ..Default::default() };
+        let config = FederationConfig {
+            high_watermark: 0.99,
+            ..Default::default()
+        };
         let mut fed = Federation::new(configs, config, 4);
         let report = fed.run(10);
         assert_eq!(report.cross_migrations, 0);
@@ -287,7 +305,10 @@ mod tests {
     fn federation_runs_are_deterministic() {
         let mk = || {
             federation(
-                &[WorkloadSpec::paper_high_load(), WorkloadSpec::paper_low_load()],
+                &[
+                    WorkloadSpec::paper_high_load(),
+                    WorkloadSpec::paper_low_load(),
+                ],
                 5,
             )
         };
@@ -300,8 +321,11 @@ mod tests {
     #[should_panic(expected = "watermarks")]
     fn rejects_inverted_watermarks() {
         let configs = vec![ClusterConfig::paper(10, WorkloadSpec::paper_low_load())];
-        let config =
-            FederationConfig { high_watermark: 0.3, low_watermark: 0.6, ..Default::default() };
+        let config = FederationConfig {
+            high_watermark: 0.3,
+            low_watermark: 0.6,
+            ..Default::default()
+        };
         Federation::new(configs, config, 0);
     }
 }

@@ -10,10 +10,9 @@
 use crate::messages::{Message, MessageStats};
 use crate::server::{Server, ServerId};
 use ecolb_energy::regimes::{OperatingRegime, RegimeCensus};
-use serde::{Deserialize, Serialize};
 
 /// A directory entry: the last state a server reported.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DirectoryEntry {
     /// Reported operating regime.
     pub regime: OperatingRegime,
@@ -34,7 +33,10 @@ pub struct Leader {
 impl Leader {
     /// Creates a leader for a cluster of `n` servers.
     pub fn new(n: usize) -> Self {
-        Leader { directory: vec![None; n], stats: MessageStats::default() }
+        Leader {
+            directory: vec![None; n],
+            stats: MessageStats::default(),
+        }
     }
 
     /// Number of directory slots.
@@ -44,10 +46,20 @@ impl Leader {
 
     /// Ingests a regime report (paper: "the leader is informed
     /// periodically about the regime of each server of the cluster").
-    pub fn receive_report(&mut self, from: ServerId, regime: OperatingRegime, load: f64, sleeping: bool) {
+    pub fn receive_report(
+        &mut self,
+        from: ServerId,
+        regime: OperatingRegime,
+        load: f64,
+        sleeping: bool,
+    ) {
         let msg = Message::RegimeReport { from, regime, load };
         self.stats.record(&msg);
-        self.directory[from.index()] = Some(DirectoryEntry { regime, load, sleeping });
+        self.directory[from.index()] = Some(DirectoryEntry {
+            regime,
+            load,
+            sleeping,
+        });
     }
 
     /// Refreshes the whole directory from live server state — the
@@ -87,11 +99,19 @@ impl Leader {
             .filter_map(|(i, e)| {
                 let e = (*e)?;
                 let id = ServerId(i as u32);
-                (id != requester && !e.sleeping && e.regime.is_underloaded()).then_some((id, e.load))
+                (id != requester && !e.sleeping && e.regime.is_underloaded())
+                    .then_some((id, e.load))
             })
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("loads are finite").then(a.0.cmp(&b.0)));
-        self.stats.record(&Message::PartnerList { to: requester, candidates: out.clone() });
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("loads are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        self.stats.record(&Message::PartnerList {
+            to: requester,
+            candidates: out.clone(),
+        });
         out.into_iter().map(|(id, _)| id).collect()
     }
 
@@ -144,7 +164,8 @@ impl Leader {
 
     /// Records an assistance request from a server.
     pub fn receive_assistance_request(&mut self, from: ServerId, regime: OperatingRegime) {
-        self.stats.record(&Message::AssistanceRequest { from, regime });
+        self.stats
+            .record(&Message::AssistanceRequest { from, regime });
     }
 
     /// Records a server↔server negotiation message (for cluster-wide
@@ -195,8 +216,12 @@ mod tests {
 
     #[test]
     fn receivers_are_underloaded_and_sorted_fullest_first() {
-        let servers =
-            vec![mk_server(0, 0.05), mk_server(1, 0.25), mk_server(2, 0.5), mk_server(3, 0.22)];
+        let servers = vec![
+            mk_server(0, 0.05),
+            mk_server(1, 0.25),
+            mk_server(2, 0.5),
+            mk_server(3, 0.22),
+        ];
         let mut leader = Leader::new(4);
         leader.full_report_sweep(&servers);
         let rx = leader.find_receivers(ServerId(2));
@@ -233,8 +258,15 @@ mod tests {
         let mut leader = Leader::new(2);
         leader.full_report_sweep(&servers);
         let rx = leader.find_receivers(ServerId(1));
-        assert!(rx.is_empty(), "sleeping server must not be offered as receiver");
-        assert_eq!(leader.census().total(), 1, "census counts awake servers only");
+        assert!(
+            rx.is_empty(),
+            "sleeping server must not be offered as receiver"
+        );
+        assert_eq!(
+            leader.census().total(),
+            1,
+            "census counts awake servers only"
+        );
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod scaling;
 pub mod server;
 pub mod sim;
 
-pub use admission::{AdmissionController, AdmissionPolicy, AdmissionStats, ArrivalSpec, ServiceRequest};
+pub use admission::{
+    AdmissionController, AdmissionPolicy, AdmissionStats, ArrivalSpec, ServiceRequest,
+};
 pub use balance::{balance_round, BalanceConfig, BalanceOutcome, FillLimit, MigrationRecord};
 pub use cluster::{Cluster, ClusterConfig, ClusterRunReport};
 pub use federation::{Federation, FederationConfig, FederationReport};

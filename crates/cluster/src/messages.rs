@@ -11,10 +11,9 @@
 use crate::server::ServerId;
 use ecolb_energy::regimes::OperatingRegime;
 use ecolb_workload::application::AppId;
-use serde::{Deserialize, Serialize};
 
 /// Protocol messages exchanged over the star topology.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Server → leader periodic report of its regime and load.
     RegimeReport {
@@ -86,7 +85,7 @@ impl Message {
 }
 
 /// Per-server communication ledger (the `j_k` cost input).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CommLedger {
     /// Messages sent by this server (or to it by the leader).
     pub messages: u64,
@@ -117,7 +116,7 @@ impl CommLedger {
 }
 
 /// Cluster-wide message statistics kept by the leader.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MessageStats {
     /// Regime reports received.
     pub regime_reports: u64,
@@ -163,7 +162,10 @@ mod tests {
 
     #[test]
     fn wire_bytes_scale_with_partner_list() {
-        let short = Message::PartnerList { to: ServerId(0), candidates: vec![] };
+        let short = Message::PartnerList {
+            to: ServerId(0),
+            candidates: vec![],
+        };
         let long = Message::PartnerList {
             to: ServerId(0),
             candidates: (0..10).map(|i| (ServerId(i), 0.5)).collect(),
@@ -187,15 +189,33 @@ mod tests {
 
     #[test]
     fn ledger_merge_sums() {
-        let mut a = CommLedger { messages: 2, bytes: 40 };
-        a.merge(&CommLedger { messages: 3, bytes: 60 });
-        assert_eq!(a, CommLedger { messages: 5, bytes: 100 });
+        let mut a = CommLedger {
+            messages: 2,
+            bytes: 40,
+        };
+        a.merge(&CommLedger {
+            messages: 3,
+            bytes: 60,
+        });
+        assert_eq!(
+            a,
+            CommLedger {
+                messages: 5,
+                bytes: 100
+            }
+        );
     }
 
     #[test]
     fn cost_grows_with_traffic() {
-        let light = CommLedger { messages: 1, bytes: 20 };
-        let heavy = CommLedger { messages: 100, bytes: 4000 };
+        let light = CommLedger {
+            messages: 1,
+            bytes: 20,
+        };
+        let heavy = CommLedger {
+            messages: 100,
+            bytes: 4000,
+        };
         assert!(heavy.cost() > light.cost());
     }
 

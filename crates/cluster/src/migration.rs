@@ -13,10 +13,9 @@
 
 use ecolb_simcore::time::SimDuration;
 use ecolb_workload::application::Application;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the migration cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationCostModel {
     /// Link bandwidth between any two cluster servers, Gbit/s (star
     /// topology: two hops through the top-of-rack fabric).
@@ -46,7 +45,7 @@ impl Default for MigrationCostModel {
 }
 
 /// The cost of one migration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationCost {
     /// End-to-end duration: transfer plus VM start.
     pub duration: SimDuration,
@@ -75,7 +74,11 @@ impl MigrationCostModel {
         let transfer_s = (bytes as f64 * 8.0) / (self.link_gbps * 1e9);
         let duration = SimDuration::from_secs_f64(transfer_s + self.vm_start_latency_s);
         let energy_j = self.transfer_overhead_w * transfer_s + self.vm_start_energy_j;
-        MigrationCost { duration, energy_j, bytes_moved: bytes }
+        MigrationCost {
+            duration,
+            energy_j,
+            bytes_moved: bytes,
+        }
     }
 
     /// Abstract cost units for a horizontal (in-cluster) scaling decision
@@ -113,7 +116,10 @@ mod tests {
 
     #[test]
     fn ten_gig_link_moves_4gib_in_about_4_seconds() {
-        let m = MigrationCostModel { dirty_page_factor: 1.0, ..Default::default() };
+        let m = MigrationCostModel {
+            dirty_page_factor: 1.0,
+            ..Default::default()
+        };
         let c = m.cost_of(&app(4.0));
         // 4 GiB × 8 bits / 10 Gb/s ≈ 3.44 s + 2 s VM start.
         let secs = c.duration.as_secs_f64();
@@ -122,8 +128,14 @@ mod tests {
 
     #[test]
     fn dirty_pages_inflate_transfer() {
-        let clean = MigrationCostModel { dirty_page_factor: 1.0, ..Default::default() };
-        let dirty = MigrationCostModel { dirty_page_factor: 1.5, ..Default::default() };
+        let clean = MigrationCostModel {
+            dirty_page_factor: 1.0,
+            ..Default::default()
+        };
+        let dirty = MigrationCostModel {
+            dirty_page_factor: 1.5,
+            ..Default::default()
+        };
         assert!(dirty.cost_of(&app(4.0)).bytes_moved > clean.cost_of(&app(4.0)).bytes_moved);
     }
 

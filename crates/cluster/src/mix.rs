@@ -14,10 +14,9 @@
 use crate::server::ServerPowerSpec;
 use ecolb_energy::server_class::{class_power_model, ServerClass};
 use ecolb_simcore::rng::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Fractions of each server class in a cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerMix {
     /// Fraction of volume servers.
     pub volume: f64,
@@ -32,13 +31,23 @@ pub struct ServerMix {
 impl ServerMix {
     /// All volume servers (the paper's implicit default).
     pub fn all_volume() -> Self {
-        ServerMix { volume: 1.0, mid_range: 0.0, high_end: 0.0, year: 2006 }
+        ServerMix {
+            volume: 1.0,
+            mid_range: 0.0,
+            high_end: 0.0,
+            year: 2006,
+        }
     }
 
     /// A typical enterprise mix: mostly volume, some mid-range, a few
     /// high-end machines.
     pub fn typical_enterprise() -> Self {
-        ServerMix { volume: 0.80, mid_range: 0.17, high_end: 0.03, year: 2006 }
+        ServerMix {
+            volume: 0.80,
+            mid_range: 0.17,
+            high_end: 0.03,
+            year: 2006,
+        }
     }
 
     /// Validates that the fractions form a distribution.
@@ -123,8 +132,14 @@ mod tests {
 
     #[test]
     fn year_scales_the_models() {
-        let old = ServerMix { year: 2000, ..ServerMix::all_volume() };
-        let new = ServerMix { year: 2006, ..ServerMix::all_volume() };
+        let old = ServerMix {
+            year: 2000,
+            ..ServerMix::all_volume()
+        };
+        let new = ServerMix {
+            year: 2006,
+            ..ServerMix::all_volume()
+        };
         assert!(
             old.power_spec(ServerClass::Volume).peak_power_w()
                 < new.power_spec(ServerClass::Volume).peak_power_w(),
@@ -135,6 +150,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn validate_rejects_bad_fractions() {
-        ServerMix { volume: 0.5, mid_range: 0.2, high_end: 0.1, year: 2006 }.validate();
+        ServerMix {
+            volume: 0.5,
+            mid_range: 0.2,
+            high_end: 0.1,
+            year: 2006,
+        }
+        .validate();
     }
 }

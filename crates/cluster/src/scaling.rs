@@ -9,10 +9,9 @@
 //! decisions**; [`DecisionLedger`] records it.
 
 use ecolb_metrics::timeseries::TimeSeries;
-use serde::{Deserialize, Serialize};
 
 /// The kind of a scaling decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecisionKind {
     /// Vertical scaling served locally (cost `p_k`).
     LocalVertical,
@@ -26,7 +25,7 @@ pub enum DecisionKind {
 }
 
 /// Per-interval decision counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IntervalCounts {
     /// Local vertical-scaling decisions.
     pub local: u64,
@@ -53,7 +52,7 @@ impl IntervalCounts {
 
 /// Accumulates decisions over a run, closing one [`IntervalCounts`] per
 /// reallocation interval.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DecisionLedger {
     current: IntervalCounts,
     closed: Vec<IntervalCounts>,
@@ -140,15 +139,27 @@ mod tests {
 
     #[test]
     fn ratio_with_and_without_locals() {
-        let c = IntervalCounts { local: 4, in_cluster: 2, deferred: 0 };
+        let c = IntervalCounts {
+            local: 4,
+            in_cluster: 2,
+            deferred: 0,
+        };
         assert!((c.ratio() - 0.5).abs() < 1e-12);
-        let degenerate = IntervalCounts { local: 0, in_cluster: 3, deferred: 0 };
+        let degenerate = IntervalCounts {
+            local: 0,
+            in_cluster: 3,
+            deferred: 0,
+        };
         assert_eq!(degenerate.ratio(), 3.0, "denominator floors at 1");
     }
 
     #[test]
     fn deferred_does_not_enter_ratio() {
-        let c = IntervalCounts { local: 2, in_cluster: 2, deferred: 100 };
+        let c = IntervalCounts {
+            local: 2,
+            in_cluster: 2,
+            deferred: 100,
+        };
         assert!((c.ratio() - 1.0).abs() < 1e-12);
         assert_eq!(c.total(), 4);
     }

@@ -13,12 +13,11 @@ use ecolb_energy::regimes::{OperatingRegime, RegimeBoundaries};
 use ecolb_energy::sleep::{CState, SleepModel};
 use ecolb_simcore::time::SimTime;
 use ecolb_workload::application::{AppId, Application};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Cluster-unique server identifier (index into the cluster's server
 /// vector).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ServerId(pub u32);
 
 impl ServerId {
@@ -38,7 +37,7 @@ impl fmt::Display for ServerId {
 /// The power model attached to a server — an enum so heterogeneous clusters
 /// can mix model families without dynamic dispatch in the metering hot
 /// path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServerPowerSpec {
     /// Idle + proportional line.
     Linear(LinearPowerModel),
@@ -84,7 +83,12 @@ pub struct Server {
 
 impl Server {
     /// Creates an awake, empty server.
-    pub fn new(id: ServerId, boundaries: RegimeBoundaries, power: ServerPowerSpec, t0: SimTime) -> Self {
+    pub fn new(
+        id: ServerId,
+        boundaries: RegimeBoundaries,
+        power: ServerPowerSpec,
+        t0: SimTime,
+    ) -> Self {
         Server {
             id,
             boundaries,
@@ -219,7 +223,12 @@ impl Server {
     /// Switches an idle server into `target` sleep state, charging the
     /// transition energy. Panics if the server still hosts applications.
     pub fn enter_sleep(&mut self, now: SimTime, target: CState, sleep_model: &SleepModel) {
-        assert!(self.apps.is_empty(), "{} cannot sleep with {} apps", self.id, self.apps.len());
+        assert!(
+            self.apps.is_empty(),
+            "{} cannot sleep with {} apps",
+            self.id,
+            self.apps.len()
+        );
         assert!(target.is_sleeping(), "enter_sleep needs a sleep state");
         self.meter_advance(now);
         self.meter.record_transition(sleep_model, target);
@@ -285,7 +294,8 @@ impl Server {
     /// Load above the optimal band that should be shed (horizontal
     /// scaling / migration pressure).
     pub fn shed_pressure(&self) -> f64 {
-        self.boundaries.excess_over_opt_high(self.normalized_performance())
+        self.boundaries
+            .excess_over_opt_high(self.normalized_performance())
     }
 
     /// Capacity this server can absorb from donors while staying inside

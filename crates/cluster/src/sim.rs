@@ -23,7 +23,6 @@ use ecolb_metrics::summary::OnlineStats;
 use ecolb_simcore::engine::{Control, Engine, RunOutcome};
 use ecolb_simcore::time::{SimDuration, SimTime};
 use ecolb_workload::application::AppId;
-use serde::{Deserialize, Serialize};
 
 /// Events of the timed cluster simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +47,7 @@ pub enum SimEvent {
 }
 
 /// Timing metrics collected on top of the capacity simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimedRunReport {
     /// The underlying capacity-level report (identical to the synchronous
     /// cluster's).
@@ -100,7 +99,10 @@ struct SimState {
 impl TimedClusterSim {
     /// Creates the simulation for `intervals` reallocation intervals.
     pub fn new(config: ClusterConfig, seed: u64, intervals: u64) -> Self {
-        TimedClusterSim { cluster: Cluster::new(config, seed), intervals }
+        TimedClusterSim {
+            cluster: Cluster::new(config, seed),
+            intervals,
+        }
     }
 
     /// Runs to completion and returns the timing-augmented report.
@@ -216,7 +218,11 @@ fn schedule_arrival(
     state.downtime_demand_seconds += rec.demand * transfer.as_secs_f64();
     sched.schedule_in(
         transfer,
-        SimEvent::MigrationArrive { app: rec.app, to: rec.to, demand: rec.demand },
+        SimEvent::MigrationArrive {
+            app: rec.app,
+            to: rec.to,
+            demand: rec.demand,
+        },
     );
 }
 
@@ -267,7 +273,11 @@ mod tests {
             dirty_page_factor: 1.0,
         };
         let timed = TimedClusterSim::new(cfg, 3, 15).run();
-        assert!(timed.downtime_demand_seconds < 1e-3, "downtime {}", timed.downtime_demand_seconds);
+        assert!(
+            timed.downtime_demand_seconds < 1e-3,
+            "downtime {}",
+            timed.downtime_demand_seconds
+        );
     }
 
     #[test]

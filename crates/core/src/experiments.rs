@@ -14,10 +14,9 @@ use ecolb_energy::regimes::RegimeCensus;
 use ecolb_energy::server_class::{table1_power_w, ServerClass, TABLE1_YEARS};
 use ecolb_metrics::timeseries::TimeSeries;
 use ecolb_workload::generator::WorkloadSpec;
-use serde::{Deserialize, Serialize};
 
 /// The two §5 load levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LoadLevel {
     /// Initial per-server load uniform in 20–40 % ("average load 30 %").
     Low,
@@ -58,7 +57,7 @@ pub const SMALL_CLUSTER_SIZES: [usize; 4] = [20, 40, 60, 80];
 pub const PAPER_INTERVALS: u64 = 40;
 
 /// One cell of the experiment matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixCell {
     /// Cluster size `n`.
     pub size: usize,
@@ -117,7 +116,7 @@ pub fn run_matrix(base_seed: u64, sizes: &[usize], intervals: u64) -> Vec<Matrix
 // ---------------------------------------------------------------------------
 
 /// One panel of Figure 2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig2Panel {
     /// Cluster size.
     pub size: usize,
@@ -150,7 +149,7 @@ pub fn fig2_panels(cells: &[MatrixCell]) -> Vec<Fig2Panel> {
 // ---------------------------------------------------------------------------
 
 /// One panel of Figure 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig3Panel {
     /// Cluster size.
     pub size: usize,
@@ -164,7 +163,11 @@ pub struct Fig3Panel {
 pub fn fig3_panels(cells: &[MatrixCell]) -> Vec<Fig3Panel> {
     cells
         .iter()
-        .map(|c| Fig3Panel { size: c.size, load: c.load, series: c.report.ratio_series.clone() })
+        .map(|c| Fig3Panel {
+            size: c.size,
+            load: c.load,
+            series: c.report.ratio_series.clone(),
+        })
         .collect()
 }
 
@@ -173,7 +176,7 @@ pub fn fig3_panels(cells: &[MatrixCell]) -> Vec<Fig3Panel> {
 // ---------------------------------------------------------------------------
 
 /// One row of Table 2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// Plot label (a)…(f).
     pub plot: String,
@@ -231,7 +234,7 @@ pub fn table1_rows() -> Vec<(String, Vec<f64>)> {
 
 /// A sweep point of the homogeneous model: `(a_opt, b_opt, ratio,
 /// n_sleep)` for the paper's example `a_avg`/`b_avg`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HomogeneousRow {
     /// Consolidated-server performance level.
     pub a_opt: f64,
@@ -263,7 +266,12 @@ pub fn homogeneous_rows() -> Vec<HomogeneousRow> {
 /// The single point the paper reports in eq. 13.
 pub fn homogeneous_paper_point() -> HomogeneousRow {
     let m = HomogeneousModel::paper_example(1000);
-    HomogeneousRow { a_opt: 0.9, b_opt: 0.8, ratio: m.energy_ratio(), n_sleep: m.n_sleep() }
+    HomogeneousRow {
+        a_opt: 0.9,
+        b_opt: 0.8,
+        ratio: m.energy_ratio(),
+        n_sleep: m.n_sleep(),
+    }
 }
 
 #[cfg(test)]

@@ -47,10 +47,9 @@ pub use ecolb_workload as workload;
 /// One-stop imports for experiment authors.
 pub mod prelude {
     pub use crate::experiments::{
-        fig2_panels, fig3_panels, homogeneous_paper_point, homogeneous_rows, run_cell,
-        run_matrix, table1_rows, table2_rows, Fig2Panel, Fig3Panel, LoadLevel, MatrixCell,
-        run_small_cluster_matrix, Table2Row, PAPER_CLUSTER_SIZES, PAPER_INTERVALS,
-        SMALL_CLUSTER_SIZES,
+        fig2_panels, fig3_panels, homogeneous_paper_point, homogeneous_rows, run_cell, run_matrix,
+        run_small_cluster_matrix, table1_rows, table2_rows, Fig2Panel, Fig3Panel, LoadLevel,
+        MatrixCell, Table2Row, PAPER_CLUSTER_SIZES, PAPER_INTERVALS, SMALL_CLUSTER_SIZES,
     };
     pub use ecolb_cluster::admission::{
         AdmissionController, AdmissionPolicy, AdmissionStats, ArrivalSpec, ServiceRequest,
@@ -64,9 +63,9 @@ pub mod prelude {
     pub use ecolb_cluster::sim::{TimedClusterSim, TimedRunReport};
     pub use ecolb_energy::dvfs::{DvfsGoverned, DvfsModel};
     pub use ecolb_energy::homogeneous::HomogeneousModel;
-    pub use ecolb_energy::server_class::{PowerTrend, ServerClass};
     pub use ecolb_energy::power::{LinearPowerModel, PiecewisePowerModel, PowerModel};
     pub use ecolb_energy::regimes::{OperatingRegime, RegimeBoundaries, RegimeCensus};
+    pub use ecolb_energy::server_class::{PowerTrend, ServerClass};
     pub use ecolb_energy::sleep::{CState, SleepModel, SleepPolicy};
     pub use ecolb_metrics::{fmt_f, Histogram, OnlineStats, P2Quantile, Report, Table, TimeSeries};
     pub use ecolb_policies::{

@@ -10,10 +10,9 @@
 use crate::power::PowerModel;
 use crate::sleep::{CState, SleepModel};
 use ecolb_simcore::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Cumulative energy usage of one server, in Joules.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Energy attributable to useful work: the proportional part
     /// `(P(u) − P(0))·t` while awake.
@@ -56,7 +55,10 @@ pub struct EnergyMeter {
 impl EnergyMeter {
     /// Creates a meter starting at `t0`.
     pub fn new(t0: SimTime) -> Self {
-        EnergyMeter { last_update: t0, breakdown: EnergyBreakdown::default() }
+        EnergyMeter {
+            last_update: t0,
+            breakdown: EnergyBreakdown::default(),
+        }
     }
 
     /// Accounts the segment from the last update to `now`, during which the
@@ -70,7 +72,10 @@ impl EnergyMeter {
         cstate: CState,
         utilization: f64,
     ) {
-        assert!(now >= self.last_update, "energy meter driven backwards in time");
+        assert!(
+            now >= self.last_update,
+            "energy meter driven backwards in time"
+        );
         let dt = (now - self.last_update).as_secs_f64();
         self.last_update = now;
         if dt == 0.0 {
@@ -183,15 +188,28 @@ mod tests {
 
     #[test]
     fn breakdown_merge_sums_fields() {
-        let mut a = EnergyBreakdown { active_j: 1.0, idle_overhead_j: 2.0, sleep_j: 3.0, transition_j: 4.0 };
-        let b = EnergyBreakdown { active_j: 10.0, idle_overhead_j: 20.0, sleep_j: 30.0, transition_j: 40.0 };
+        let mut a = EnergyBreakdown {
+            active_j: 1.0,
+            idle_overhead_j: 2.0,
+            sleep_j: 3.0,
+            transition_j: 4.0,
+        };
+        let b = EnergyBreakdown {
+            active_j: 10.0,
+            idle_overhead_j: 20.0,
+            sleep_j: 30.0,
+            transition_j: 40.0,
+        };
         a.merge(&b);
         assert_eq!(a.total_j(), 110.0);
     }
 
     #[test]
     fn wh_conversion() {
-        let b = EnergyBreakdown { active_j: 3600.0, ..Default::default() };
+        let b = EnergyBreakdown {
+            active_j: 3600.0,
+            ..Default::default()
+        };
         assert!((b.total_wh() - 1.0).abs() < 1e-12);
     }
 

@@ -18,10 +18,9 @@
 //! scaling alone for lightly loaded clusters.
 
 use crate::power::PowerModel;
-use serde::{Deserialize, Serialize};
 
 /// A DVFS-capable processor model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsModel {
     /// Static (leakage + uncore) power, Watts.
     pub static_w: f64,
@@ -64,7 +63,10 @@ impl DvfsModel {
             0.0 < self.f_min_ghz && self.f_min_ghz < self.f_max_ghz,
             "frequency range invalid"
         );
-        assert!(0.0 < self.v_min && self.v_min <= self.v_max, "voltage range invalid");
+        assert!(
+            0.0 < self.v_min && self.v_min <= self.v_max,
+            "voltage range invalid"
+        );
         assert!(self.steps >= 2, "need at least two P-states");
     }
 
@@ -118,7 +120,9 @@ impl DvfsModel {
         self.p_states()
             .into_iter()
             .min_by(|&a, &b| {
-                self.energy_per_op(a).partial_cmp(&self.energy_per_op(b)).expect("finite")
+                self.energy_per_op(a)
+                    .partial_cmp(&self.energy_per_op(b))
+                    .expect("finite")
             })
             .expect("at least two P-states")
     }
@@ -129,7 +133,9 @@ impl DvfsModel {
         if required_performance > 1.0 {
             return None;
         }
-        self.p_states().into_iter().find(|&f| self.performance(f) + 1e-12 >= required_performance)
+        self.p_states()
+            .into_iter()
+            .find(|&f| self.performance(f) + 1e-12 >= required_performance)
     }
 }
 
@@ -137,7 +143,7 @@ impl DvfsModel {
 /// governor ("conservative"): frequency scales with utilization between
 /// `f_min` and `f_max`. This makes a [`DvfsModel`] usable wherever a
 /// [`PowerModel`] is expected.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsGoverned {
     /// The underlying processor.
     pub model: DvfsModel,
@@ -179,7 +185,10 @@ mod tests {
         let ps = m.p_states();
         for f in [0.5, 1.3, 2.0, 2.71, 3.5] {
             let s = m.snap(f);
-            assert!(ps.iter().any(|&p| (p - s).abs() < 1e-9), "snap({f}) = {s} not a P-state");
+            assert!(
+                ps.iter().any(|&p| (p - s).abs() < 1e-9),
+                "snap({f}) = {s} not a P-state"
+            );
         }
     }
 
@@ -218,7 +227,10 @@ mod tests {
 
     #[test]
     fn zero_static_power_prefers_the_lowest_frequency() {
-        let m = DvfsModel { static_w: 0.0, ..cpu() };
+        let m = DvfsModel {
+            static_w: 0.0,
+            ..cpu()
+        };
         // Without leakage, V² scaling always rewards running slower.
         assert!((m.most_efficient_f() - m.f_min_ghz).abs() < 1e-9);
     }
@@ -248,7 +260,10 @@ mod tests {
             prev = p;
         }
         assert!(g.idle_power_w() > 0.0, "static power shows at idle");
-        assert!(g.dynamic_range() > 0.3, "DVFS gives the CPU a wide dynamic range");
+        assert!(
+            g.dynamic_range() > 0.3,
+            "DVFS gives the CPU a wide dynamic range"
+        );
     }
 
     #[test]
@@ -262,14 +277,19 @@ mod tests {
         let deadline_s = work_ghz_s / m.f_min_ghz; // crawl finishes exactly
         let crawl_j = m.power_at_f(m.f_min_ghz) * deadline_s;
         let race_time = work_ghz_s / m.f_max_ghz;
-        let race_j = m.power_at_f(m.f_max_ghz) * race_time
-            + 0.03 * m.static_w * (deadline_s - race_time);
+        let race_j =
+            m.power_at_f(m.f_max_ghz) * race_time + 0.03 * m.static_w * (deadline_s - race_time);
         assert!(race_j < crawl_j, "race {race_j} vs crawl {crawl_j}");
     }
 
     #[test]
     #[should_panic(expected = "frequency range")]
     fn validate_rejects_bad_range() {
-        DvfsModel { f_min_ghz: 3.0, f_max_ghz: 1.0, ..DvfsModel::typical_server_cpu() }.validate();
+        DvfsModel {
+            f_min_ghz: 3.0,
+            f_max_ghz: 1.0,
+            ..DvfsModel::typical_server_cpu()
+        }
+        .validate();
     }
 }

@@ -23,10 +23,8 @@
 //! At the paper's example point (`b_avg = 0.6`, `a_avg = 0.3`,
 //! `b_opt = 0.8`, `a_opt = 0.9`) the ratio is 2.25 (eq. 13).
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the homogeneous model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HomogeneousModel {
     /// Number of servers `n`.
     pub n: u64,
@@ -48,15 +46,26 @@ impl HomogeneousModel {
     /// or ordering constraints are violated.
     pub fn new(n: u64, a_min: f64, a_max: f64, b_avg: f64, a_opt: f64, b_opt: f64) -> Self {
         assert!(n > 0, "need at least one server");
-        for (name, v) in
-            [("a_min", a_min), ("a_max", a_max), ("b_avg", b_avg), ("a_opt", a_opt), ("b_opt", b_opt)]
-        {
+        for (name, v) in [
+            ("a_min", a_min),
+            ("a_max", a_max),
+            ("b_avg", b_avg),
+            ("a_opt", a_opt),
+            ("b_opt", b_opt),
+        ] {
             assert!((0.0..=1.0).contains(&v), "{name} = {v} outside [0, 1]");
         }
         assert!(a_min <= a_max, "a_min > a_max");
         assert!(a_opt > 0.0, "a_opt must be positive");
         assert!(b_opt > 0.0, "b_opt must be positive");
-        HomogeneousModel { n, a_min, a_max, b_avg, a_opt, b_opt }
+        HomogeneousModel {
+            n,
+            a_min,
+            a_max,
+            b_avg,
+            a_opt,
+            b_opt,
+        }
     }
 
     /// The paper's worked example (eq. 13): `b_avg = 0.6`, `a_avg = 0.3`
@@ -186,7 +195,10 @@ mod tests {
     #[test]
     fn a_avg_versus_a_mean_convention() {
         let m = HomogeneousModel::new(10, 0.2, 0.8, 0.6, 0.9, 0.8);
-        assert!((m.a_avg() - 0.3).abs() < 1e-12, "paper's half-width convention");
+        assert!(
+            (m.a_avg() - 0.3).abs() < 1e-12,
+            "paper's half-width convention"
+        );
         assert!((m.a_mean() - 0.5).abs() < 1e-12, "conventional mean");
     }
 

@@ -45,8 +45,8 @@ pub mod power;
 pub mod proportionality;
 pub mod regimes;
 pub mod server_class;
-pub mod storage;
 pub mod sleep;
+pub mod storage;
 
 pub use accounting::{EnergyBreakdown, EnergyMeter};
 pub use dvfs::{DvfsGoverned, DvfsModel};
@@ -54,6 +54,6 @@ pub use homogeneous::HomogeneousModel;
 pub use network::{LinkDiscipline, LinkPower, Topology};
 pub use power::{LinearPowerModel, PiecewisePowerModel, PowerModel, SubsystemPowerModel};
 pub use regimes::{OperatingRegime, RegimeBoundaries, RegimeCensus};
-pub use server_class::{ServerClass, PowerTrend};
+pub use server_class::{PowerTrend, ServerClass};
 pub use sleep::{CState, DState, SState, SleepModel, SleepPolicy};
 pub use storage::{DiskPower, DiskState, ReplicatedArray, SlidingWindow, VirtualNodeStore};

@@ -12,10 +12,8 @@
 //! flattened butterfly), so the §2 comparison can be reproduced
 //! quantitatively for a given cluster size and traffic level.
 
-use serde::{Deserialize, Serialize};
-
 /// How a link's power responds to its utilization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkDiscipline {
     /// Plesiochronous, always on: full power regardless of load (the §2
     /// default).
@@ -28,7 +26,7 @@ pub enum LinkDiscipline {
 }
 
 /// Power model of one link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkPower {
     /// Watts at full utilization.
     pub peak_w: f64,
@@ -42,7 +40,11 @@ pub struct LinkPower {
 impl LinkPower {
     /// A 10 Gbit/s short-reach link of the era.
     pub fn typical_10g(discipline: LinkDiscipline) -> Self {
-        LinkPower { peak_w: 4.0, floor_fraction: 0.15, discipline }
+        LinkPower {
+            peak_w: 4.0,
+            floor_fraction: 0.15,
+            discipline,
+        }
     }
 
     /// Power at utilization `u ∈ [0, 1]`.
@@ -65,7 +67,7 @@ impl LinkPower {
 }
 
 /// Network topology families compared in [2].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Topology {
     /// Three-level folded-Clos (fat tree) built from `radix`-port
     /// switches.
@@ -114,7 +116,7 @@ impl Topology {
     /// Average hop count for uniform traffic (approximate; [2]).
     pub fn avg_hops(&self) -> f64 {
         match *self {
-            Topology::FatTree { .. } => 5.0,  // edge-agg-core-agg-edge between pods
+            Topology::FatTree { .. } => 5.0, // edge-agg-core-agg-edge between pods
             Topology::FlattenedButterfly { .. } => 2.0, // one hop per dimension
         }
     }
@@ -126,8 +128,7 @@ impl Topology {
     /// hops = the same offered load crosses more links).
     pub fn power_w(&self, link: LinkPower, switch_base_w: f64, utilization: f64) -> f64 {
         let effective_u = (utilization * self.avg_hops() / 5.0).clamp(0.0, 1.0);
-        self.switches() as f64 * switch_base_w
-            + self.links() as f64 * link.power_w(effective_u)
+        self.switches() as f64 * switch_base_w + self.links() as f64 * link.power_w(effective_u)
     }
 }
 
@@ -180,7 +181,10 @@ mod tests {
 
     #[test]
     fn butterfly_dimensions() {
-        let t = Topology::FlattenedButterfly { dim: 4, concentration: 8 };
+        let t = Topology::FlattenedButterfly {
+            dim: 4,
+            concentration: 8,
+        };
         assert_eq!(t.hosts(), 128);
         assert_eq!(t.switches(), 16);
         assert_eq!(t.links(), 48);
@@ -191,7 +195,10 @@ mod tests {
         // The [2] claim: fewer switches and shorter paths make the
         // flattened butterfly cheaper for the same host count.
         let ft = Topology::FatTree { radix: 8 };
-        let fb = Topology::FlattenedButterfly { dim: 4, concentration: 8 };
+        let fb = Topology::FlattenedButterfly {
+            dim: 4,
+            concentration: 8,
+        };
         assert_eq!(ft.hosts(), fb.hosts());
         let link = LinkPower::typical_10g(LinkDiscipline::AlwaysOn);
         assert!(
@@ -204,7 +211,10 @@ mod tests {
 
     #[test]
     fn proportional_links_help_most_at_low_load() {
-        let fb = Topology::FlattenedButterfly { dim: 4, concentration: 8 };
+        let fb = Topology::FlattenedButterfly {
+            dim: 4,
+            concentration: 8,
+        };
         let on = LinkPower::typical_10g(LinkDiscipline::AlwaysOn);
         let prop = LinkPower::typical_10g(LinkDiscipline::Proportional);
         let saving_low = fb.power_w(on, 30.0, 0.1) - fb.power_w(prop, 30.0, 0.1);

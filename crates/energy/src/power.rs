@@ -17,8 +17,6 @@
 //! instantaneous Watts, with helpers to convert to normalized energy
 //! `b(u) = P(u)/P(1)` — the x-axis of the paper's Figure 1.
 
-use serde::{Deserialize, Serialize};
-
 /// Maps utilization to instantaneous power draw.
 pub trait PowerModel {
     /// Instantaneous power in Watts at utilization `u ∈ [0, 1]` (clamped).
@@ -76,7 +74,7 @@ pub trait PowerModel {
 }
 
 /// Idle + proportional line: `P(u) = idle + (peak − idle)·u`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearPowerModel {
     /// Power at zero utilization.
     pub idle_w: f64,
@@ -119,7 +117,7 @@ impl PowerModel for LinearPowerModel {
 
 /// Piecewise-linear interpolation over measured `(utilization, watts)`
 /// points, SPECpower_ssj2008-style (11 load levels).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PiecewisePowerModel {
     /// Strictly increasing utilization knots starting at 0.0 and ending at
     /// 1.0.
@@ -135,9 +133,15 @@ impl PiecewisePowerModel {
         assert_eq!(knots[0].0, 0.0, "first knot must be at u = 0");
         assert_eq!(knots[knots.len() - 1].0, 1.0, "last knot must be at u = 1");
         for w in knots.windows(2) {
-            assert!(w[0].0 < w[1].0, "knot utilizations must be strictly increasing");
+            assert!(
+                w[0].0 < w[1].0,
+                "knot utilizations must be strictly increasing"
+            );
         }
-        assert!(knots.iter().all(|&(_, p)| p > 0.0), "power must be positive at every knot");
+        assert!(
+            knots.iter().all(|&(_, p)| p > 0.0),
+            "power must be positive at every knot"
+        );
         PiecewisePowerModel { knots }
     }
 
@@ -179,7 +183,7 @@ impl PowerModel for PiecewisePowerModel {
 }
 
 /// Relative weight and dynamic range of one server subsystem.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Subsystem {
     /// Peak power of this subsystem, Watts.
     pub peak_w: f64,
@@ -196,7 +200,7 @@ impl Subsystem {
 }
 
 /// Composite CPU + DRAM + disk + NIC model with the §2 dynamic ranges.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubsystemPowerModel {
     /// Processor package(s).
     pub cpu: Subsystem,
@@ -215,12 +219,24 @@ impl SubsystemPowerModel {
     pub fn typical_server() -> Self {
         SubsystemPowerModel {
             // Two sockets × ~60 W mid-range parts.
-            cpu: Subsystem { peak_w: 120.0, dynamic_range: 0.70 },
+            cpu: Subsystem {
+                peak_w: 120.0,
+                dynamic_range: 0.70,
+            },
             // 32 DIMMs at a blended ~1.6 W average under load.
-            dram: Subsystem { peak_w: 50.0, dynamic_range: 0.45 },
+            dram: Subsystem {
+                peak_w: 50.0,
+                dynamic_range: 0.45,
+            },
             // 3 HDDs ≈ 36 W (24–48 W band in §2).
-            disk: Subsystem { peak_w: 36.0, dynamic_range: 0.25 },
-            network: Subsystem { peak_w: 14.0, dynamic_range: 0.15 },
+            disk: Subsystem {
+                peak_w: 36.0,
+                dynamic_range: 0.25,
+            },
+            network: Subsystem {
+                peak_w: 14.0,
+                dynamic_range: 0.15,
+            },
         }
     }
 }
@@ -274,7 +290,10 @@ mod tests {
     fn non_proportional_server_is_most_efficient_at_high_load() {
         let m = LinearPowerModel::typical_volume_server();
         let u_opt = m.optimal_utilization();
-        assert!(u_opt > 0.95, "for a linear model efficiency peaks at u = 1, got {u_opt}");
+        assert!(
+            u_opt > 0.95,
+            "for a linear model efficiency peaks at u = 1, got {u_opt}"
+        );
     }
 
     #[test]

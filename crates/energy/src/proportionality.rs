@@ -6,10 +6,9 @@
 //! load increases".
 
 use crate::power::PowerModel;
-use serde::{Deserialize, Serialize};
 
 /// Summary of a model's proportionality characteristics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProportionalityProfile {
     /// Idle power as a fraction of peak (`P(0)/P(1)`).
     pub idle_fraction: f64,
@@ -57,7 +56,10 @@ pub fn profile<M: PowerModel>(model: &M) -> ProportionalityProfile {
 /// server wastes energy: as `u → 0` the energy diverges because idle power
 /// is burned for a long time.
 pub fn energy_for_work_j<M: PowerModel>(model: &M, ops: f64, u: f64) -> f64 {
-    assert!(u > 0.0 && u <= 1.0, "utilization must be in (0, 1], got {u}");
+    assert!(
+        u > 0.0 && u <= 1.0,
+        "utilization must be in (0, 1], got {u}"
+    );
     assert!(ops >= 0.0, "work must be non-negative");
     model.power_w(u) * ops / u
 }
@@ -81,7 +83,11 @@ mod tests {
         // P(u)/peak - u = 0.5(1-u): mean |dev| over [0,1] = 0.25 → index 0.5.
         let m = LinearPowerModel::typical_volume_server();
         let p = profile(&m);
-        assert!((p.proportionality_index - 0.5).abs() < 0.01, "index {}", p.proportionality_index);
+        assert!(
+            (p.proportionality_index - 0.5).abs() < 0.01,
+            "index {}",
+            p.proportionality_index
+        );
         assert!((p.idle_fraction - 0.5).abs() < 1e-12);
     }
 
@@ -89,7 +95,11 @@ mod tests {
     fn constant_power_scores_zero_ish() {
         let m = LinearPowerModel::new(199.999, 200.0);
         let p = profile(&m);
-        assert!(p.proportionality_index < 0.01, "index {}", p.proportionality_index);
+        assert!(
+            p.proportionality_index < 0.01,
+            "index {}",
+            p.proportionality_index
+        );
     }
 
     #[test]
@@ -113,7 +123,10 @@ mod tests {
         let m = LinearPowerModel::ideal_proportional(100.0);
         let a = energy_for_work_j(&m, 10.0, 0.2);
         let b = energy_for_work_j(&m, 10.0, 1.0);
-        assert!((a - b).abs() < 1e-9, "proportional server: energy independent of rate");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "proportional server: energy independent of rate"
+        );
     }
 
     #[test]

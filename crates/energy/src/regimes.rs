@@ -20,11 +20,10 @@
 //! `[0.80, 0.85]` — see [`RegimeBoundaries::sample_paper`].
 
 use ecolb_simcore::rng::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the five operating regimes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OperatingRegime {
     /// R1 — undesirable low: nearly idle; drain and sleep, or absorb load.
     UndesirableLow,
@@ -68,24 +67,36 @@ impl OperatingRegime {
     /// (paper §4: "suboptimal regions do not require an immediate
     /// attention, while undesirable regions do").
     pub fn is_undesirable(self) -> bool {
-        matches!(self, OperatingRegime::UndesirableLow | OperatingRegime::UndesirableHigh)
+        matches!(
+            self,
+            OperatingRegime::UndesirableLow | OperatingRegime::UndesirableHigh
+        )
     }
 
     /// True for R2 and R4.
     pub fn is_suboptimal(self) -> bool {
-        matches!(self, OperatingRegime::SuboptimalLow | OperatingRegime::SuboptimalHigh)
+        matches!(
+            self,
+            OperatingRegime::SuboptimalLow | OperatingRegime::SuboptimalHigh
+        )
     }
 
     /// True when the server is below the optimal band (R1 or R2) and can
     /// accept more workload.
     pub fn is_underloaded(self) -> bool {
-        matches!(self, OperatingRegime::UndesirableLow | OperatingRegime::SuboptimalLow)
+        matches!(
+            self,
+            OperatingRegime::UndesirableLow | OperatingRegime::SuboptimalLow
+        )
     }
 
     /// True when the server is above the optimal band (R4 or R5) and should
     /// shed workload.
     pub fn is_overloaded(self) -> bool {
-        matches!(self, OperatingRegime::SuboptimalHigh | OperatingRegime::UndesirableHigh)
+        matches!(
+            self,
+            OperatingRegime::SuboptimalHigh | OperatingRegime::UndesirableHigh
+        )
     }
 }
 
@@ -96,7 +107,7 @@ impl fmt::Display for OperatingRegime {
 }
 
 /// Per-server regime boundaries on the normalized-performance axis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegimeBoundaries {
     /// `α^{sopt,l}` — lower edge of suboptimal-low.
     pub sopt_low: f64,
@@ -120,7 +131,12 @@ impl RegimeBoundaries {
                 && sopt_high <= 1.0,
             "regime boundaries out of order: {sopt_low} {opt_low} {opt_high} {sopt_high}"
         );
-        RegimeBoundaries { sopt_low, opt_low, opt_high, sopt_high }
+        RegimeBoundaries {
+            sopt_low,
+            opt_low,
+            opt_high,
+            sopt_high,
+        }
     }
 
     /// The paper's default heterogeneous sampling: boundaries drawn
@@ -193,7 +209,7 @@ impl Default for RegimeBoundaries {
 }
 
 /// Occupancy counts per regime — the data series of Figure 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RegimeCensus {
     counts: [u64; 5],
 }

@@ -8,11 +8,10 @@
 //! run on class-appropriate hardware parameters.
 
 use crate::power::LinearPowerModel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Koomey's server price bands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServerClass {
     /// Volume servers, price below $25 K.
     Volume,
@@ -24,7 +23,11 @@ pub enum ServerClass {
 
 impl ServerClass {
     /// All classes in Table 1 order.
-    pub const ALL: [ServerClass; 3] = [ServerClass::Volume, ServerClass::MidRange, ServerClass::HighEnd];
+    pub const ALL: [ServerClass; 3] = [
+        ServerClass::Volume,
+        ServerClass::MidRange,
+        ServerClass::HighEnd,
+    ];
 
     /// The label used in Table 1.
     pub fn label(self) -> &'static str {
@@ -59,7 +62,9 @@ pub const TABLE1_YEARS: [u32; 7] = [2000, 2001, 2002, 2003, 2004, 2005, 2006];
 pub const TABLE1_WATTS: [[f64; 7]; 3] = [
     [186.0, 193.0, 200.0, 207.0, 213.0, 219.0, 225.0],
     [424.0, 457.0, 491.0, 524.0, 574.0, 625.0, 675.0],
-    [5_534.0, 5_832.0, 6_130.0, 6_428.0, 6_973.0, 7_651.0, 8_163.0],
+    [
+        5_534.0, 5_832.0, 6_130.0, 6_428.0, 6_973.0, 7_651.0, 8_163.0,
+    ],
 ];
 
 /// Average power of `class` in `year`, straight from Table 1; `None`
@@ -70,12 +75,15 @@ pub fn table1_power_w(class: ServerClass, year: u32) -> Option<f64> {
         ServerClass::MidRange => 1,
         ServerClass::HighEnd => 2,
     };
-    TABLE1_YEARS.iter().position(|&y| y == year).map(|col| TABLE1_WATTS[row][col])
+    TABLE1_YEARS
+        .iter()
+        .position(|&y| y == year)
+        .map(|col| TABLE1_WATTS[row][col])
 }
 
 /// Least-squares linear fit `watts ≈ slope·(year − 2000) + intercept` for a
 /// server class over the Table 1 data.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerTrend {
     /// Watts per year of growth.
     pub slope: f64,
@@ -103,7 +111,10 @@ impl PowerTrend {
             sxx += dx * dx;
         }
         let slope = sxy / sxx;
-        PowerTrend { slope, intercept: mean_y - slope * mean_x }
+        PowerTrend {
+            slope,
+            intercept: mean_y - slope * mean_x,
+        }
     }
 
     /// Extrapolated/interpolated average power for a year.
@@ -162,7 +173,10 @@ mod tests {
                 let actual = table1_power_w(class, year).unwrap();
                 let predicted = t.predict(year);
                 let rel = (predicted - actual).abs() / actual;
-                assert!(rel < 0.05, "{class} {year}: predicted {predicted}, actual {actual} (i={i})");
+                assert!(
+                    rel < 0.05,
+                    "{class} {year}: predicted {predicted}, actual {actual} (i={i})"
+                );
             }
         }
     }

@@ -16,11 +16,10 @@
 //! to 260 s during which power draw is close to peak (§3).
 
 use ecolb_simcore::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Processor power states (ACPI C-states).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CState {
     /// Fully operational.
     C0,
@@ -40,8 +39,15 @@ pub enum CState {
 
 impl CState {
     /// All states in increasing depth.
-    pub const ALL: [CState; 7] =
-        [CState::C0, CState::C1, CState::C2, CState::C3, CState::C4, CState::C5, CState::C6];
+    pub const ALL: [CState; 7] = [
+        CState::C0,
+        CState::C1,
+        CState::C2,
+        CState::C3,
+        CState::C4,
+        CState::C5,
+        CState::C6,
+    ];
 
     /// Numeric depth (0 for C0 … 6 for C6).
     pub fn depth(self) -> u8 {
@@ -83,12 +89,12 @@ impl CState {
     pub fn default_wake_latency(self) -> SimDuration {
         match self {
             CState::C0 => SimDuration::ZERO,
-            CState::C1 => SimDuration::from_ticks(10),           // ~10 µs
-            CState::C2 => SimDuration::from_ticks(100),          // ~100 µs
-            CState::C3 => SimDuration::from_millis(50),          // suspend-like
+            CState::C1 => SimDuration::from_ticks(10), // ~10 µs
+            CState::C2 => SimDuration::from_ticks(100), // ~100 µs
+            CState::C3 => SimDuration::from_millis(50), // suspend-like
             CState::C4 => SimDuration::from_millis(500),
             CState::C5 => SimDuration::from_secs(5),
-            CState::C6 => SimDuration::from_secs(200),           // full setup
+            CState::C6 => SimDuration::from_secs(200), // full setup
         }
     }
 }
@@ -101,7 +107,7 @@ impl fmt::Display for CState {
 
 /// Device power states (ACPI D-states) — modelled for completeness of the
 /// ACPI surface; the cluster simulation drives C-states only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DState {
     /// Fully on.
     D0,
@@ -114,7 +120,7 @@ pub enum DState {
 }
 
 /// System sleep states (ACPI S-states).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SState {
     /// Standby with CPU context held.
     S1,
@@ -127,7 +133,7 @@ pub enum SState {
 }
 
 /// Parameterised sleep-transition cost model for one server.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SleepModel {
     /// Wake (return-to-C0) latency per sleep state, indexed by depth 1..=6.
     wake_latency: [SimDuration; 6],
@@ -188,7 +194,7 @@ impl SleepModel {
 }
 
 /// Strategy deciding which sleep state an idle server should enter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SleepPolicy {
     /// The paper's rule (§6): C6 when cluster load `< threshold` (default
     /// 0.60), otherwise C3 — a busy cluster will likely need the server
@@ -298,7 +304,10 @@ mod tests {
         assert_eq!(m.wake_latency(CState::C6), SimDuration::from_secs(260));
         assert_eq!(m.transition_energy_j(CState::C3), 99.0);
         // Untouched entries stay at defaults.
-        assert_eq!(m.wake_latency(CState::C3), CState::C3.default_wake_latency());
+        assert_eq!(
+            m.wake_latency(CState::C3),
+            CState::C3.default_wake_latency()
+        );
     }
 
     #[test]

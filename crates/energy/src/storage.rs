@@ -20,10 +20,9 @@
 //! the repository reproduce the paper's storage-side energy arguments.
 
 use ecolb_simcore::rng::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Power states of one disk drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiskState {
     /// Spinning and serving I/O.
     Active,
@@ -35,7 +34,7 @@ pub enum DiskState {
 
 /// Power draw of one drive (typical 3.5" enterprise HDD, matching the §2
 /// 24–48 W band for 2–4 drives).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskPower {
     /// Watts while actively seeking/transferring.
     pub active_w: f64,
@@ -49,7 +48,12 @@ pub struct DiskPower {
 
 impl Default for DiskPower {
     fn default() -> Self {
-        DiskPower { active_w: 11.0, idle_w: 8.0, standby_w: 1.0, spinup_j: 135.0 }
+        DiskPower {
+            active_w: 11.0,
+            idle_w: 8.0,
+            standby_w: 1.0,
+            spinup_j: 135.0,
+        }
     }
 }
 
@@ -66,7 +70,7 @@ impl DiskPower {
 
 /// A window of recent block accesses used to decide what to replicate —
 /// the sliding-window policy of [25].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SlidingWindow {
     window: usize,
     recent: Vec<u64>,
@@ -76,7 +80,10 @@ impl SlidingWindow {
     /// Creates a window of the given length; panics when zero.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        SlidingWindow { window, recent: Vec::new() }
+        SlidingWindow {
+            window,
+            recent: Vec::new(),
+        }
     }
 
     /// Records one access to `block`.
@@ -106,7 +113,7 @@ impl SlidingWindow {
 
 /// A disk array under the replication strategy: hot blocks are replicated
 /// onto a small active set, cold disks stand by.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReplicatedArray {
     n_disks: usize,
     blocks_per_disk: u64,
@@ -127,7 +134,10 @@ impl ReplicatedArray {
     /// replicas.
     pub fn new(n_disks: usize, blocks_per_disk: u64, window: usize, replica_fraction: f64) -> Self {
         assert!(n_disks >= 2, "need at least two disks");
-        assert!((0.0..=1.0).contains(&replica_fraction), "replica fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&replica_fraction),
+            "replica fraction in [0,1]"
+        );
         let active_set = 1;
         ReplicatedArray {
             n_disks,
@@ -136,7 +146,8 @@ impl ReplicatedArray {
             window: SlidingWindow::new(window),
             active_set,
             replicas: Default::default(),
-            replica_capacity: (blocks_per_disk as f64 * replica_fraction) as u64 * active_set as u64,
+            replica_capacity: (blocks_per_disk as f64 * replica_fraction) as u64
+                * active_set as u64,
             spinups: 0,
         }
     }
@@ -149,6 +160,11 @@ impl ReplicatedArray {
     /// Number of disks currently spinning.
     pub fn active_disks(&self) -> usize {
         self.active_set
+    }
+
+    /// Blocks held by each disk.
+    pub fn blocks_per_disk(&self) -> u64 {
+        self.blocks_per_disk
     }
 
     /// Lifetime spin-up count.
@@ -173,7 +189,11 @@ impl ReplicatedArray {
 
     fn refresh_replicas(&mut self) {
         self.replicas.clear();
-        for (block, _) in self.window.hot_blocks().into_iter().take(self.replica_capacity as usize)
+        for (block, _) in self
+            .window
+            .hot_blocks()
+            .into_iter()
+            .take(self.replica_capacity as usize)
         {
             self.replicas.insert(block);
         }
@@ -197,7 +217,7 @@ impl ReplicatedArray {
 }
 
 /// A virtual node in the DHT-based migration scheme of [11].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VirtualNode {
     /// DHT identifier.
     pub id: u64,
@@ -208,7 +228,7 @@ pub struct VirtualNode {
 /// Physical storage nodes hosting virtual nodes; the short-term algorithm
 /// of [11] gathers virtual nodes onto few physical nodes when the load is
 /// low and spreads them when it is high.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VirtualNodeStore {
     /// Virtual-node assignment: `assignment[v]` = physical node index.
     assignment: Vec<usize>,
@@ -225,13 +245,22 @@ impl VirtualNodeStore {
     pub fn new(n_physical: usize, capacity: f64, vnodes: Vec<VirtualNode>) -> Self {
         assert!(n_physical > 0 && capacity > 0.0);
         let assignment = (0..vnodes.len()).map(|i| i % n_physical).collect();
-        VirtualNodeStore { assignment, vnodes, n_physical, capacity, migrations: 0 }
+        VirtualNodeStore {
+            assignment,
+            vnodes,
+            n_physical,
+            capacity,
+            migrations: 0,
+        }
     }
 
     /// Generates a store with `n_vnodes` random-load virtual nodes.
     pub fn random(n_physical: usize, capacity: f64, n_vnodes: usize, rng: &mut Rng) -> Self {
         let vnodes = (0..n_vnodes)
-            .map(|i| VirtualNode { id: i as u64, load: rng.uniform(0.05, 0.3) })
+            .map(|i| VirtualNode {
+                id: i as u64,
+                load: rng.uniform(0.05, 0.3),
+            })
             .collect();
         Self::new(n_physical, capacity, vnodes)
     }
@@ -348,7 +377,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > n / 2, "popular blocks served from replicas: {hits}/{n}");
+        assert!(
+            hits > n / 2,
+            "popular blocks served from replicas: {hits}/{n}"
+        );
     }
 
     #[test]
@@ -360,7 +392,10 @@ mod tests {
         assert!(managed < naive, "managed {managed} vs always-on {naive}");
         // The paper's cited result: up to ~31 % reduction; we should be in
         // that territory or better with one active disk.
-        assert!(managed < naive * 0.69, "savings at least 31%: {managed} vs {naive}");
+        assert!(
+            managed < naive * 0.69,
+            "savings at least 31%: {managed} vs {naive}"
+        );
     }
 
     #[test]
@@ -374,7 +409,10 @@ mod tests {
         for _ in 0..100 {
             array.access(rng.uniform_u64(10_000));
         }
-        assert!(array.spinups() > before, "uniform traffic defeats replication");
+        assert!(
+            array.spinups() > before,
+            "uniform traffic defeats replication"
+        );
     }
 
     #[test]

@@ -5,10 +5,8 @@
 //! with explicit underflow/overflow counters so no observation is silently
 //! dropped.
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram with `bins` uniform buckets over `[lo, hi)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -22,7 +20,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "histogram range inverted: [{lo}, {hi})");
         assert!(bins > 0, "histogram needs at least one bin");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one observation.
@@ -79,7 +83,10 @@ impl Histogram {
     /// linear interpolation within the containing bin. Returns `None` when
     /// the histogram holds no in-range observations.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         let in_range: u64 = self.counts.iter().sum();
         if in_range == 0 {
             return None;
@@ -90,7 +97,11 @@ impl Histogram {
             let next = acc + c as f64;
             if next >= target && c > 0 {
                 let (lo, hi) = self.bin_edges(i);
-                let frac = if c == 0 { 0.0 } else { (target - acc) / c as f64 };
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - acc) / c as f64
+                };
                 return Some(lo + (hi - lo) * frac.clamp(0.0, 1.0));
             }
             acc = next;
@@ -102,7 +113,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "histogram lo mismatch");
         assert_eq!(self.hi, other.hi, "histogram hi mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "histogram bin-count mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram bin-count mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

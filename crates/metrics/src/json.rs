@@ -1,0 +1,243 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace only ever *writes* JSON — experiment reports and run
+//! configurations land in `results/` for external tooling — and never
+//! parses it back, so a serializer dependency is not warranted. This
+//! module is the single place that knows JSON syntax: a [`ToJson`] trait
+//! with impls for the primitive shapes, plus an [`ObjectWriter`] for
+//! composing struct impls without worrying about comma placement.
+//!
+//! ```
+//! use ecolb_metrics::json::{ObjectWriter, ToJson};
+//!
+//! struct RunConfig { seed: u64, sizes: Vec<u64> }
+//! impl ToJson for RunConfig {
+//!     fn write_json(&self, out: &mut String) {
+//!         ObjectWriter::new(out)
+//!             .field("seed", &self.seed)
+//!             .field("sizes", &self.sizes)
+//!             .finish();
+//!     }
+//! }
+//! let c = RunConfig { seed: 7, sizes: vec![100, 1000] };
+//! assert_eq!(c.to_json(), r#"{"seed":7,"sizes":[100,1000]}"#);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Types that can render themselves as a JSON value.
+pub trait ToJson {
+    /// Appends this value's JSON representation to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Renders this value as a standalone JSON document.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (including the quotes).
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a float as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+pub fn write_json_number(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        write_json_number(out, *self);
+    }
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        }
+    )*};
+}
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, k);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+/// Comma-tracking helper for writing JSON objects field by field.
+pub struct ObjectWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjectWriter<'a> {
+    /// Opens an object (writes the `{`).
+    pub fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        ObjectWriter { out, first: true }
+    }
+
+    /// Writes one `"name":value` field.
+    pub fn field(mut self, name: &str, value: &dyn ToJson) -> Self {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_json_string(self.out, name);
+        self.out.push(':');
+        value.write_json(self.out);
+        self
+    }
+
+    /// Writes a field whose value is produced by `f` writing raw JSON —
+    /// for nested shapes that do not have a `ToJson` impl of their own.
+    pub fn field_with(mut self, name: &str, f: impl FnOnce(&mut String)) -> Self {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_json_string(self.out, name);
+        self.out.push(':');
+        f(self.out);
+        self
+    }
+
+    /// Closes the object (writes the `}`).
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-3i32).to_json(), "-3");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("a\"b".to_json(), "\"a\\\"b\"");
+        assert_eq!("\u{1}".to_json(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(vec![1u32, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Vec::<u32>::new().to_json(), "[]");
+        assert_eq!(Some(1u32).to_json(), "1");
+        assert_eq!(None::<u32>.to_json(), "null");
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2.0);
+        m.insert("a".to_string(), 1.0);
+        assert_eq!(m.to_json(), r#"{"a":1,"b":2}"#, "keys in sorted order");
+    }
+
+    #[test]
+    fn object_writer_commas() {
+        let mut out = String::new();
+        ObjectWriter::new(&mut out)
+            .field("a", &1u32)
+            .field("b", &"x")
+            .field_with("c", |o| o.push_str("[true]"))
+            .finish();
+        assert_eq!(out, r#"{"a":1,"b":"x","c":[true]}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        let mut out = String::new();
+        ObjectWriter::new(&mut out).finish();
+        assert_eq!(out, "{}");
+    }
+}

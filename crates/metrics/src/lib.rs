@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod histogram;
+pub mod json;
 pub mod plot;
 pub mod quantile;
 pub mod report;

@@ -12,7 +12,12 @@ use std::fmt::Write as _;
 ///
 /// `groups` is a list of `(label, values)` where each group carries one bar
 /// per series; `series` are the per-bar legends (e.g. "Initial", "Final").
-pub fn grouped_bars(title: &str, series: &[&str], groups: &[(String, Vec<f64>)], width: usize) -> String {
+pub fn grouped_bars(
+    title: &str,
+    series: &[&str],
+    groups: &[(String, Vec<f64>)],
+    width: usize,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     let max = groups
@@ -20,7 +25,12 @@ pub fn grouped_bars(title: &str, series: &[&str], groups: &[(String, Vec<f64>)],
         .flat_map(|(_, vs)| vs.iter().copied())
         .fold(0.0_f64, f64::max)
         .max(1e-12);
-    let label_w = groups.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(5);
+    let label_w = groups
+        .iter()
+        .map(|(l, _)| l.len())
+        .max()
+        .unwrap_or(0)
+        .max(5);
     let series_w = series.iter().map(|s| s.len()).max().unwrap_or(0);
     for (label, values) in groups {
         for (si, v) in values.iter().enumerate() {
@@ -83,7 +93,10 @@ mod tests {
         // The 20.0 bar is the longest: exactly `width` hashes.
         assert!(s.contains(&"#".repeat(20)), "plot:\n{s}");
         // The 10.0 bar is half as long.
-        assert!(s.contains(&format!("|{}{}|", "#".repeat(10), " ".repeat(10))), "plot:\n{s}");
+        assert!(
+            s.contains(&format!("|{}{}|", "#".repeat(10), " ".repeat(10))),
+            "plot:\n{s}"
+        );
     }
 
     #[test]

@@ -9,10 +9,8 @@
 //! calculation of quantiles and histograms without storing observations",
 //! CACM 28(10), 1985.
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming estimator of one quantile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct P2Quantile {
     q: f64,
     /// Marker heights.
@@ -59,7 +57,8 @@ impl P2Quantile {
         if self.count <= 5 {
             self.warmup.push(x);
             if self.count == 5 {
-                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                self.warmup
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
                 for (h, &w) in self.heights.iter_mut().zip(&self.warmup) {
                     *h = w;
                 }
@@ -172,7 +171,10 @@ mod tests {
         }
         let exact = exact_quantile(&mut xs, 0.5);
         let approx = est.estimate().unwrap();
-        assert!((approx - exact).abs() < 0.01, "approx {approx} vs exact {exact}");
+        assert!(
+            (approx - exact).abs() < 0.01,
+            "approx {approx} vs exact {exact}"
+        );
     }
 
     #[test]
@@ -213,7 +215,10 @@ mod tests {
             est.push(i as f64);
         }
         let e = est.estimate().unwrap();
-        assert!((e - 9_000.0).abs() < 200.0, "p90 of 0..10000 ≈ 9000, got {e}");
+        assert!(
+            (e - 9_000.0).abs() < 200.0,
+            "p90 of 0..10000 ≈ 9000, got {e}"
+        );
     }
 
     #[test]

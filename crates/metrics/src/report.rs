@@ -1,17 +1,18 @@
 //! Machine-readable experiment reports.
 //!
 //! Every experiment produces a [`Report`]: a named set of scalar metrics,
-//! series, and tables, serializable to JSON (via serde) and to CSV (series
-//! only, hand-rolled writer — CSV is simple enough that a dependency is not
-//! warranted).
+//! series, and tables, serializable to JSON (via the in-repo
+//! [`ToJson`](crate::json::ToJson) emitter) and to CSV (series only,
+//! hand-rolled writer — both formats are simple enough that a dependency
+//! is not warranted).
 
+use crate::json::{write_json_string, ObjectWriter, ToJson};
 use crate::timeseries::TimeSeries;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A structured experiment result.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Report {
     /// Experiment identifier, e.g. `"fig2/size=1000/load=30"`.
     pub id: String,
@@ -26,7 +27,12 @@ pub struct Report {
 impl Report {
     /// Creates an empty report.
     pub fn new(id: impl Into<String>, seed: u64) -> Self {
-        Report { id: id.into(), seed, scalars: BTreeMap::new(), series: Vec::new() }
+        Report {
+            id: id.into(),
+            seed,
+            scalars: BTreeMap::new(),
+            series: Vec::new(),
+        }
     }
 
     /// Records a scalar metric (overwrites a previous value of the same
@@ -88,36 +94,9 @@ impl Report {
         out
     }
 
-    /// Renders the report as a JSON document (hand-rolled writer — the
-    /// structure is small and fixed, so a serializer dependency is not
-    /// warranted; the serde derives remain for binary/IPC use).
+    /// Renders the report as a JSON document via [`ToJson`].
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{");
-        let _ = write!(out, "\"id\":{},", json_string(&self.id));
-        let _ = write!(out, "\"seed\":{},", self.seed);
-        out.push_str("\"scalars\":{");
-        for (i, (k, v)) in self.scalars.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "{}:{}", json_string(k), json_number(*v));
-        }
-        out.push_str("},\"series\":{");
-        for (i, ts) in self.series.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "{}:[", json_string(ts.name()));
-            for (j, v) in ts.values().iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                out.push_str(&json_number(*v));
-            }
-            out.push(']');
-        }
-        out.push_str("}}");
-        out
+        ToJson::to_json(self)
     }
 
     /// Renders the scalar map as a two-column CSV.
@@ -130,33 +109,27 @@ impl Report {
     }
 }
 
-/// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats a float as a JSON number; non-finite values become null.
-fn json_number(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
+impl ToJson for Report {
+    /// `{"id":…,"seed":…,"scalars":{name:value,…},"series":{name:[…],…}}` —
+    /// the layout external tooling under `results/` already consumes.
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("id", &self.id)
+            .field("seed", &self.seed)
+            .field("scalars", &self.scalars)
+            .field_with("series", |out| {
+                out.push('{');
+                for (i, ts) in self.series.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, ts.name());
+                    out.push(':');
+                    ts.values().write_json(out);
+                }
+                out.push('}');
+            })
+            .finish();
     }
 }
 

@@ -5,10 +5,8 @@
 //! parallel bench harness can compute per-thread summaries and combine them
 //! without storing samples.
 
-use serde::{Deserialize, Serialize};
-
 /// Single-pass mean/variance/min/max accumulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -26,7 +24,13 @@ impl Default for OnlineStats {
 impl OnlineStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Builds a summary from a slice in one pass.

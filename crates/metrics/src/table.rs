@@ -34,7 +34,12 @@ impl Table {
             .enumerate()
             .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
             .collect();
-        Table { title: None, headers, aligns, rows: Vec::new() }
+        Table {
+            title: None,
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
     }
 
     /// Sets a title printed above the table.

@@ -6,10 +6,9 @@
 //! suite.
 
 use crate::summary::OnlineStats;
-use serde::{Deserialize, Serialize};
 
 /// An append-only series of `(interval index, value)` observations.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimeSeries {
     name: String,
     values: Vec<f64>,
@@ -18,12 +17,18 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty, named series.
     pub fn new(name: impl Into<String>) -> Self {
-        TimeSeries { name: name.into(), values: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates a series from existing values.
     pub fn from_values(name: impl Into<String>, values: Vec<f64>) -> Self {
-        TimeSeries { name: name.into(), values }
+        TimeSeries {
+            name: name.into(),
+            values,
+        }
     }
 
     /// The series name (used as plot/CSV header).
@@ -98,6 +103,15 @@ impl TimeSeries {
             }
         }
         candidate
+    }
+}
+
+impl crate::json::ToJson for TimeSeries {
+    fn write_json(&self, out: &mut String) {
+        crate::json::ObjectWriter::new(out)
+            .field("name", &self.name)
+            .field("values", &self.values)
+            .finish();
     }
 }
 

@@ -19,10 +19,9 @@ use ecolb_metrics::summary::OnlineStats;
 use ecolb_metrics::timeseries::TimeSeries;
 use ecolb_workload::arrival::ArrivalProcess;
 use ecolb_workload::slo::{Sla, ViolationCounter};
-use serde::{Deserialize, Serialize};
 
 /// Farm parameters shared by all evaluated policies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FarmConfig {
     /// Total servers available.
     pub n_servers: u64,
@@ -57,7 +56,7 @@ impl Default for FarmConfig {
 }
 
 /// Outcome of evaluating one policy on one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyReport {
     /// Policy name.
     pub policy: String,
@@ -132,7 +131,11 @@ pub fn evaluate<P: CapacityPolicy>(
 
         // 2. Serve with the capacity that is active *now*.
         let capacity = active as f64 * config.per_server_rate;
-        let u = if capacity > 0.0 { observed_rate / capacity } else { f64::INFINITY };
+        let u = if capacity > 0.0 {
+            observed_rate / capacity
+        } else {
+            f64::INFINITY
+        };
         violations.record(config.sla.is_violated(u));
         let r = config.sla.response_time_s(u);
         if r.is_finite() {
@@ -146,10 +149,7 @@ pub fn evaluate<P: CapacityPolicy>(
         energy_j += active as f64 * config.power.power_w(u.min(1.0)) * dt;
         energy_j += setups_in_flight.len() as f64 * config.power.peak_power_w() * dt;
         let sleeping = config.n_servers - active - setups_in_flight.len() as u64;
-        energy_j += sleeping as f64
-            * config.power.idle_power_w()
-            * config.sleep_residual
-            * dt;
+        energy_j += sleeping as f64 * config.power.idle_power_w() * config.sleep_residual * dt;
 
         active_stats.push(active as f64);
         active_series.push(active as f64);
@@ -226,7 +226,11 @@ mod tests {
     }
 
     fn arrivals(shape: &TraceShape, config: &FarmConfig) -> ArrivalProcess {
-        ArrivalProcess::new(TraceGenerator::new(shape.clone(), 11), 22, config.step_seconds)
+        ArrivalProcess::new(
+            TraceGenerator::new(shape.clone(), 11),
+            22,
+            config.step_seconds,
+        )
     }
 
     #[test]
@@ -235,7 +239,9 @@ mod tests {
         let shape = TraceShape::Flat { rate: 2000.0 }; // 100 servers × 80 usable = 8000
         let rates = presample_rates(shape.clone(), 11, 200);
         let report = evaluate(
-            AlwaysOn { n_total: config.n_servers },
+            AlwaysOn {
+                n_total: config.n_servers,
+            },
             arrivals(&shape, &config),
             &rates,
             &config,
@@ -243,7 +249,10 @@ mod tests {
         );
         assert_eq!(report.violations.violated, 0);
         assert_eq!(report.avg_active, 100.0);
-        assert!(report.savings_fraction().abs() < 0.2, "always-on saves nothing");
+        assert!(
+            report.savings_fraction().abs() < 0.2,
+            "always-on saves nothing"
+        );
     }
 
     #[test]
@@ -251,10 +260,21 @@ mod tests {
         let config = FarmConfig::default();
         let shape = TraceShape::Flat { rate: 760.0 }; // 10 servers with slack
         let rates = presample_rates(shape.clone(), 11, 500);
-        let report =
-            evaluate(Reactive { sizing: sizing(&config) }, arrivals(&shape, &config), &rates, &config, 500);
+        let report = evaluate(
+            Reactive {
+                sizing: sizing(&config),
+            },
+            arrivals(&shape, &config),
+            &rates,
+            &config,
+            500,
+        );
         assert!(report.avg_active < 20.0, "avg active {}", report.avg_active);
-        assert!(report.savings_fraction() > 0.5, "savings {}", report.savings_fraction());
+        assert!(
+            report.savings_fraction() > 0.5,
+            "savings {}",
+            report.savings_fraction()
+        );
         // Flat load is the one case reactive handles: rare violations
         // (only Poisson noise can push utilization over the knee).
         assert!(
@@ -268,10 +288,21 @@ mod tests {
     fn reactive_violates_on_step_load() {
         let config = FarmConfig::default();
         // A 10× step: reactive lags by the 260 s setup time.
-        let shape = TraceShape::Step { before: 500.0, after: 5000.0, at: 100 };
+        let shape = TraceShape::Step {
+            before: 500.0,
+            after: 5000.0,
+            at: 100,
+        };
         let rates = presample_rates(shape.clone(), 11, 300);
-        let report =
-            evaluate(Reactive { sizing: sizing(&config) }, arrivals(&shape, &config), &rates, &config, 300);
+        let report = evaluate(
+            Reactive {
+                sizing: sizing(&config),
+            },
+            arrivals(&shape, &config),
+            &rates,
+            &config,
+            300,
+        );
         assert!(
             report.violations.violated >= config.setup_steps / 2,
             "the setup lag must show up as violations, got {}",
@@ -282,7 +313,11 @@ mod tests {
     #[test]
     fn optimal_handles_step_without_violations() {
         let config = FarmConfig::default();
-        let shape = TraceShape::Step { before: 500.0, after: 5000.0, at: 100 };
+        let shape = TraceShape::Step {
+            before: 500.0,
+            after: 5000.0,
+            at: 100,
+        };
         let rates = presample_rates(shape.clone(), 11, 300);
         let report = evaluate(
             Optimal {
@@ -308,11 +343,22 @@ mod tests {
     #[test]
     fn autoscale_beats_reactive_on_spiky_violations() {
         let config = FarmConfig::default();
-        let shape =
-            TraceShape::Spiky { base: 800.0, mean_gap: 40.0, magnitude: 4.0, duration: 5 };
+        let shape = TraceShape::Spiky {
+            base: 800.0,
+            mean_gap: 40.0,
+            magnitude: 4.0,
+            duration: 5,
+        };
         let rates = presample_rates(shape.clone(), 11, 600);
-        let reactive =
-            evaluate(Reactive { sizing: sizing(&config) }, arrivals(&shape, &config), &rates, &config, 600);
+        let reactive = evaluate(
+            Reactive {
+                sizing: sizing(&config),
+            },
+            arrivals(&shape, &config),
+            &rates,
+            &config,
+            600,
+        );
         let autoscale = evaluate(
             AutoScale::new(sizing(&config), 30),
             arrivals(&shape, &config),
@@ -340,7 +386,10 @@ mod tests {
 
     #[test]
     fn energy_accounts_every_server_every_step() {
-        let config = FarmConfig { n_servers: 10, ..Default::default() };
+        let config = FarmConfig {
+            n_servers: 10,
+            ..Default::default()
+        };
         let shape = TraceShape::Flat { rate: 100.0 };
         let rates = presample_rates(shape.clone(), 11, 50);
         let report = evaluate(
@@ -351,27 +400,65 @@ mod tests {
             50,
         );
         // 10 servers × ~(100..200 W) × 500 s → between 139 and 278 Wh.
-        assert!(report.energy_wh > 100.0 && report.energy_wh < 300.0, "{}", report.energy_wh);
+        assert!(
+            report.energy_wh > 100.0 && report.energy_wh < 300.0,
+            "{}",
+            report.energy_wh
+        );
     }
 
     #[test]
     fn deterministic_given_seeds() {
         let config = FarmConfig::default();
-        let shape = TraceShape::Diurnal { base: 2000.0, amplitude: 1500.0, period: 200.0 };
+        let shape = TraceShape::Diurnal {
+            base: 2000.0,
+            amplitude: 1500.0,
+            period: 200.0,
+        };
         let rates = presample_rates(shape.clone(), 11, 300);
-        let a = evaluate(Reactive { sizing: sizing(&config) }, arrivals(&shape, &config), &rates, &config, 300);
-        let b = evaluate(Reactive { sizing: sizing(&config) }, arrivals(&shape, &config), &rates, &config, 300);
+        let a = evaluate(
+            Reactive {
+                sizing: sizing(&config),
+            },
+            arrivals(&shape, &config),
+            &rates,
+            &config,
+            300,
+        );
+        let b = evaluate(
+            Reactive {
+                sizing: sizing(&config),
+            },
+            arrivals(&shape, &config),
+            &rates,
+            &config,
+            300,
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn setups_are_counted_and_bounded() {
         let config = FarmConfig::default();
-        let shape = TraceShape::Step { before: 500.0, after: 5000.0, at: 50 };
+        let shape = TraceShape::Step {
+            before: 500.0,
+            after: 5000.0,
+            at: 50,
+        };
         let rates = presample_rates(shape.clone(), 11, 200);
-        let report =
-            evaluate(Reactive { sizing: sizing(&config) }, arrivals(&shape, &config), &rates, &config, 200);
+        let report = evaluate(
+            Reactive {
+                sizing: sizing(&config),
+            },
+            arrivals(&shape, &config),
+            &rates,
+            &config,
+            200,
+        );
         assert!(report.setups > 0);
-        assert!(report.setups <= config.n_servers * 4, "no runaway setup churn");
+        assert!(
+            report.setups <= config.n_servers * 4,
+            "no runaway setup churn"
+        );
     }
 }

@@ -10,7 +10,6 @@
 //! interface and evaluated by [`crate::farm`].
 
 use ecolb_workload::slo::Sla;
-use serde::{Deserialize, Serialize};
 
 /// What a policy sees at each decision step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,7 +37,7 @@ pub trait CapacityPolicy {
 
 /// Sizing helper shared by all policies: servers needed for `rate` under
 /// the SLA, given per-server capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sizing {
     /// Requests/second one server completes at full utilization.
     pub per_server_rate: f64,
@@ -50,13 +49,18 @@ impl Sizing {
     /// Creates the sizing model.
     pub fn new(per_server_rate: f64, sla: Sla) -> Self {
         assert!(per_server_rate > 0.0, "per-server rate must be positive");
-        Sizing { per_server_rate, sla }
+        Sizing {
+            per_server_rate,
+            sla,
+        }
     }
 
     /// Servers needed to serve `rate` within the SLA (at least 1 for any
     /// positive rate).
     pub fn servers_for(&self, rate: f64) -> u64 {
-        self.sla.servers_needed(rate.max(0.0), self.per_server_rate).max(1)
+        self.sla
+            .servers_needed(rate.max(0.0), self.per_server_rate)
+            .max(1)
     }
 }
 
@@ -134,7 +138,11 @@ pub struct AutoScale {
 impl AutoScale {
     /// Creates the policy.
     pub fn new(sizing: Sizing, hold_steps: u64) -> Self {
-        AutoScale { sizing, hold_steps, below_for: 0 }
+        AutoScale {
+            sizing,
+            hold_steps,
+            below_for: 0,
+        }
     }
 }
 
@@ -180,7 +188,11 @@ impl MovingWindow {
     /// Creates the policy; panics for an empty window.
     pub fn new(sizing: Sizing, window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        MovingWindow { sizing, window, history: Vec::new() }
+        MovingWindow {
+            sizing,
+            window,
+            history: Vec::new(),
+        }
     }
 
     fn predict(&self) -> f64 {
@@ -219,7 +231,11 @@ impl LinearRegression {
     /// Creates the policy; the window needs at least two points to fit.
     pub fn new(sizing: Sizing, window: usize) -> Self {
         assert!(window >= 2, "regression needs a window of at least 2");
-        LinearRegression { sizing, window, history: Vec::new() }
+        LinearRegression {
+            sizing,
+            window,
+            history: Vec::new(),
+        }
     }
 
     fn predict(&self) -> f64 {
@@ -296,7 +312,12 @@ mod tests {
     }
 
     fn input(rate: f64, active: u64) -> PolicyInput<'static> {
-        PolicyInput { observed_rate: rate, active, in_setup: 0, future_rates: &[] }
+        PolicyInput {
+            observed_rate: rate,
+            active,
+            in_setup: 0,
+            future_rates: &[],
+        }
     }
 
     #[test]
@@ -325,7 +346,10 @@ mod tests {
 
     #[test]
     fn margin_adds_fraction() {
-        let mut p = ReactiveExtraCapacity { sizing: sizing(), margin: 0.2 };
+        let mut p = ReactiveExtraCapacity {
+            sizing: sizing(),
+            margin: 0.2,
+        };
         // reactive would say 10; +20 % → 12.
         assert_eq!(p.desired_servers(&input(800.0, 10)), 12);
     }
@@ -343,7 +367,11 @@ mod tests {
         for _ in 0..2 {
             assert_eq!(p.desired_servers(&input(10.0, 10)), 10, "holding");
         }
-        assert_eq!(p.desired_servers(&input(10.0, 10)), 9, "released one after hold");
+        assert_eq!(
+            p.desired_servers(&input(10.0, 10)),
+            9,
+            "released one after hold"
+        );
         // Counter reset: holds again.
         assert_eq!(p.desired_servers(&input(10.0, 9)), 9);
     }
@@ -377,7 +405,11 @@ mod tests {
         }
         // Perfect linear trend predicts 400 next → 5 servers; the moving
         // average would only say 250 → 4. Regression leads the ramp.
-        assert_eq!(p.desired_servers(&input(400.0, 1)), 7, "predicts 500 for next step");
+        assert_eq!(
+            p.desired_servers(&input(400.0, 1)),
+            7,
+            "predicts 500 for next step"
+        );
     }
 
     #[test]
@@ -393,9 +425,18 @@ mod tests {
 
     #[test]
     fn optimal_uses_lookahead_peak() {
-        let mut p = Optimal { sizing: sizing(), setup_steps: 2, noise_margin: 0.0 };
+        let mut p = Optimal {
+            sizing: sizing(),
+            setup_steps: 2,
+            noise_margin: 0.0,
+        };
         let future = [100.0, 900.0, 50.0, 2000.0];
-        let inp = PolicyInput { observed_rate: 10.0, active: 1, in_setup: 0, future_rates: &future };
+        let inp = PolicyInput {
+            observed_rate: 10.0,
+            active: 1,
+            in_setup: 0,
+            future_rates: &future,
+        };
         // Horizon is setup_steps + 1 = 3 entries: peak 900 → 12 servers;
         // the 2000 beyond the horizon is ignored.
         assert_eq!(p.desired_servers(&inp), 12);
@@ -403,14 +444,26 @@ mod tests {
 
     #[test]
     fn optimal_with_empty_future_falls_back_to_observed() {
-        let mut p = Optimal { sizing: sizing(), setup_steps: 3, noise_margin: 0.0 };
+        let mut p = Optimal {
+            sizing: sizing(),
+            setup_steps: 3,
+            noise_margin: 0.0,
+        };
         assert_eq!(p.desired_servers(&input(160.0, 1)), 2);
     }
 
     #[test]
     fn optimal_noise_margin_adds_servers() {
-        let mut exact = Optimal { sizing: sizing(), setup_steps: 0, noise_margin: 0.0 };
-        let mut padded = Optimal { sizing: sizing(), setup_steps: 0, noise_margin: 0.15 };
+        let mut exact = Optimal {
+            sizing: sizing(),
+            setup_steps: 0,
+            noise_margin: 0.0,
+        };
+        let mut padded = Optimal {
+            sizing: sizing(),
+            setup_steps: 0,
+            noise_margin: 0.15,
+        };
         assert_eq!(exact.desired_servers(&input(800.0, 1)), 10);
         assert_eq!(padded.desired_servers(&input(800.0, 1)), 12);
     }

@@ -108,8 +108,7 @@ impl<T> CalendarQueue<T> {
     fn resize(&mut self, new_buckets: usize) {
         // Re-estimate the day width from the average inter-event gap so
         // each bucket holds O(1) events of the next year.
-        let mut entries: Vec<Entry<T>> =
-            self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        let mut entries: Vec<Entry<T>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
         entries.sort_by(|a, b| (a.at, a.seq).cmp(&(b.at, b.seq)));
         if entries.len() >= 2 {
             let span = entries[entries.len() - 1].at.ticks() - entries[0].at.ticks();

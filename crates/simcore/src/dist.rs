@@ -6,7 +6,6 @@
 //! without touching the cluster code).
 
 use crate::rng::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Something that can draw `f64` samples from an [`Rng`].
 pub trait Distribution {
@@ -20,7 +19,7 @@ pub trait Distribution {
 }
 
 /// Uniform distribution on `[lo, hi)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Uniform {
     /// Inclusive lower bound.
     pub lo: f64,
@@ -32,7 +31,10 @@ impl Uniform {
     /// Creates the distribution; panics when `lo > hi` or a bound is not
     /// finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "uniform bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "uniform bounds must be finite"
+        );
         assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi})");
         Uniform { lo, hi }
     }
@@ -50,7 +52,7 @@ impl Distribution for Uniform {
 }
 
 /// Normal distribution via the Marsaglia polar method.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Normal {
     /// Mean.
     pub mu: f64,
@@ -61,7 +63,10 @@ pub struct Normal {
 impl Normal {
     /// Creates the distribution; panics on negative or non-finite `sigma`.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0, got {sigma}");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be >= 0, got {sigma}"
+        );
         Normal { mu, sigma }
     }
 }
@@ -89,7 +94,7 @@ impl Distribution for Normal {
 }
 
 /// Exponential distribution with rate `lambda` (mean `1/lambda`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Exponential {
     /// Rate parameter; strictly positive.
     pub lambda: f64,
@@ -98,7 +103,10 @@ pub struct Exponential {
 impl Exponential {
     /// Creates the distribution; panics when `lambda <= 0`.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be > 0, got {lambda}");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be > 0, got {lambda}"
+        );
         Exponential { lambda }
     }
 }
@@ -116,7 +124,7 @@ impl Distribution for Exponential {
 }
 
 /// Pareto (type I) distribution: heavy-tailed, used for spiky workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pareto {
     /// Scale: the minimum value, strictly positive.
     pub scale: f64,
@@ -149,7 +157,7 @@ impl Distribution for Pareto {
 ///
 /// Sampled by inversion against the precomputed CDF; `O(log n)` per draw.
 /// Used for popularity-skewed application placement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Zipf {
     cdf: Vec<f64>,
 }
@@ -193,7 +201,7 @@ impl Distribution for Zipf {
 /// Knuth's multiplication method for small means, normal approximation with
 /// continuity correction beyond `lambda = 30` (adequate for arrival counts;
 /// error is well below the stochastic noise of the experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Poisson {
     /// Mean; non-negative.
     pub lambda: f64,
@@ -202,7 +210,10 @@ pub struct Poisson {
 impl Poisson {
     /// Creates the distribution; panics on negative or non-finite `lambda`.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be >= 0, got {lambda}");
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be >= 0, got {lambda}"
+        );
         Poisson { lambda }
     }
 
@@ -245,7 +256,7 @@ impl Distribution for Poisson {
 
 /// Log-normal distribution: `exp(N(mu, sigma))` — the classic model for
 /// file sizes and service times with a heavy right tail.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogNormal {
     /// Mean of the underlying normal.
     pub mu: f64,
@@ -256,7 +267,10 @@ pub struct LogNormal {
 impl LogNormal {
     /// Creates the distribution; panics on negative or non-finite `sigma`.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be >= 0, got {sigma}");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be >= 0, got {sigma}"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -280,7 +294,7 @@ impl Distribution for LogNormal {
 
 /// Weibull distribution — failure times and duty cycles; `shape < 1`
 /// gives a decreasing hazard (infant mortality), `shape > 1` wear-out.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Weibull {
     /// Scale parameter λ, strictly positive.
     pub scale: f64,
@@ -310,7 +324,7 @@ impl Distribution for Weibull {
 
 /// Erlang-k distribution: sum of `k` exponentials — service times with
 /// bounded variability.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Erlang {
     /// Number of exponential stages.
     pub k: u32,
@@ -373,7 +387,7 @@ fn gamma(x: f64) -> f64 {
 }
 
 /// A constant "distribution" — handy as a degenerate workload shape.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Constant(pub f64);
 
 impl Distribution for Constant {
@@ -441,7 +455,10 @@ mod tests {
         }
         let m = sample_mean(&d, 6, 400_000);
         let expect = d.mean().unwrap();
-        assert!((m - expect).abs() / expect < 0.05, "mean {m} expect {expect}");
+        assert!(
+            (m - expect).abs() / expect < 0.05,
+            "mean {m} expect {expect}"
+        );
     }
 
     #[test]
@@ -457,7 +474,12 @@ mod tests {
         for _ in 0..50_000 {
             counts[d.sample_rank(&mut rng)] += 1;
         }
-        assert!(counts[1] > counts[2], "rank 1 {} rank 2 {}", counts[1], counts[2]);
+        assert!(
+            counts[1] > counts[2],
+            "rank 1 {} rank 2 {}",
+            counts[1],
+            counts[2]
+        );
         assert!(counts[2] > counts[10]);
         assert_eq!(counts[0], 0, "rank 0 must never occur");
     }
@@ -570,7 +592,10 @@ mod tests {
             let mean = xs.iter().sum::<f64>() / n as f64;
             xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64
         };
-        assert!(var_erlang < var_exp, "Erlang-4 is less variable: {var_erlang} < {var_exp}");
+        assert!(
+            var_erlang < var_exp,
+            "Erlang-4 is less variable: {var_erlang} < {var_exp}"
+        );
     }
 
     #[test]

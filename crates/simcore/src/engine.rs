@@ -40,14 +40,22 @@ impl<'a, E> Scheduler<'a, E> {
     /// past (panics in debug builds otherwise).
     #[inline]
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule(at, event);
     }
 
     /// Schedules with an explicit same-instant priority.
     #[inline]
     pub fn schedule_at_with(&mut self, at: SimTime, prio: Priority, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule_with(at, prio, event);
     }
 
@@ -165,7 +173,10 @@ impl<E> Engine<E> {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.events_processed += 1;
-            let mut sched = Scheduler { now: self.now, queue: &mut self.queue };
+            let mut sched = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+            };
             if handler(state, &mut sched, event) == Control::Stop {
                 return RunOutcome::Stopped;
             }

@@ -78,12 +78,18 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Creates an empty queue with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `payload` to fire at `at` with [`Priority::NORMAL`].
@@ -95,7 +101,12 @@ impl<T> EventQueue<T> {
     pub fn schedule_with(&mut self, at: SimTime, prio: Priority, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, prio, seq, payload });
+        self.heap.push(Scheduled {
+            at,
+            prio,
+            seq,
+            payload,
+        });
     }
 
     /// Removes and returns the earliest event, or `None` when empty.

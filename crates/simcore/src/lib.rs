@@ -9,7 +9,10 @@
 //! * [`time`] — fixed-point simulated time ([`SimTime`], [`SimDuration`]);
 //! * [`rng`]/[`dist`] — a self-contained, seedable xoshiro256++ generator
 //!   and the distributions used by the workload models;
-//! * [`event`]/[`engine`] — a deterministic pending-event set and run-loop.
+//! * [`event`]/[`engine`] — a deterministic pending-event set and run-loop;
+//! * [`par`] — order-preserving `std::thread` fan-out for experiment
+//!   matrices (bit-identical at any thread count);
+//! * [`proptest_lite`] — a shrink-free, seed-replayable property harness.
 //!
 //! Everything is seed-reproducible: the same seed produces bit-identical
 //! results on every platform, which is what lets the benchmark harness pin
@@ -36,14 +39,16 @@ pub mod calendar;
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod par;
+pub mod proptest_lite;
 pub mod rng;
 pub mod time;
 
 /// One-stop imports for simulation authors.
 pub mod prelude {
     pub use crate::dist::{
-        Constant, Distribution, Erlang, Exponential, LogNormal, Normal, Pareto, Poisson,
-        Uniform, Weibull, Zipf,
+        Constant, Distribution, Erlang, Exponential, LogNormal, Normal, Pareto, Poisson, Uniform,
+        Weibull, Zipf,
     };
     pub use crate::engine::{Control, Engine, RunOutcome, Scheduler};
     pub use crate::event::{EventQueue, Priority};

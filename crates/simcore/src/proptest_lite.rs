@@ -1,0 +1,188 @@
+//! A tiny property-testing harness on the in-repo PRNG.
+//!
+//! The workspace is hermetic (no external crates), so instead of
+//! `proptest` the property tests use this shrink-free harness: each case
+//! draws its inputs from a [`Gen`] seeded by `splitmix64(base ^ case)`,
+//! and a failing case panics with the **case seed** so it can be replayed
+//! in isolation:
+//!
+//! ```text
+//! ECOLB_PROP_SEED=<seed> cargo test -q failing_test_name
+//! ```
+//!
+//! Design choices, deliberately simpler than proptest:
+//! * no shrinking — cases are already small by construction, and the
+//!   printed seed makes any failure reproducible;
+//! * assertions are plain `assert!`/`assert_eq!` inside the closure;
+//! * the number of cases defaults to 64 and is overridable with
+//!   `ECOLB_PROP_CASES` (CI can crank it up without a recompile).
+
+use crate::rng::{splitmix64, Rng};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Per-case random input source: a thin wrapper over [`Rng`] with the
+/// draw helpers property tests need.
+pub struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// Creates a generator for one case from its case seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// An arbitrary 64-bit value (the `any::<u64>()` of this harness).
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.rng.uniform_u64(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `u8` in `[lo, hi)`.
+    pub fn u8_in(&mut self, lo: u8, hi: u8) -> u8 {
+        self.u64_in(lo as u64, hi as u64) as u8
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (or `[lo, hi]` when callers treat the
+    /// half-open edge as closed; the distinction never matters for the
+    /// properties here).
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.uniform(lo, hi)
+    }
+
+    /// A `Vec<f64>` with uniform entries in `[lo, hi)` and a uniform
+    /// length in `[min_len, max_len)`.
+    pub fn vec_f64(&mut self, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| self.f64_in(lo, hi)).collect()
+    }
+
+    /// Access to the underlying PRNG for draws the helpers do not cover.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+}
+
+/// Runs `property` for [`DEFAULT_CASES`] cases (or `ECOLB_PROP_CASES`),
+/// panicking with a replayable case seed on the first failure.
+pub fn check(name: &str, property: impl FnMut(&mut Gen)) {
+    check_cases(name, cases_from_env(), property);
+}
+
+/// [`check`] with an explicit case count.
+pub fn check_cases(name: &str, cases: u64, mut property: impl FnMut(&mut Gen)) {
+    if let Some(seed) = replay_seed_from_env() {
+        eprintln!("proptest_lite: replaying {name} with ECOLB_PROP_SEED={seed}");
+        let mut gen = Gen::from_seed(seed);
+        property(&mut gen);
+        return;
+    }
+    // Vary the base per property name so two properties in one test
+    // binary do not see identical input streams.
+    let base = name.bytes().fold(0x5EED_u64, |h, b| {
+        let mut s = h ^ b as u64;
+        splitmix64(&mut s)
+    });
+    for case in 0..cases {
+        let mut s = base ^ case;
+        let case_seed = splitmix64(&mut s);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut gen = Gen::from_seed(case_seed);
+            property(&mut gen);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest_lite: property {name} failed on case {case}/{cases}; \
+                 replay with ECOLB_PROP_SEED={case_seed}"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn cases_from_env() -> u64 {
+    match std::env::var("ECOLB_PROP_CASES") {
+        Err(_) => DEFAULT_CASES,
+        // A typo must not silently fall back: the caller thinks they
+        // changed the case count.
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("ECOLB_PROP_CASES must be a u64, got {v:?}")),
+    }
+}
+
+fn replay_seed_from_env() -> Option<u64> {
+    let v = std::env::var("ECOLB_PROP_SEED").ok()?;
+    // A typo must not silently run a fresh sweep: the caller thinks
+    // they replayed the recorded failure.
+    Some(
+        v.parse()
+            .unwrap_or_else(|_| panic!("ECOLB_PROP_SEED must be a u64, got {v:?}")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_see_distinct_inputs() {
+        let mut seen = Vec::new();
+        check_cases("distinct", 16, |g| seen.push(g.u64()));
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 16, "16 cases draw 16 distinct first values");
+    }
+
+    #[test]
+    fn properties_with_different_names_diverge() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        check_cases("stream-a", 8, |g| a.push(g.u64()));
+        check_cases("stream-b", 8, |g| b.push(g.u64()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        check_cases("ranges", 64, |g| {
+            assert!((2..30).contains(&g.usize_in(2, 30)));
+            let x = g.f64_in(0.25, 0.5);
+            assert!((0.25..0.5).contains(&x));
+            let v = g.vec_f64(0.0, 1.0, 2, 50);
+            assert!((2..50).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        });
+    }
+
+    #[test]
+    fn failure_reports_replay_seed() {
+        let caught = std::panic::catch_unwind(|| {
+            check_cases("always-fails", 4, |_| panic!("intentional"));
+        });
+        assert!(caught.is_err(), "failing property must propagate the panic");
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        check_cases("replay", 8, |g| a.push(g.u64()));
+        check_cases("replay", 8, |g| b.push(g.u64()));
+        assert_eq!(a, b, "property streams are deterministic");
+    }
+}

@@ -11,8 +11,6 @@
 //! the parent seed, so adding instrumentation that draws extra numbers in one
 //! component does not perturb any other component.
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64 step; used for seeding and stream splitting.
 ///
 /// Reference: Sebastiano Vigna, <https://prng.di.unimi.it/splitmix64.c>.
@@ -29,7 +27,7 @@ pub fn splitmix64(state: &mut u64) -> u64 {
 ///
 /// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
 /// generators", <https://prng.di.unimi.it/xoshiro256plusplus.c>.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng {
     s: [u64; 4],
 }
@@ -228,7 +226,10 @@ mod tests {
         for &c in &counts {
             // 5-sigma band for a binomial with p = 1/5.
             let sigma = (n as f64 * 0.2 * 0.8).sqrt();
-            assert!((c as f64 - expect).abs() < 5.0 * sigma, "count {c} vs {expect}");
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * sigma,
+                "count {c} vs {expect}"
+            );
         }
     }
 
@@ -254,7 +255,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]

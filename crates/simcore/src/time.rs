@@ -6,7 +6,6 @@
 //! schedules, which floating-point time cannot guarantee once durations are
 //! accumulated in different orders.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
@@ -15,9 +14,7 @@ pub const TICKS_PER_SECOND: u64 = 1_000_000;
 
 /// A point on the simulated timeline, in microseconds since the start of the
 /// simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -82,9 +79,7 @@ impl fmt::Display for SimTime {
 }
 
 /// A span of simulated time, in microseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -255,7 +250,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_ticks(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_ticks(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_ticks(7)),
             Some(SimTime::from_ticks(7))

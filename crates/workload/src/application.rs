@@ -8,11 +8,10 @@
 //! increase is limited" per reallocation interval.
 
 use ecolb_simcore::rng::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Globally unique application identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AppId(pub u64);
 
 impl fmt::Display for AppId {
@@ -22,7 +21,7 @@ impl fmt::Display for AppId {
 }
 
 /// An application instance (one VM's workload).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Application {
     /// Identifier.
     pub id: AppId,
@@ -40,10 +39,18 @@ impl Application {
     /// Creates an application; panics on out-of-range demand or negative
     /// parameters.
     pub fn new(id: AppId, demand: f64, lambda: f64, vm_image_gib: f64) -> Self {
-        assert!((0.0..=1.0).contains(&demand), "demand {demand} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&demand),
+            "demand {demand} outside [0, 1]"
+        );
         assert!(lambda >= 0.0, "lambda must be non-negative, got {lambda}");
         assert!(vm_image_gib > 0.0, "VM image size must be positive");
-        Application { id, demand, lambda, vm_image_gib }
+        Application {
+            id,
+            demand,
+            lambda,
+            vm_image_gib,
+        }
     }
 }
 
@@ -51,7 +58,7 @@ impl Application {
 ///
 /// All variants respect the paper's bounded-rate requirement: the per-
 /// interval change never exceeds the application's `λ`.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum GrowthModel {
     /// Symmetric bounded random walk: `Δ ~ U[−λ, +λ]`. The cluster load is
     /// (approximately) stationary — this is the regime of the paper's
@@ -154,8 +161,10 @@ mod tests {
         let a = app(0.5, 0.02);
         let mut rng = Rng::new(3);
         let g = GrowthModel::BiasedWalk { bias: 0.5 };
-        let mean: f64 =
-            (0..20_000).map(|_| g.sample_delta(&a, &mut rng)).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000)
+            .map(|_| g.sample_delta(&a, &mut rng))
+            .sum::<f64>()
+            / 20_000.0;
         assert!(mean > 0.003, "mean {mean}");
     }
 
@@ -172,15 +181,28 @@ mod tests {
     #[test]
     fn mean_reverting_pulls_towards_target() {
         let mut rng = Rng::new(5);
-        let g = GrowthModel::MeanReverting { target: 0.5, strength: 0.5 };
+        let g = GrowthModel::MeanReverting {
+            target: 0.5,
+            strength: 0.5,
+        };
         let high = app(0.9, 0.05);
         let low = app(0.1, 0.05);
-        let mean_high: f64 =
-            (0..20_000).map(|_| g.sample_delta(&high, &mut rng)).sum::<f64>() / 20_000.0;
-        let mean_low: f64 =
-            (0..20_000).map(|_| g.sample_delta(&low, &mut rng)).sum::<f64>() / 20_000.0;
-        assert!(mean_high < 0.0, "overloaded app should trend down, mean {mean_high}");
-        assert!(mean_low > 0.0, "underloaded app should trend up, mean {mean_low}");
+        let mean_high: f64 = (0..20_000)
+            .map(|_| g.sample_delta(&high, &mut rng))
+            .sum::<f64>()
+            / 20_000.0;
+        let mean_low: f64 = (0..20_000)
+            .map(|_| g.sample_delta(&low, &mut rng))
+            .sum::<f64>()
+            / 20_000.0;
+        assert!(
+            mean_high < 0.0,
+            "overloaded app should trend down, mean {mean_high}"
+        );
+        assert!(
+            mean_low > 0.0,
+            "underloaded app should trend up, mean {mean_low}"
+        );
     }
 
     #[test]
@@ -210,7 +232,10 @@ mod tests {
                 saw_clamped_request = true;
             }
         }
-        assert!(saw_clamped_request, "expected at least one clamped growth request");
+        assert!(
+            saw_clamped_request,
+            "expected at least one clamped growth request"
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl ArrivalProcess {
     /// window length.
     pub fn new(trace: TraceGenerator, seed: u64, step_seconds: f64) -> Self {
         assert!(step_seconds > 0.0, "step length must be positive");
-        ArrivalProcess { trace, rng: Rng::new(seed), step_seconds }
+        ArrivalProcess {
+            trace,
+            rng: Rng::new(seed),
+            step_seconds,
+        }
     }
 
     /// The underlying step length in seconds.
@@ -66,7 +70,11 @@ mod tests {
         let mut ap = ArrivalProcess::new(trace, 3, 1.0);
         let xs: Vec<u64> = (0..1000).map(|_| ap.next_step().1).collect();
         let distinct: std::collections::BTreeSet<u64> = xs.iter().copied().collect();
-        assert!(distinct.len() > 10, "Poisson noise produces spread, got {}", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "Poisson noise produces spread, got {}",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -96,8 +104,14 @@ mod tests {
             let trace = TraceGenerator::new(TraceShape::Flat { rate: 20.0 }, 9);
             ArrivalProcess::new(trace, 10, 1.0)
         };
-        let a: Vec<u64> = { let mut p = mk(); (0..100).map(|_| p.next_step().1).collect() };
-        let b: Vec<u64> = { let mut p = mk(); (0..100).map(|_| p.next_step().1).collect() };
+        let a: Vec<u64> = {
+            let mut p = mk();
+            (0..100).map(|_| p.next_step().1).collect()
+        };
+        let b: Vec<u64> = {
+            let mut p = mk();
+            (0..100).map(|_| p.next_step().1).collect()
+        };
         assert_eq!(a, b);
     }
 

@@ -7,10 +7,9 @@
 
 use crate::application::{AppId, Application};
 use ecolb_simcore::rng::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for the initial-placement generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// Lower bound of the initial per-server load band (fraction of
     /// capacity).
@@ -88,7 +87,10 @@ impl WorkloadSpec {
             0.0 < self.min_app_demand && self.min_app_demand <= self.max_app_demand,
             "app demand band invalid"
         );
-        assert!(0.0 <= self.lambda_lo && self.lambda_lo <= self.lambda_hi, "lambda band invalid");
+        assert!(
+            0.0 <= self.lambda_lo && self.lambda_lo <= self.lambda_hi,
+            "lambda band invalid"
+        );
         assert!(
             0.0 < self.image_gib_lo && self.image_gib_lo <= self.image_gib_hi,
             "image band invalid"
@@ -103,7 +105,7 @@ impl Default for WorkloadSpec {
 }
 
 /// Allocates globally unique application ids.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AppIdAllocator {
     next: u64,
 }
@@ -167,8 +169,7 @@ mod tests {
             let apps = generate_server_apps(&spec, &mut ids, &mut rng);
             let load = total_demand(&apps);
             assert!(
-                load >= spec.load_lo - spec.min_app_demand - 1e-9
-                    && load <= spec.load_hi + 1e-9,
+                load >= spec.load_lo - spec.min_app_demand - 1e-9 && load <= spec.load_hi + 1e-9,
                 "load {load} outside tolerance of [{}, {}]",
                 spec.load_lo,
                 spec.load_hi
@@ -186,7 +187,10 @@ mod tests {
             .map(|_| total_demand(&generate_server_apps(&spec, &mut ids, &mut rng)))
             .sum::<f64>()
             / n as f64;
-        assert!((mean - 0.70).abs() < 0.02, "mean load {mean}, expected ≈ 0.70");
+        assert!(
+            (mean - 0.70).abs() < 0.02,
+            "mean load {mean}, expected ≈ 0.70"
+        );
     }
 
     #[test]
@@ -224,7 +228,10 @@ mod tests {
         let mut rng = Rng::new(5);
         let apps = generate_server_apps(&spec, &mut ids, &mut rng);
         if apps.len() >= 2 {
-            assert_ne!(apps[0].lambda, apps[1].lambda, "each app has a unique lambda");
+            assert_ne!(
+                apps[0].lambda, apps[1].lambda,
+                "each app has a unique lambda"
+            );
         }
     }
 
@@ -245,7 +252,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "load band")]
     fn generator_rejects_bad_band() {
-        let spec = WorkloadSpec { load_lo: 0.9, load_hi: 0.1, ..WorkloadSpec::paper_low_load() };
+        let spec = WorkloadSpec {
+            load_lo: 0.9,
+            load_hi: 0.1,
+            ..WorkloadSpec::paper_low_load()
+        };
         generate_server_apps(&spec, &mut AppIdAllocator::new(), &mut Rng::new(0));
     }
 }

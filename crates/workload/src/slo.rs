@@ -8,10 +8,8 @@
 //! queue, so the mean response time at utilization `u` is
 //! `R(u) = S / (1 − u)` for `u < 1` and unbounded at saturation.
 
-use serde::{Deserialize, Serialize};
-
 /// Service-level agreement for the request-serving farm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sla {
     /// Mean service time of one request at an unloaded server, seconds.
     pub service_time_s: f64,
@@ -29,7 +27,10 @@ impl Sla {
             response_target_s >= service_time_s,
             "target {response_target_s}s below bare service time {service_time_s}s is unsatisfiable"
         );
-        Sla { service_time_s, response_target_s }
+        Sla {
+            service_time_s,
+            response_target_s,
+        }
     }
 
     /// A typical interactive-service SLA: 20 ms service time, 100 ms
@@ -65,7 +66,10 @@ impl Sla {
     /// SLA, given per-server capacity of `per_server_rate` requests/second
     /// at u = 1. Always at least 1 for a positive rate.
     pub fn servers_needed(&self, rate: f64, per_server_rate: f64) -> u64 {
-        assert!(per_server_rate > 0.0, "per-server capacity must be positive");
+        assert!(
+            per_server_rate > 0.0,
+            "per-server capacity must be positive"
+        );
         if rate <= 0.0 {
             return 0;
         }
@@ -81,7 +85,7 @@ impl Default for Sla {
 }
 
 /// Running count of SLA verdicts over an evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ViolationCounter {
     /// Steps that met the SLA.
     pub ok: u64,
@@ -150,7 +154,7 @@ mod tests {
     #[test]
     fn servers_needed_covers_load() {
         let sla = Sla::interactive(); // max u = 0.8
-        // 100 req/s capacity per server → 80 usable.
+                                      // 100 req/s capacity per server → 80 usable.
         assert_eq!(sla.servers_needed(0.0, 100.0), 0);
         assert_eq!(sla.servers_needed(1.0, 100.0), 1);
         assert_eq!(sla.servers_needed(80.0, 100.0), 1);

@@ -8,11 +8,10 @@
 
 use ecolb_simcore::dist::{Distribution, Pareto};
 use ecolb_simcore::rng::Rng;
-use serde::{Deserialize, Serialize};
 use std::f64::consts::TAU;
 
 /// A deterministic-shape + stochastic-noise request-rate trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceShape {
     /// Constant rate — the trivially predictable load.
     Flat {
@@ -93,7 +92,14 @@ impl TraceGenerator {
             }
             _ => 0,
         };
-        TraceGenerator { shape, rng, step: 0, walk_level, spike_until: 0, next_spike }
+        TraceGenerator {
+            shape,
+            rng,
+            step: 0,
+            walk_level,
+            spike_until: 0,
+            next_spike,
+        }
     }
 
     /// The current step index (number of rates produced so far).
@@ -108,9 +114,11 @@ impl TraceGenerator {
         self.step += 1;
         let rate = match &self.shape {
             TraceShape::Flat { rate } => *rate,
-            TraceShape::Diurnal { base, amplitude, period } => {
-                base + amplitude * (TAU * t as f64 / period).sin()
-            }
+            TraceShape::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => base + amplitude * (TAU * t as f64 / period).sin(),
             TraceShape::Step { before, after, at } => {
                 if t < *at {
                     *before
@@ -118,7 +126,12 @@ impl TraceGenerator {
                     *after
                 }
             }
-            TraceShape::Spiky { base, mean_gap, magnitude, duration } => {
+            TraceShape::Spiky {
+                base,
+                mean_gap,
+                magnitude,
+                duration,
+            } => {
                 if t >= self.next_spike && t > self.spike_until {
                     self.spike_until = t + duration;
                     let gap = Pareto::new(mean_gap * 0.5, 2.0).sample(&mut self.rng);
@@ -130,7 +143,9 @@ impl TraceGenerator {
                     *base
                 }
             }
-            TraceShape::RandomWalk { lo, hi, max_step, .. } => {
+            TraceShape::RandomWalk {
+                lo, hi, max_step, ..
+            } => {
                 let delta = self.rng.uniform(-*max_step, *max_step);
                 self.walk_level = (self.walk_level + delta).clamp(*lo, *hi);
                 self.walk_level
@@ -159,7 +174,11 @@ mod tests {
     #[test]
     fn diurnal_oscillates_around_base() {
         let mut g = TraceGenerator::new(
-            TraceShape::Diurnal { base: 100.0, amplitude: 50.0, period: 100.0 },
+            TraceShape::Diurnal {
+                base: 100.0,
+                amplitude: 50.0,
+                period: 100.0,
+            },
             1,
         );
         let xs = g.take(100);
@@ -174,7 +193,11 @@ mod tests {
     #[test]
     fn diurnal_is_periodic() {
         let mut g = TraceGenerator::new(
-            TraceShape::Diurnal { base: 10.0, amplitude: 5.0, period: 24.0 },
+            TraceShape::Diurnal {
+                base: 10.0,
+                amplitude: 5.0,
+                period: 24.0,
+            },
             1,
         );
         let xs = g.take(48);
@@ -185,8 +208,14 @@ mod tests {
 
     #[test]
     fn step_changes_exactly_once() {
-        let mut g =
-            TraceGenerator::new(TraceShape::Step { before: 10.0, after: 90.0, at: 5 }, 1);
+        let mut g = TraceGenerator::new(
+            TraceShape::Step {
+                before: 10.0,
+                after: 90.0,
+                at: 5,
+            },
+            1,
+        );
         let xs = g.take(10);
         assert_eq!(&xs[..5], &[10.0; 5]);
         assert_eq!(&xs[5..], &[90.0; 5]);
@@ -195,7 +224,12 @@ mod tests {
     #[test]
     fn spiky_produces_spikes_and_baseline() {
         let mut g = TraceGenerator::new(
-            TraceShape::Spiky { base: 10.0, mean_gap: 20.0, magnitude: 5.0, duration: 3 },
+            TraceShape::Spiky {
+                base: 10.0,
+                mean_gap: 20.0,
+                magnitude: 5.0,
+                duration: 3,
+            },
             42,
         );
         let xs = g.take(500);
@@ -203,20 +237,32 @@ mod tests {
         let n_spike = xs.iter().filter(|&&r| r == 50.0).count();
         assert_eq!(n_base + n_spike, 500, "only two levels exist");
         assert!(n_spike > 10, "spikes occurred: {n_spike}");
-        assert!(n_base > n_spike, "baseline dominates: {n_base} vs {n_spike}");
+        assert!(
+            n_base > n_spike,
+            "baseline dominates: {n_base} vs {n_spike}"
+        );
     }
 
     #[test]
     fn random_walk_stays_in_bounds_and_moves() {
         let mut g = TraceGenerator::new(
-            TraceShape::RandomWalk { lo: 5.0, hi: 15.0, max_step: 1.0, start: 10.0 },
+            TraceShape::RandomWalk {
+                lo: 5.0,
+                hi: 15.0,
+                max_step: 1.0,
+                start: 10.0,
+            },
             7,
         );
         let xs = g.take(10_000);
         assert!(xs.iter().all(|&r| (5.0..=15.0).contains(&r)));
         let distinct: std::collections::BTreeSet<u64> =
             xs.iter().map(|r| (r * 1000.0) as u64).collect();
-        assert!(distinct.len() > 100, "walk explored {} levels", distinct.len());
+        assert!(
+            distinct.len() > 100,
+            "walk explored {} levels",
+            distinct.len()
+        );
         // Steps are bounded.
         for w in xs.windows(2) {
             assert!((w[1] - w[0]).abs() <= 1.0 + 1e-9);
@@ -225,7 +271,12 @@ mod tests {
 
     #[test]
     fn traces_are_seed_deterministic() {
-        let shape = TraceShape::Spiky { base: 1.0, mean_gap: 10.0, magnitude: 3.0, duration: 2 };
+        let shape = TraceShape::Spiky {
+            base: 1.0,
+            mean_gap: 10.0,
+            magnitude: 3.0,
+            duration: 2,
+        };
         let a = TraceGenerator::new(shape.clone(), 5).take(200);
         let b = TraceGenerator::new(shape, 5).take(200);
         assert_eq!(a, b);
@@ -234,7 +285,11 @@ mod tests {
     #[test]
     fn rates_never_negative() {
         let mut g = TraceGenerator::new(
-            TraceShape::Diurnal { base: 10.0, amplitude: 50.0, period: 20.0 },
+            TraceShape::Diurnal {
+                base: 10.0,
+                amplitude: 50.0,
+                period: 20.0,
+            },
             1,
         );
         assert!(g.take(100).iter().all(|&r| r >= 0.0));

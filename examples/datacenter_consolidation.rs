@@ -42,7 +42,10 @@ fn main() {
     );
 
     let sleeping = cluster.sleeping_count();
-    println!("Servers switched to sleep: {sleeping} ({:.1}% of the fleet)", 100.0 * sleeping as f64 / n as f64);
+    println!(
+        "Servers switched to sleep: {sleeping} ({:.1}% of the fleet)",
+        100.0 * sleeping as f64 / n as f64
+    );
     println!(
         "Sleep-state breakdown: every drained server chose {} (cluster load {:.0}% < 60% → deep sleep)",
         CState::C6,
@@ -54,11 +57,26 @@ fn main() {
     let reference_kwh = report.reference_energy_j / 3.6e6;
     println!("\nEnergy over {} intervals:", report.ratio_series.len());
     println!("  managed (balancing + sleep): {managed_kwh:.1} kWh");
-    println!("    active work:     {:.1} kWh", report.energy.active_j / 3.6e6);
-    println!("    idle overhead:   {:.1} kWh", report.energy.idle_overhead_j / 3.6e6);
-    println!("    sleep residual:  {:.1} kWh", report.energy.sleep_j / 3.6e6);
-    println!("    transitions:     {:.1} kWh", report.energy.transition_j / 3.6e6);
-    println!("    migrations:      {:.1} kWh", report.migration_energy_j / 3.6e6);
+    println!(
+        "    active work:     {:.1} kWh",
+        report.energy.active_j / 3.6e6
+    );
+    println!(
+        "    idle overhead:   {:.1} kWh",
+        report.energy.idle_overhead_j / 3.6e6
+    );
+    println!(
+        "    sleep residual:  {:.1} kWh",
+        report.energy.sleep_j / 3.6e6
+    );
+    println!(
+        "    transitions:     {:.1} kWh",
+        report.energy.transition_j / 3.6e6
+    );
+    println!(
+        "    migrations:      {:.1} kWh",
+        report.migration_energy_j / 3.6e6
+    );
     println!("  always-on reference:          {reference_kwh:.1} kWh");
     println!("  saved: {:.1}%", report.savings_fraction() * 100.0);
 

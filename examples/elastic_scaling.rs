@@ -16,8 +16,16 @@ use ecolb::prelude::*;
 fn main() {
     // Migration cost primer — §3, questions 5–8.
     let model = MigrationCostModel::default();
-    println!("VM migration costs over a {} Gbit/s fabric:", model.link_gbps);
-    let mut table = Table::new(["Image (GiB)", "Duration (s)", "Energy (J)", "Bytes moved (GiB)"]);
+    println!(
+        "VM migration costs over a {} Gbit/s fabric:",
+        model.link_gbps
+    );
+    let mut table = Table::new([
+        "Image (GiB)",
+        "Duration (s)",
+        "Energy (J)",
+        "Bytes moved (GiB)",
+    ]);
     for gib in [1.0, 4.0, 8.0, 16.0, 32.0] {
         let app = ecolb::workload::application::Application::new(
             ecolb::workload::AppId(0),
@@ -53,7 +61,12 @@ fn main() {
     ]);
     for interval in 0..12 {
         cluster.run_interval();
-        let counts = cluster.ledger().intervals().last().copied().unwrap_or_default();
+        let counts = cluster
+            .ledger()
+            .intervals()
+            .last()
+            .copied()
+            .unwrap_or_default();
         table.row([
             interval.to_string(),
             format!("{:.1}%", cluster.load_fraction() * 100.0),

@@ -9,8 +9,8 @@
 //! cargo run --release --example energy_models
 //! ```
 
-use ecolb::energy::proportionality::{energy_for_work_j, profile};
 use ecolb::energy::power::SubsystemPowerModel;
+use ecolb::energy::proportionality::{energy_for_work_j, profile};
 use ecolb::prelude::*;
 
 fn main() {
@@ -20,8 +20,13 @@ fn main() {
     let subsystem = SubsystemPowerModel::typical_server();
 
     println!("Power draw (W) by utilization:");
-    let mut table =
-        Table::new(["u", "linear 100-200W", "ideal proportional", "SPECpower curve", "subsystem sum"]);
+    let mut table = Table::new([
+        "u",
+        "linear 100-200W",
+        "ideal proportional",
+        "SPECpower curve",
+        "subsystem sum",
+    ]);
     for i in 0..=10 {
         let u = i as f64 / 10.0;
         table.row([
@@ -35,7 +40,13 @@ fn main() {
     println!("{table}");
 
     println!("Proportionality profiles (1.0 = ideal energy-proportional):");
-    let mut table = Table::new(["Model", "Idle fraction", "Dynamic range", "Proportionality", "Best u"]);
+    let mut table = Table::new([
+        "Model",
+        "Idle fraction",
+        "Dynamic range",
+        "Proportionality",
+        "Best u",
+    ]);
     for (name, p) in [
         ("linear non-proportional", profile(&linear)),
         ("ideal proportional", profile(&ideal)),
@@ -55,7 +66,10 @@ fn main() {
     println!("Energy to run the same work at different speeds (non-proportional server):");
     let mut table = Table::new(["Utilization", "Energy (kJ)"]);
     for u in [0.1, 0.3, 0.5, 0.7, 0.9] {
-        table.row([format!("{u:.1}"), fmt_f(energy_for_work_j(&linear, 100.0, u) / 1000.0, 1)]);
+        table.row([
+            format!("{u:.1}"),
+            fmt_f(energy_for_work_j(&linear, 100.0, u) / 1000.0, 1),
+        ]);
     }
     println!("{table}");
     println!("→ running slow on a non-proportional server wastes energy; this is why the");
@@ -71,5 +85,7 @@ fn main() {
         ]);
     }
     println!("{table}");
-    println!("The paper's rule: cluster load < 60% → C6 (deep, slow); otherwise C3 (shallow, fast).");
+    println!(
+        "The paper's rule: cluster load < 60% → C6 (deep, slow); otherwise C3 (shallow, fast)."
+    );
 }

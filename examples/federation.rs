@@ -17,14 +17,19 @@ fn main() {
     // admission.
     let mut hot = ClusterConfig::paper(120, WorkloadSpec::paper_high_load());
     hot.arrivals = Some(ArrivalSpec::new(3.0, 0.05, 0.20));
-    hot.admission = AdmissionPolicy::DelayAndWake { wakes_per_interval: 2 };
+    hot.admission = AdmissionPolicy::DelayAndWake {
+        wakes_per_interval: 2,
+    };
     hot.server_mix = ServerMix::typical_enterprise();
 
     // Cold cluster: lightly loaded, consolidating and sleeping servers.
     let mut cold = ClusterConfig::paper(120, WorkloadSpec::paper_low_load());
     cold.server_mix = ServerMix::typical_enterprise();
 
-    let fed_config = FederationConfig { high_watermark: 0.60, ..Default::default() };
+    let fed_config = FederationConfig {
+        high_watermark: 0.60,
+        ..Default::default()
+    };
     let mut federation = Federation::new(vec![hot, cold], fed_config, 2024);
 
     println!("Initial cluster loads: {:?}", rounded(&federation.loads()));
@@ -32,7 +37,10 @@ fn main() {
     let report = federation.run(30);
 
     println!("\nAfter 30 federation intervals:");
-    println!("  final loads:              {:?}", rounded(&federation.loads()));
+    println!(
+        "  final loads:              {:?}",
+        rounded(&federation.loads())
+    );
     println!("  cross-cluster migrations: {}", report.cross_migrations);
     println!(
         "  cross-cluster energy:     {:.1} kJ over the core network",
@@ -49,10 +57,17 @@ fn main() {
     let stats = federation.clusters()[0].admission_stats();
     println!("\nAdmission control at the hot cluster (delay-and-wake):");
     println!("  submitted: {}", stats.submitted);
-    println!("  admitted:  {} ({:.0}% of resolved)", stats.admitted, stats.admit_fraction() * 100.0);
+    println!(
+        "  admitted:  {} ({:.0}% of resolved)",
+        stats.admitted,
+        stats.admit_fraction() * 100.0
+    );
     println!("  rejected:  {}", stats.rejected);
     println!("  pending:   {}", stats.pending());
-    println!("  wakes triggered by queued requests: {}", stats.wakes_triggered);
+    println!(
+        "  wakes triggered by queued requests: {}",
+        stats.wakes_triggered
+    );
 
     // Per-class energy (heterogeneous mix).
     println!("\nEnergy by server class (hot cluster):");

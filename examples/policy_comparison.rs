@@ -20,28 +20,80 @@ fn main() {
     for (name, shape) in [
         (
             "diurnal (slow, predictable)",
-            TraceShape::Diurnal { base: 4_000.0, amplitude: 3_000.0, period: 500.0 },
+            TraceShape::Diurnal {
+                base: 4_000.0,
+                amplitude: 3_000.0,
+                period: 500.0,
+            },
         ),
         (
             "spiky (fast, unpredictable)",
-            TraceShape::Spiky { base: 2_000.0, mean_gap: 60.0, magnitude: 3.0, duration: 8 },
+            TraceShape::Spiky {
+                base: 2_000.0,
+                mean_gap: 60.0,
+                magnitude: 3.0,
+                duration: 8,
+            },
         ),
     ] {
         println!("## Trace: {name}\n");
         let rates = presample_rates(shape.clone(), 99, steps);
         let arrivals = || {
-            ArrivalProcess::new(TraceGenerator::new(shape.clone(), 99), 1234, config.step_seconds)
+            ArrivalProcess::new(
+                TraceGenerator::new(shape.clone(), 99),
+                1234,
+                config.step_seconds,
+            )
         };
 
         let reports = vec![
-            evaluate(AlwaysOn { n_total: config.n_servers }, arrivals(), &rates, &config, steps),
-            evaluate(Reactive { sizing }, arrivals(), &rates, &config, steps),
-            evaluate(ReactiveExtraCapacity { sizing, margin: 0.2 }, arrivals(), &rates, &config, steps),
-            evaluate(AutoScale::new(sizing, 30), arrivals(), &rates, &config, steps),
-            evaluate(MovingWindow::new(sizing, 12), arrivals(), &rates, &config, steps),
-            evaluate(LinearRegression::new(sizing, 12), arrivals(), &rates, &config, steps),
             evaluate(
-                Optimal { sizing, setup_steps: config.setup_steps as usize, noise_margin: 0.1 },
+                AlwaysOn {
+                    n_total: config.n_servers,
+                },
+                arrivals(),
+                &rates,
+                &config,
+                steps,
+            ),
+            evaluate(Reactive { sizing }, arrivals(), &rates, &config, steps),
+            evaluate(
+                ReactiveExtraCapacity {
+                    sizing,
+                    margin: 0.2,
+                },
+                arrivals(),
+                &rates,
+                &config,
+                steps,
+            ),
+            evaluate(
+                AutoScale::new(sizing, 30),
+                arrivals(),
+                &rates,
+                &config,
+                steps,
+            ),
+            evaluate(
+                MovingWindow::new(sizing, 12),
+                arrivals(),
+                &rates,
+                &config,
+                steps,
+            ),
+            evaluate(
+                LinearRegression::new(sizing, 12),
+                arrivals(),
+                &rates,
+                &config,
+                steps,
+            ),
+            evaluate(
+                Optimal {
+                    sizing,
+                    setup_steps: config.setup_steps as usize,
+                    noise_margin: 0.1,
+                },
                 arrivals(),
                 &rates,
                 &config,
@@ -62,7 +114,11 @@ fn main() {
                 r.policy.clone(),
                 fmt_f(r.energy_wh / 1000.0, 2),
                 format!("{:.1}%", r.savings_fraction() * 100.0),
-                format!("{} ({:.2}%)", r.violations.violated, r.violations.violation_fraction() * 100.0),
+                format!(
+                    "{} ({:.2}%)",
+                    r.violations.violated,
+                    r.violations.violation_fraction() * 100.0
+                ),
                 fmt_f(r.avg_active, 1),
                 r.setups.to_string(),
             ]);

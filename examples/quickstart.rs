@@ -13,8 +13,14 @@ fn main() {
     let config = ClusterConfig::paper(200, WorkloadSpec::paper_low_load());
     let mut cluster = Cluster::new(config, 42);
 
-    println!("Initial census (servers per regime R1..R5): {:?}", cluster.census().counts());
-    println!("Initial cluster load: {:.1}%", cluster.load_fraction() * 100.0);
+    println!(
+        "Initial census (servers per regime R1..R5): {:?}",
+        cluster.census().counts()
+    );
+    println!(
+        "Initial cluster load: {:.1}%",
+        cluster.load_fraction() * 100.0
+    );
 
     // Run the paper's 40 reallocation intervals.
     let report = cluster.run(40);

@@ -28,7 +28,10 @@ fn main() {
     }
     let miss_fraction = 1.0 - hits as f64 / accesses as f64;
     println!("Replicated disk array (8 disks, Zipf-1.2 access):");
-    println!("  replica hit rate: {:.1}%", 100.0 * hits as f64 / accesses as f64);
+    println!(
+        "  replica hit rate: {:.1}%",
+        100.0 * hits as f64 / accesses as f64
+    );
     println!(
         "  managed power:  {:.1} W (vs always-spinning {:.1} W, saved {:.0}%)",
         array.average_power_w(50.0, miss_fraction),
@@ -43,23 +46,59 @@ fn main() {
     let before_w = store.power_w(8.0, 1.0);
     let moved = store.consolidate();
     println!("Virtual-node store (12 physical nodes, 20 virtual nodes):");
-    println!("  active nodes: {before_nodes} -> {} ({moved} virtual-node migrations)", store.active_nodes());
-    println!("  storage power: {before_w:.1} W -> {:.1} W\n", store.power_w(8.0, 1.0));
+    println!(
+        "  active nodes: {before_nodes} -> {} ({moved} virtual-node migrations)",
+        store.active_nodes()
+    );
+    println!(
+        "  storage power: {before_w:.1} W -> {:.1} W\n",
+        store.power_w(8.0, 1.0)
+    );
 
     // --- Interconnect: topology × link discipline ([2]) -----------------
     println!("Network power for 128 hosts at 30% mean utilization:");
-    let mut table = Table::new(["Topology", "Switches", "Links", "always-on", "adaptive", "proportional"]);
+    let mut table = Table::new([
+        "Topology",
+        "Switches",
+        "Links",
+        "always-on",
+        "adaptive",
+        "proportional",
+    ]);
     for (name, topo) in [
         ("fat tree (k=8)", Topology::FatTree { radix: 8 }),
-        ("flattened butterfly (4x4, c=8)", Topology::FlattenedButterfly { dim: 4, concentration: 8 }),
+        (
+            "flattened butterfly (4x4, c=8)",
+            Topology::FlattenedButterfly {
+                dim: 4,
+                concentration: 8,
+            },
+        ),
     ] {
         let row: Vec<String> = vec![
             name.to_string(),
             topo.switches().to_string(),
             topo.links().to_string(),
-            format!("{:.0} W", topo.power_w(LinkPower::typical_10g(LinkDiscipline::AlwaysOn), 30.0, 0.3)),
-            format!("{:.0} W", topo.power_w(LinkPower::typical_10g(LinkDiscipline::AdaptiveLanes), 30.0, 0.3)),
-            format!("{:.0} W", topo.power_w(LinkPower::typical_10g(LinkDiscipline::Proportional), 30.0, 0.3)),
+            format!(
+                "{:.0} W",
+                topo.power_w(LinkPower::typical_10g(LinkDiscipline::AlwaysOn), 30.0, 0.3)
+            ),
+            format!(
+                "{:.0} W",
+                topo.power_w(
+                    LinkPower::typical_10g(LinkDiscipline::AdaptiveLanes),
+                    30.0,
+                    0.3
+                )
+            ),
+            format!(
+                "{:.0} W",
+                topo.power_w(
+                    LinkPower::typical_10g(LinkDiscipline::Proportional),
+                    30.0,
+                    0.3
+                )
+            ),
         ];
         table.row(row);
     }

@@ -35,21 +35,76 @@ fn cluster_clone_runs_identically() {
     let config = ClusterConfig::paper(60, WorkloadSpec::paper_low_load());
     let mut original = Cluster::new(config, 5);
     let mut fork = original.clone();
-    assert_eq!(original.run(10), fork.run(10), "cloned state must replay identically");
+    assert_eq!(
+        original.run(10),
+        fork.run(10),
+        "cloned state must replay identically"
+    );
 }
 
 #[test]
 fn policy_farm_is_deterministic() {
     let config = FarmConfig::default();
-    let shape = TraceShape::Diurnal { base: 3000.0, amplitude: 2000.0, period: 300.0 };
+    let shape = TraceShape::Diurnal {
+        base: 3000.0,
+        amplitude: 2000.0,
+        period: 300.0,
+    };
     let rates = presample_rates(shape.clone(), 4, 400);
     let sizing = Sizing::new(config.per_server_rate, config.sla);
     let run = || {
-        let arrivals =
-            ArrivalProcess::new(TraceGenerator::new(shape.clone(), 4), 8, config.step_seconds);
+        let arrivals = ArrivalProcess::new(
+            TraceGenerator::new(shape.clone(), 4),
+            8,
+            config.step_seconds,
+        );
         evaluate(Reactive { sizing }, arrivals, &rates, &config, 400)
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn parallel_matrix_is_byte_identical_at_any_thread_count() {
+    // The hermetic `ecolb_simcore::par` fan-out must not perturb results:
+    // every cell is seeded from its (base_seed, size, load) alone, and
+    // results are reassembled in input order. Rendered reports — the
+    // actual artifacts under `results/` — must match byte for byte.
+    use ecolb_bench::run_matrix_threads;
+    use ecolb_metrics::json::ToJson;
+
+    let runs: Vec<Vec<ecolb::experiments::MatrixCell>> = [1, 2, 8]
+        .iter()
+        .map(|&t| run_matrix_threads(11, &[30, 60], 6, t))
+        .collect();
+    assert_eq!(runs[0], runs[1], "1 vs 2 threads");
+    assert_eq!(runs[0], runs[2], "1 vs 8 threads");
+    let json_of = |cells: &[ecolb::experiments::MatrixCell]| -> String {
+        cells
+            .iter()
+            .map(|c| {
+                let mut r = Report::new(format!("size{}_load{}", c.size, c.load.percent()), 11);
+                r.push_series(c.report.ratio_series.clone());
+                r.push_series(c.report.sleeping_series.clone());
+                ToJson::to_json(&r)
+            })
+            .collect()
+    };
+    assert_eq!(
+        json_of(&runs[0]),
+        json_of(&runs[2]),
+        "rendered reports byte-identical"
+    );
+}
+
+#[test]
+fn multi_seed_sweep_is_byte_identical_at_any_thread_count() {
+    use ecolb_bench::sweep::{multi_seed_table2, render_sweep};
+    let renders: Vec<String> = [1, 2, 8]
+        .iter()
+        .map(|&t| render_sweep(&multi_seed_table2(&[3, 4], &[40], 5, t), 2))
+        .collect();
+    assert_eq!(renders[0], renders[1], "1 vs 2 workers");
+    assert_eq!(renders[0], renders[2], "1 vs 8 workers");
 }
 
 #[test]
@@ -61,6 +116,10 @@ fn rng_streams_are_stable_across_versions() {
     let outputs: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
     assert_eq!(
         outputs,
-        vec![9715365274293546859, 999744840796493626, 10885422128808924327]
+        vec![
+            9715365274293546859,
+            999744840796493626,
+            10885422128808924327
+        ]
     );
 }

@@ -1,47 +1,63 @@
 //! Property-based tests for the extension subsystems: DVFS, storage,
-//! network, the P² quantile estimator, and admission control.
+//! network, the P² quantile estimator, and admission control — on the
+//! hermetic `proptest_lite` harness (seeded cases, no shrinking;
+//! failures print a replay seed).
 
 use ecolb::energy::network::{LinkDiscipline, LinkPower, Topology};
 use ecolb::energy::storage::VirtualNodeStore;
 use ecolb::prelude::*;
+use ecolb::simcore::proptest_lite::check;
 use ecolb::simcore::rng::Rng;
-use proptest::prelude::*;
 
-proptest! {
-    /// DVFS power is monotone in frequency and energy-per-op is minimised
-    /// at a P-state (scanning all P-states finds nothing better).
-    #[test]
-    fn dvfs_invariants(
-        static_w in 0.0f64..60.0,
-        c in 1.0f64..12.0,
-    ) {
-        let m = DvfsModel { static_w, c, ..DvfsModel::typical_server_cpu() };
+/// DVFS power is monotone in frequency and energy-per-op is minimised
+/// at a P-state (scanning all P-states finds nothing better).
+#[test]
+fn dvfs_invariants() {
+    check("dvfs_invariants", |g| {
+        let static_w = g.f64_in(0.0, 60.0);
+        let c = g.f64_in(1.0, 12.0);
+        let m = DvfsModel {
+            static_w,
+            c,
+            ..DvfsModel::typical_server_cpu()
+        };
         m.validate();
         let ps = m.p_states();
         for w in ps.windows(2) {
-            prop_assert!(m.power_at_f(w[0]) < m.power_at_f(w[1]));
+            assert!(m.power_at_f(w[0]) < m.power_at_f(w[1]));
         }
         let best = m.most_efficient_f();
         for f in ps {
-            prop_assert!(m.energy_per_op(best) <= m.energy_per_op(f) + 1e-12);
+            assert!(m.energy_per_op(best) <= m.energy_per_op(f) + 1e-12);
         }
-    }
+    });
+}
 
-    /// The governed DVFS adapter respects the PowerModel contract:
-    /// monotone, bounded by idle/peak.
-    #[test]
-    fn dvfs_governed_contract(u1 in 0.0f64..=1.0, u2 in 0.0f64..=1.0) {
-        let g = DvfsGoverned { model: DvfsModel::typical_server_cpu() };
+/// The governed DVFS adapter respects the PowerModel contract:
+/// monotone, bounded by idle/peak.
+#[test]
+fn dvfs_governed_contract() {
+    check("dvfs_governed_contract", |g| {
+        let u1 = g.f64_in(0.0, 1.0);
+        let u2 = g.f64_in(0.0, 1.0);
+        let g_ = DvfsGoverned {
+            model: DvfsModel::typical_server_cpu(),
+        };
         let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
-        prop_assert!(g.power_w(lo) <= g.power_w(hi) + 1e-12);
-        prop_assert!(g.power_w(lo) >= g.idle_power_w() - 1e-12);
-        prop_assert!(g.power_w(hi) <= g.peak_power_w() + 1e-12);
-    }
+        assert!(g_.power_w(lo) <= g_.power_w(hi) + 1e-12);
+        assert!(g_.power_w(lo) >= g_.idle_power_w() - 1e-12);
+        assert!(g_.power_w(hi) <= g_.peak_power_w() + 1e-12);
+    });
+}
 
-    /// Virtual-node consolidation never violates capacity, conserves
-    /// load, and never increases the active-node count.
-    #[test]
-    fn consolidation_invariants(seed in any::<u64>(), n_phys in 3usize..20, n_virt in 1usize..40) {
+/// Virtual-node consolidation never violates capacity, conserves
+/// load, and never increases the active-node count.
+#[test]
+fn consolidation_invariants() {
+    check("consolidation_invariants", |g| {
+        let seed = g.u64();
+        let n_phys = g.usize_in(3, 20);
+        let n_virt = g.usize_in(1, 40);
         let mut rng = Rng::new(seed);
         let mut store = VirtualNodeStore::random(n_phys, 1.0, n_virt, &mut rng);
         let total_before: f64 = store.physical_loads().iter().sum();
@@ -49,46 +65,63 @@ proptest! {
         store.consolidate();
         let loads = store.physical_loads();
         let total_after: f64 = loads.iter().sum();
-        prop_assert!((total_before - total_after).abs() < 1e-9);
-        prop_assert!(store.active_nodes() <= active_before);
+        assert!((total_before - total_after).abs() < 1e-9);
+        assert!(store.active_nodes() <= active_before);
         // With the least-loaded overflow fallback, no node ever exceeds
         // max(capacity, mean load) by more than one virtual node.
         let max_vnode = 0.3; // random() draws demand in [0.05, 0.3]
         let mean = total_after / n_phys as f64;
         let ceiling = 1.0_f64.max(mean) + max_vnode + 1e-9;
         for l in loads {
-            prop_assert!(l <= ceiling, "node load {l} above {ceiling}");
+            assert!(l <= ceiling, "node load {l} above {ceiling}");
         }
-    }
+    });
+}
 
-    /// Link-power disciplines are ordered at every utilization:
-    /// proportional ≤ adaptive ≤ always-on.
-    #[test]
-    fn link_discipline_ordering(u in 0.0f64..=1.0, peak in 0.5f64..20.0) {
-        let mk = |d| LinkPower { peak_w: peak, floor_fraction: 0.15, discipline: d };
+/// Link-power disciplines are ordered at every utilization:
+/// proportional ≤ adaptive ≤ always-on.
+#[test]
+fn link_discipline_ordering() {
+    check("link_discipline_ordering", |g| {
+        let u = g.f64_in(0.0, 1.0);
+        let peak = g.f64_in(0.5, 20.0);
+        let mk = |d| LinkPower {
+            peak_w: peak,
+            floor_fraction: 0.15,
+            discipline: d,
+        };
         let on = mk(LinkDiscipline::AlwaysOn).power_w(u);
         let lanes = mk(LinkDiscipline::AdaptiveLanes).power_w(u);
         let prop_ = mk(LinkDiscipline::Proportional).power_w(u);
-        prop_assert!(prop_ <= lanes + 1e-9, "prop {prop_} lanes {lanes}");
-        prop_assert!(lanes <= on + 1e-9, "lanes {lanes} on {on}");
-    }
+        assert!(prop_ <= lanes + 1e-9, "prop {prop_} lanes {lanes}");
+        assert!(lanes <= on + 1e-9, "lanes {lanes} on {on}");
+    });
+}
 
-    /// Topology power is monotone in utilization for proportional links.
-    #[test]
-    fn topology_power_monotone(u1 in 0.0f64..=1.0, u2 in 0.0f64..=1.0, dim in 2usize..8) {
-        let t = Topology::FlattenedButterfly { dim, concentration: 4 };
+/// Topology power is monotone in utilization for proportional links.
+#[test]
+fn topology_power_monotone() {
+    check("topology_power_monotone", |g| {
+        let u1 = g.f64_in(0.0, 1.0);
+        let u2 = g.f64_in(0.0, 1.0);
+        let dim = g.usize_in(2, 8);
+        let t = Topology::FlattenedButterfly {
+            dim,
+            concentration: 4,
+        };
         let link = LinkPower::typical_10g(LinkDiscipline::Proportional);
         let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
-        prop_assert!(t.power_w(link, 20.0, lo) <= t.power_w(link, 20.0, hi) + 1e-9);
-    }
+        assert!(t.power_w(link, 20.0, lo) <= t.power_w(link, 20.0, hi) + 1e-9);
+    });
+}
 
-    /// The P² estimate lies within the observed range and respects
-    /// quantile ordering (p25 ≤ p50 ≤ p99 on the same stream).
-    #[test]
-    fn p2_estimates_are_ordered_and_bounded(
-        seed in any::<u64>(),
-        n in 50usize..2000,
-    ) {
+/// The P² estimate lies within the observed range and respects
+/// quantile ordering (p25 ≤ p50 ≤ p99 on the same stream).
+#[test]
+fn p2_estimates_are_ordered_and_bounded() {
+    check("p2_estimates_are_ordered_and_bounded", |g| {
+        let seed = g.u64();
+        let n = g.usize_in(50, 2000);
         let mut rng = Rng::new(seed);
         let mut q25 = P2Quantile::new(0.25);
         let mut q50 = P2Quantile::new(0.50);
@@ -103,46 +136,61 @@ proptest! {
             q50.push(x);
             q99.push(x);
         }
-        let (e25, e50, e99) =
-            (q25.estimate().unwrap(), q50.estimate().unwrap(), q99.estimate().unwrap());
-        prop_assert!(e25 >= min - 1e-9 && e99 <= max + 1e-9);
-        prop_assert!(e25 <= e50 + 20.0, "loose ordering: {e25} vs {e50}");
-        prop_assert!(e50 <= e99 + 20.0, "loose ordering: {e50} vs {e99}");
-    }
+        let (e25, e50, e99) = (
+            q25.estimate().unwrap(),
+            q50.estimate().unwrap(),
+            q99.estimate().unwrap(),
+        );
+        assert!(e25 >= min - 1e-9 && e99 <= max + 1e-9);
+        assert!(e25 <= e50 + 20.0, "loose ordering: {e25} vs {e50}");
+        assert!(e50 <= e99 + 20.0, "loose ordering: {e50} vs {e99}");
+    });
+}
 
-    /// Admission stats bookkeeping is consistent under any policy:
-    /// submitted = admitted + rejected + pending.
-    #[test]
-    fn admission_accounting_is_consistent(
-        seed in any::<u64>(),
-        n in 5usize..40,
-        mean in 0.5f64..6.0,
-        policy_pick in 0u8..3,
-    ) {
+/// Admission stats bookkeeping is consistent under any policy:
+/// submitted = admitted + rejected + pending.
+#[test]
+fn admission_accounting_is_consistent() {
+    check("admission_accounting_is_consistent", |g| {
+        let seed = g.u64();
+        let n = g.usize_in(5, 40);
+        let mean = g.f64_in(0.5, 6.0);
+        let policy_pick = g.u8_in(0, 3);
         let mut config = ClusterConfig::paper(n, WorkloadSpec::paper_low_load());
         config.arrivals = Some(ArrivalSpec::new(mean, 0.05, 0.25));
         config.admission = match policy_pick {
             0 => AdmissionPolicy::AlwaysAdmit,
             1 => AdmissionPolicy::CapacityThreshold { max_load: 0.6 },
-            _ => AdmissionPolicy::DelayAndWake { wakes_per_interval: 1 },
+            _ => AdmissionPolicy::DelayAndWake {
+                wakes_per_interval: 1,
+            },
         };
         let mut cluster = Cluster::new(config, seed);
         let report = cluster.run(8);
         let s = report.admission;
-        prop_assert_eq!(s.submitted, s.admitted + s.rejected + s.pending());
-        if matches!(cluster.config().admission, AdmissionPolicy::AlwaysAdmit | AdmissionPolicy::DelayAndWake { .. }) {
-            prop_assert_eq!(s.rejected, 0);
+        assert_eq!(s.submitted, s.admitted + s.rejected + s.pending());
+        if matches!(
+            cluster.config().admission,
+            AdmissionPolicy::AlwaysAdmit | AdmissionPolicy::DelayAndWake { .. }
+        ) {
+            assert_eq!(s.rejected, 0);
         }
-    }
+    });
+}
 
-    /// Federation conserves total application demand across clusters.
-    #[test]
-    fn federation_conserves_demand(seed in any::<u64>()) {
+/// Federation conserves total application demand across clusters.
+#[test]
+fn federation_conserves_demand() {
+    check("federation_conserves_demand", |g| {
+        let seed = g.u64();
         let configs = vec![
             ClusterConfig::paper(30, WorkloadSpec::paper_high_load()),
             ClusterConfig::paper(30, WorkloadSpec::paper_low_load()),
         ];
-        let fed_config = FederationConfig { high_watermark: 0.55, ..Default::default() };
+        let fed_config = FederationConfig {
+            high_watermark: 0.55,
+            ..Default::default()
+        };
         let mut fed = Federation::new(configs, fed_config, seed);
         // No demand churn: freeze growth/shrink so only transfers move load.
         // (paper configs have churn, so compare totals within its bounds.)
@@ -150,6 +198,6 @@ proptest! {
         fed.run_interval();
         let after: f64 = fed.loads().iter().sum::<f64>() * 30.0;
         // One interval of ±λ churn on ~300 apps cannot move totals far.
-        prop_assert!((before - after).abs() < 6.0, "{before} vs {after}");
-    }
+        assert!((before - after).abs() < 6.0, "{before} vs {after}");
+    });
 }

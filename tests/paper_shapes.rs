@@ -12,7 +12,10 @@ fn fig2_low_load_starts_left_of_optimal() {
     let cell = run_cell(1, 400, LoadLevel::Low, 1);
     let c = cell.report.initial_census.counts();
     // Initial 20–40 % loads sit in R1/R2/R3; nothing is overloaded.
-    assert!(c[0] + c[1] > c[2], "mass concentrated left of optimal: {c:?}");
+    assert!(
+        c[0] + c[1] > c[2],
+        "mass concentrated left of optimal: {c:?}"
+    );
     assert_eq!(c[3], 0);
     assert_eq!(c[4], 0);
 }
@@ -49,16 +52,28 @@ fn fig2_balancing_concentrates_into_acceptable_regimes() {
 #[test]
 fn fig2_high_load_optimal_population_grows() {
     let cell = run_cell(3, 400, LoadLevel::High, PAPER_INTERVALS);
-    let before = cell.report.initial_census.count(ecolb::prelude::OperatingRegime::Optimal);
-    let after = cell.report.final_census.count(ecolb::prelude::OperatingRegime::Optimal);
-    assert!(after > before, "balancing moves R4 servers into R3: {before} -> {after}");
+    let before = cell
+        .report
+        .initial_census
+        .count(ecolb::prelude::OperatingRegime::Optimal);
+    let after = cell
+        .report
+        .final_census
+        .count(ecolb::prelude::OperatingRegime::Optimal);
+    assert!(
+        after > before,
+        "balancing moves R4 servers into R3: {before} -> {after}"
+    );
 }
 
 #[test]
 fn table2_no_sleepers_at_high_load() {
     let cell = run_cell(4, 400, LoadLevel::High, PAPER_INTERVALS);
     let avg_sleeping = cell.report.sleeping_series.stats().mean();
-    assert!(avg_sleeping < 2.0, "70 % load keeps everyone awake, got {avg_sleeping}");
+    assert!(
+        avg_sleeping < 2.0,
+        "70 % load keeps everyone awake, got {avg_sleeping}"
+    );
 }
 
 #[test]
@@ -67,7 +82,10 @@ fn table2_sleepers_present_and_growing_with_size_at_low_load() {
     let large = run_cell(5, 400, LoadLevel::Low, PAPER_INTERVALS);
     let s_small = small.report.sleeping_series.stats().mean();
     let s_large = large.report.sleeping_series.stats().mean();
-    assert!(s_large > 0.0, "consolidation puts servers to sleep at 30 % load");
+    assert!(
+        s_large > 0.0,
+        "consolidation puts servers to sleep at 30 % load"
+    );
     assert!(
         s_large > s_small,
         "sleeper count grows with cluster size: {s_small} vs {s_large}"
@@ -85,7 +103,10 @@ fn fig3_early_turbulence_then_local_dominance() {
             early > late,
             "{load:?}: turbulence decays, early {early:.2} vs late {late:.2}"
         );
-        assert!(late < 1.0, "{load:?}: low-cost local decisions dominate eventually ({late:.2})");
+        assert!(
+            late < 1.0,
+            "{load:?}: low-cost local decisions dominate eventually ({late:.2})"
+        );
     }
 }
 
@@ -94,7 +115,12 @@ fn fig3_high_load_spikes_higher_than_low_load() {
     let low = run_cell(7, 400, LoadLevel::Low, PAPER_INTERVALS);
     let high = run_cell(7, 400, LoadLevel::High, PAPER_INTERVALS);
     let max = |cell: &ecolb::experiments::MatrixCell| {
-        cell.report.ratio_series.values().iter().copied().fold(0.0_f64, f64::max)
+        cell.report
+            .ratio_series
+            .values()
+            .iter()
+            .copied()
+            .fold(0.0_f64, f64::max)
     };
     assert!(
         max(&high) > max(&low),

@@ -14,8 +14,11 @@ fn run_policy<P: CapacityPolicy>(
 ) -> ecolb::policies::PolicyReport {
     let config = farm();
     let rates = presample_rates(shape.clone(), 31, steps);
-    let arrivals =
-        ArrivalProcess::new(TraceGenerator::new(shape.clone(), 31), 77, config.step_seconds);
+    let arrivals = ArrivalProcess::new(
+        TraceGenerator::new(shape.clone(), 31),
+        77,
+        config.step_seconds,
+    );
     evaluate(policy, arrivals, &rates, &config, steps)
 }
 
@@ -26,19 +29,49 @@ fn sizing() -> Sizing {
 
 #[test]
 fn always_on_never_violates_but_never_saves() {
-    let shape = TraceShape::Diurnal { base: 3000.0, amplitude: 2000.0, period: 400.0 };
-    let r = run_policy(AlwaysOn { n_total: farm().n_servers }, &shape, 800);
+    let shape = TraceShape::Diurnal {
+        base: 3000.0,
+        amplitude: 2000.0,
+        period: 400.0,
+    };
+    let r = run_policy(
+        AlwaysOn {
+            n_total: farm().n_servers,
+        },
+        &shape,
+        800,
+    );
     assert_eq!(r.violations.violated, 0);
-    assert!(r.savings_fraction() < 0.2, "always-on saves nothing meaningful");
+    assert!(
+        r.savings_fraction() < 0.2,
+        "always-on saves nothing meaningful"
+    );
 }
 
 #[test]
 fn every_dynamic_policy_saves_energy_on_diurnal_load() {
-    let shape = TraceShape::Diurnal { base: 3000.0, amplitude: 2000.0, period: 400.0 };
-    let always_on = run_policy(AlwaysOn { n_total: farm().n_servers }, &shape, 800);
+    let shape = TraceShape::Diurnal {
+        base: 3000.0,
+        amplitude: 2000.0,
+        period: 400.0,
+    };
+    let always_on = run_policy(
+        AlwaysOn {
+            n_total: farm().n_servers,
+        },
+        &shape,
+        800,
+    );
     let dynamic: Vec<ecolb::policies::PolicyReport> = vec![
         run_policy(Reactive { sizing: sizing() }, &shape, 800),
-        run_policy(ReactiveExtraCapacity { sizing: sizing(), margin: 0.2 }, &shape, 800),
+        run_policy(
+            ReactiveExtraCapacity {
+                sizing: sizing(),
+                margin: 0.2,
+            },
+            &shape,
+            800,
+        ),
         run_policy(AutoScale::new(sizing(), 30), &shape, 800),
         run_policy(MovingWindow::new(sizing(), 12), &shape, 800),
         run_policy(LinearRegression::new(sizing(), 12), &shape, 800),
@@ -56,9 +89,17 @@ fn every_dynamic_policy_saves_energy_on_diurnal_load() {
 
 #[test]
 fn oracle_is_near_violation_free_on_a_step() {
-    let shape = TraceShape::Step { before: 600.0, after: 5500.0, at: 200 };
+    let shape = TraceShape::Step {
+        before: 600.0,
+        after: 5500.0,
+        at: 200,
+    };
     let r = run_policy(
-        Optimal { sizing: sizing(), setup_steps: farm().setup_steps as usize, noise_margin: 0.1 },
+        Optimal {
+            sizing: sizing(),
+            setup_steps: farm().setup_steps as usize,
+            noise_margin: 0.1,
+        },
         &shape,
         500,
     );
@@ -71,7 +112,11 @@ fn oracle_is_near_violation_free_on_a_step() {
 
 #[test]
 fn reactive_lags_a_step_by_the_setup_time() {
-    let shape = TraceShape::Step { before: 600.0, after: 5500.0, at: 200 };
+    let shape = TraceShape::Step {
+        before: 600.0,
+        after: 5500.0,
+        at: 200,
+    };
     let r = run_policy(Reactive { sizing: sizing() }, &shape, 500);
     // The farm needs ~26 steps (260 s) to bring capacity online; nearly
     // all of those steps violate.
@@ -84,21 +129,40 @@ fn reactive_lags_a_step_by_the_setup_time() {
 
 #[test]
 fn extra_capacity_reduces_violations_versus_plain_reactive() {
-    let shape = TraceShape::Diurnal { base: 4000.0, amplitude: 3000.0, period: 300.0 };
+    let shape = TraceShape::Diurnal {
+        base: 4000.0,
+        amplitude: 3000.0,
+        period: 300.0,
+    };
     let plain = run_policy(Reactive { sizing: sizing() }, &shape, 1000);
-    let margin = run_policy(ReactiveExtraCapacity { sizing: sizing(), margin: 0.2 }, &shape, 1000);
+    let margin = run_policy(
+        ReactiveExtraCapacity {
+            sizing: sizing(),
+            margin: 0.2,
+        },
+        &shape,
+        1000,
+    );
     assert!(
         margin.violations.violated <= plain.violations.violated,
         "20% margin absorbs the ramp: {} vs {}",
         margin.violations.violated,
         plain.violations.violated
     );
-    assert!(margin.avg_active >= plain.avg_active, "the margin costs capacity");
+    assert!(
+        margin.avg_active >= plain.avg_active,
+        "the margin costs capacity"
+    );
 }
 
 #[test]
 fn autoscale_holds_capacity_through_spikes() {
-    let shape = TraceShape::Spiky { base: 2000.0, mean_gap: 50.0, magnitude: 3.0, duration: 6 };
+    let shape = TraceShape::Spiky {
+        base: 2000.0,
+        mean_gap: 50.0,
+        magnitude: 3.0,
+        duration: 6,
+    };
     let reactive = run_policy(Reactive { sizing: sizing() }, &shape, 1000);
     let autoscale = run_policy(AutoScale::new(sizing(), 30), &shape, 1000);
     assert!(
@@ -107,7 +171,10 @@ fn autoscale_holds_capacity_through_spikes() {
         autoscale.violations.violated,
         reactive.violations.violated
     );
-    assert!(autoscale.setups <= reactive.setups, "autoscale churns fewer setups");
+    assert!(
+        autoscale.setups <= reactive.setups,
+        "autoscale churns fewer setups"
+    );
 }
 
 #[test]
@@ -115,7 +182,11 @@ fn predictive_policies_track_a_ramp_better_than_moving_average_lag() {
     // On a steady rising ramp (a quarter of a long diurnal period) the
     // linear regression leads the trend while the moving average trails
     // it; regression must suffer no more violations up to sizing noise.
-    let shape = TraceShape::Diurnal { base: 2000.0, amplitude: 3000.0, period: 4000.0 };
+    let shape = TraceShape::Diurnal {
+        base: 2000.0,
+        amplitude: 3000.0,
+        period: 4000.0,
+    };
     let mw = run_policy(MovingWindow::new(sizing(), 20), &shape, 1000);
     let lr = run_policy(LinearRegression::new(sizing(), 20), &shape, 1000);
     assert!(
@@ -131,12 +202,26 @@ fn predictive_policies_track_a_ramp_better_than_moving_average_lag() {
 
 #[test]
 fn oracle_energy_is_a_lower_bound_among_violation_free_policies() {
-    let shape = TraceShape::Diurnal { base: 3000.0, amplitude: 2000.0, period: 400.0 };
+    let shape = TraceShape::Diurnal {
+        base: 3000.0,
+        amplitude: 2000.0,
+        period: 400.0,
+    };
     let oracle = run_policy(
-        Optimal { sizing: sizing(), setup_steps: farm().setup_steps as usize, noise_margin: 0.1 },
+        Optimal {
+            sizing: sizing(),
+            setup_steps: farm().setup_steps as usize,
+            noise_margin: 0.1,
+        },
         &shape,
         800,
     );
-    let always_on = run_policy(AlwaysOn { n_total: farm().n_servers }, &shape, 800);
+    let always_on = run_policy(
+        AlwaysOn {
+            n_total: farm().n_servers,
+        },
+        &shape,
+        800,
+    );
     assert!(oracle.energy_wh < always_on.energy_wh * 0.7);
 }

@@ -1,22 +1,23 @@
-//! Property-based tests spanning the workspace crates.
+//! Property-based tests spanning the workspace crates, on the hermetic
+//! `proptest_lite` harness (seeded cases, no shrinking; failures print a
+//! replay seed — see `ecolb_simcore::proptest_lite`).
 
 use ecolb::prelude::*;
+use ecolb::simcore::proptest_lite::check;
+use ecolb::simcore::rng::Rng;
 use ecolb::workload::application::{AppId, Application};
 use ecolb_cluster::balance::{balance_round, BalanceConfig};
 use ecolb_cluster::migration::MigrationCostModel;
 use ecolb_cluster::scaling::DecisionLedger;
 use ecolb_cluster::{Leader, Server};
-use ecolb::simcore::rng::Rng;
-use proptest::prelude::*;
 
-proptest! {
-    /// The five regimes partition [0, 1]: every load classifies, and the
-    /// classification is monotone in the load.
-    #[test]
-    fn regimes_partition_and_are_monotone(
-        seed in any::<u64>(),
-        loads in proptest::collection::vec(0.0f64..=1.0, 2..50),
-    ) {
+/// The five regimes partition [0, 1]: every load classifies, and the
+/// classification is monotone in the load.
+#[test]
+fn regimes_partition_and_are_monotone() {
+    check("regimes_partition_and_are_monotone", |g| {
+        let seed = g.u64();
+        let loads = g.vec_f64(0.0, 1.0, 2, 50);
         let mut rng = Rng::new(seed);
         let b = RegimeBoundaries::sample_paper(&mut rng);
         let mut sorted = loads.clone();
@@ -24,19 +25,20 @@ proptest! {
         let mut prev_idx = 0usize;
         for load in sorted {
             let idx = b.classify(load).index();
-            prop_assert!((1..=5).contains(&idx));
-            prop_assert!(idx >= prev_idx, "classification must be monotone in load");
+            assert!((1..=5).contains(&idx));
+            assert!(idx >= prev_idx, "classification must be monotone in load");
             prev_idx = idx;
         }
-    }
+    });
+}
 
-    /// A balancing round conserves total load exactly (VMs move, demand
-    /// does not change).
-    #[test]
-    fn balance_round_conserves_load(
-        seed in any::<u64>(),
-        n in 2usize..30,
-    ) {
+/// A balancing round conserves total load exactly (VMs move, demand
+/// does not change).
+#[test]
+fn balance_round_conserves_load() {
+    check("balance_round_conserves_load", |g| {
+        let seed = g.u64();
+        let n = g.usize_in(2, 30);
         let mut rng = Rng::new(seed);
         let mut next_id = 0u64;
         let mut servers: Vec<Server> = (0..n)
@@ -68,115 +70,127 @@ proptest! {
             &mut ledger,
             &MigrationCostModel::default(),
             &SleepModel::default(),
-            &BalanceConfig { drain_moves_per_candidate: 8, ..Default::default() },
+            &BalanceConfig {
+                drain_moves_per_candidate: 8,
+                ..Default::default()
+            },
             SimTime::ZERO,
         );
         let after: f64 = servers.iter().map(Server::load).sum();
-        prop_assert!((before - after).abs() < 1e-6, "load {before} -> {after}");
-    }
+        assert!((before - after).abs() < 1e-6, "load {before} -> {after}");
+    });
+}
 
-    /// After a balancing round no receiver was pushed into an overloaded
-    /// regime it was not already in: sleeping servers hold no load.
-    #[test]
-    fn sleeping_servers_are_empty(
-        seed in any::<u64>(),
-        n in 2usize..25,
-    ) {
+/// Sleeping servers hold no load after a run: consolidation drains a
+/// server completely before it is put to sleep.
+#[test]
+fn sleeping_servers_are_empty() {
+    check("sleeping_servers_are_empty", |g| {
+        let seed = g.u64();
+        let n = g.usize_in(2, 25);
         let config = ClusterConfig::paper(n, WorkloadSpec::paper_low_load());
         let mut cluster = Cluster::new(config, seed);
         cluster.run(10);
         for s in cluster.servers() {
             if s.is_sleeping() {
-                prop_assert_eq!(s.app_count(), 0);
-                prop_assert!(s.load() == 0.0);
+                assert_eq!(s.app_count(), 0);
+                assert!(s.load() == 0.0);
             }
         }
-    }
+    });
+}
 
-    /// Energy breakdown fields are non-negative and total is their sum.
-    #[test]
-    fn energy_breakdown_is_consistent(
-        seed in any::<u64>(),
-        n in 2usize..20,
-        intervals in 1u64..12,
-    ) {
+/// Energy breakdown fields are non-negative and total is their sum.
+#[test]
+fn energy_breakdown_is_consistent() {
+    check("energy_breakdown_is_consistent", |g| {
+        let seed = g.u64();
+        let n = g.usize_in(2, 20);
+        let intervals = g.u64_in(1, 12);
         let config = ClusterConfig::paper(n, WorkloadSpec::paper_low_load());
         let mut cluster = Cluster::new(config, seed);
         let report = cluster.run(intervals);
         let e = report.energy;
-        prop_assert!(e.active_j >= 0.0);
-        prop_assert!(e.idle_overhead_j >= 0.0);
-        prop_assert!(e.sleep_j >= 0.0);
-        prop_assert!(e.transition_j >= 0.0);
+        assert!(e.active_j >= 0.0);
+        assert!(e.idle_overhead_j >= 0.0);
+        assert!(e.sleep_j >= 0.0);
+        assert!(e.transition_j >= 0.0);
         let sum = e.active_j + e.idle_overhead_j + e.sleep_j + e.transition_j;
-        prop_assert!((e.total_j() - sum).abs() < 1e-9);
-    }
+        assert!((e.total_j() - sum).abs() < 1e-9);
+    });
+}
 
-    /// Migration cost is monotone in image size and bounded below by the
-    /// VM start cost.
-    #[test]
-    fn migration_cost_monotone_in_image(
-        a in 0.1f64..64.0,
-        b in 0.1f64..64.0,
-    ) {
+/// Migration cost is monotone in image size and bounded below by the
+/// VM start cost.
+#[test]
+fn migration_cost_monotone_in_image() {
+    check("migration_cost_monotone_in_image", |g| {
+        let a = g.f64_in(0.1, 64.0);
+        let b = g.f64_in(0.1, 64.0);
         let model = MigrationCostModel::default();
         let mk = |gib: f64| Application::new(AppId(0), 0.1, 0.01, gib);
         let ca = model.cost_of(&mk(a));
         let cb = model.cost_of(&mk(b));
         if a < b {
-            prop_assert!(ca.energy_j <= cb.energy_j);
-            prop_assert!(ca.duration <= cb.duration);
+            assert!(ca.energy_j <= cb.energy_j);
+            assert!(ca.duration <= cb.duration);
         }
-        prop_assert!(ca.energy_j >= model.vm_start_energy_j);
-    }
+        assert!(ca.energy_j >= model.vm_start_energy_j);
+    });
+}
 
-    /// The homogeneous model's ratio formula always equals the explicit
-    /// E_ref/E_opt quotient, and savings are consistent with the ratio.
-    #[test]
-    fn homogeneous_identity_holds(
-        a_max in 0.05f64..1.0,
-        b_avg in 0.05f64..1.0,
-        a_opt in 0.05f64..1.0,
-        eps in 0.0f64..0.2,
-    ) {
+/// The homogeneous model's ratio formula always equals the explicit
+/// E_ref/E_opt quotient, and savings are consistent with the ratio.
+#[test]
+fn homogeneous_identity_holds() {
+    check("homogeneous_identity_holds", |g| {
+        let a_max = g.f64_in(0.05, 1.0);
+        let b_avg = g.f64_in(0.05, 1.0);
+        let a_opt = g.f64_in(0.05, 1.0);
+        let eps = g.f64_in(0.0, 0.2);
         let b_opt = (b_avg + eps).min(1.0);
         let m = HomogeneousModel::new(500, 0.0, a_max, b_avg, a_opt, b_opt);
         let direct = m.e_ref() / m.e_opt();
-        prop_assert!((direct - m.energy_ratio()).abs() < 1e-9);
-        prop_assert!((m.c_ref() - m.c_opt()).abs() < 1e-6);
+        assert!((direct - m.energy_ratio()).abs() < 1e-9);
+        assert!((m.c_ref() - m.c_opt()).abs() < 1e-6);
         let savings = m.savings_fraction();
-        prop_assert!((savings - (1.0 - 1.0 / m.energy_ratio())).abs() < 1e-12);
-    }
+        assert!((savings - (1.0 - 1.0 / m.energy_ratio())).abs() < 1e-12);
+    });
+}
 
-    /// Sizing is monotone: more load never needs fewer servers.
-    #[test]
-    fn sizing_is_monotone(r1 in 0.0f64..1e5, r2 in 0.0f64..1e5) {
+/// Sizing is monotone: more load never needs fewer servers.
+#[test]
+fn sizing_is_monotone() {
+    check("sizing_is_monotone", |g| {
+        let r1 = g.f64_in(0.0, 1e5);
+        let r2 = g.f64_in(0.0, 1e5);
         let sizing = Sizing::new(100.0, Sla::interactive());
         let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
-        prop_assert!(sizing.servers_for(lo) <= sizing.servers_for(hi));
-    }
+        assert!(sizing.servers_for(lo) <= sizing.servers_for(hi));
+    });
+}
 
-    /// Decision ratios are never negative and the ledger's totals equal
-    /// the sum over closed intervals.
-    #[test]
-    fn ledger_totals_are_sums(
-        seed in any::<u64>(),
-        n in 2usize..20,
-        intervals in 1u64..10,
-    ) {
+/// Decision ratios are never negative and the ledger's totals equal
+/// the sum over closed intervals.
+#[test]
+fn ledger_totals_are_sums() {
+    check("ledger_totals_are_sums", |g| {
+        let seed = g.u64();
+        let n = g.usize_in(2, 20);
+        let intervals = g.u64_in(1, 10);
         let config = ClusterConfig::paper(n, WorkloadSpec::paper_high_load());
         let mut cluster = Cluster::new(config, seed);
         let report = cluster.run(intervals);
-        prop_assert!(report.ratio_series.values().iter().all(|&v| v >= 0.0));
+        assert!(report.ratio_series.values().iter().all(|&v| v >= 0.0));
         let per_interval: u64 = cluster
             .ledger()
             .intervals()
             .iter()
             .map(|c| c.local + c.in_cluster)
             .sum();
-        prop_assert_eq!(
+        assert_eq!(
             per_interval,
             report.decision_totals.local + report.decision_totals.in_cluster
         );
-    }
+    });
 }

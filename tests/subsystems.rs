@@ -24,7 +24,9 @@ fn timed_sim_measures_wake_latencies_when_wakes_happen() {
     // Force wakes: strict admission on a cluster with sleepers.
     let mut config = ClusterConfig::paper(100, WorkloadSpec::paper_low_load());
     config.arrivals = Some(ArrivalSpec::new(4.0, 0.10, 0.25));
-    config.admission = AdmissionPolicy::DelayAndWake { wakes_per_interval: 2 };
+    config.admission = AdmissionPolicy::DelayAndWake {
+        wakes_per_interval: 2,
+    };
     let timed = TimedClusterSim::new(config, 5, 30).run();
     // Sleepers exist at 30 % load; sustained arrivals should trigger at
     // least some admission wakes whose latency the timed layer observes
@@ -89,8 +91,16 @@ fn threshold_admission_rejects_under_pressure() {
         report.admission
     );
     // The threshold protects the cluster: load stays bounded.
-    let max_load = report.load_series.values().iter().copied().fold(0.0_f64, f64::max);
-    assert!(max_load < 0.95, "admission control caps the load, saw {max_load}");
+    let max_load = report
+        .load_series
+        .values()
+        .iter()
+        .copied()
+        .fold(0.0_f64, f64::max);
+    assert!(
+        max_load < 0.95,
+        "admission control caps the load, saw {max_load}"
+    );
 }
 
 #[test]
@@ -103,7 +113,9 @@ fn delay_and_wake_admits_more_than_threshold_rejects() {
     let mut strict = base.clone();
     strict.admission = AdmissionPolicy::CapacityThreshold { max_load: 0.40 };
     let mut waking = base.clone();
-    waking.admission = AdmissionPolicy::DelayAndWake { wakes_per_interval: 3 };
+    waking.admission = AdmissionPolicy::DelayAndWake {
+        wakes_per_interval: 3,
+    };
 
     let rs = Cluster::new(strict, 17).run(30);
     let rw = Cluster::new(waking, 17).run(30);
@@ -121,24 +133,27 @@ fn federation_narrows_the_load_spread() {
         ClusterConfig::paper(80, WorkloadSpec::paper_high_load()),
         ClusterConfig::paper(80, WorkloadSpec::paper_low_load()),
     ];
-    let fed_config = FederationConfig { high_watermark: 0.60, ..Default::default() };
+    let fed_config = FederationConfig {
+        high_watermark: 0.60,
+        ..Default::default()
+    };
     let mut fed = Federation::new(configs, fed_config, 23);
     let report = fed.run(25);
     assert!(report.cross_migrations > 0);
     let spread = report.load_spread.values();
-    assert!(spread.last().unwrap() < &0.25, "spread should converge, got {:?}", spread.last());
+    assert!(
+        spread.last().unwrap() < &0.25,
+        "spread should converge, got {:?}",
+        spread.last()
+    );
 }
 
 #[test]
 fn federation_cross_moves_cost_more_than_local_ones() {
     let fed_config = FederationConfig::default();
     let intra = MigrationCostModel::default();
-    let app = ecolb::workload::application::Application::new(
-        ecolb::workload::AppId(0),
-        0.2,
-        0.01,
-        8.0,
-    );
+    let app =
+        ecolb::workload::application::Application::new(ecolb::workload::AppId(0), 0.2, 0.01, 8.0);
     assert!(
         fed_config.inter_cluster_network.cost_of(&app).energy_j > intra.cost_of(&app).energy_j,
         "q_inter > q_intra"
@@ -151,7 +166,9 @@ fn federation_cross_moves_cost_more_than_local_ones() {
 
 #[test]
 fn dvfs_governed_cpu_is_a_valid_cluster_power_model() {
-    let dvfs = DvfsGoverned { model: DvfsModel::typical_server_cpu() };
+    let dvfs = DvfsGoverned {
+        model: DvfsModel::typical_server_cpu(),
+    };
     // Sanity across the PowerModel trait surface.
     assert!(dvfs.idle_power_w() > 0.0);
     assert!(dvfs.peak_power_w() > dvfs.idle_power_w());
@@ -195,6 +212,9 @@ fn energy_by_class_partitions_the_total() {
     cluster.run(10);
     let by_class: f64 = cluster.energy_by_class().iter().map(|&(_, j)| j).sum();
     let total = cluster.energy().total_j();
-    assert!((by_class - total).abs() < 1e-6, "class split {by_class} vs total {total}");
+    assert!(
+        (by_class - total).abs() < 1e-6,
+        "class split {by_class} vs total {total}"
+    );
     assert_eq!(cluster.server_classes().len(), 120);
 }
