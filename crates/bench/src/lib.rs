@@ -10,7 +10,7 @@
 //! `(base_seed, size, load)` alone, so the fan-out is bit-identical to
 //! the serial run at any thread count.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use ecolb::experiments::{

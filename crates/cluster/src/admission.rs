@@ -191,7 +191,7 @@ impl AdmissionController {
             let target = servers
                 .iter()
                 .filter(|s| s.is_awake() && s.load() + req.demand <= s.boundaries().opt_high)
-                .max_by(|a, b| a.load().partial_cmp(&b.load()).expect("finite loads"))
+                .max_by(|a, b| a.load().total_cmp(&b.load()))
                 .map(Server::id);
 
             match target {
@@ -205,7 +205,7 @@ impl AdmissionController {
                         let fallback = servers
                             .iter()
                             .filter(|s| s.is_awake())
-                            .min_by(|a, b| a.load().partial_cmp(&b.load()).expect("finite loads"))
+                            .min_by(|a, b| a.load().total_cmp(&b.load()))
                             .map(Server::id);
                         match fallback {
                             Some(id) => {

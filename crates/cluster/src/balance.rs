@@ -218,7 +218,7 @@ fn shed_phase(
         sb.regime()
             .index()
             .cmp(&sa.regime().index())
-            .then(sb.load().partial_cmp(&sa.load()).expect("finite loads"))
+            .then(sb.load().total_cmp(&sa.load()))
             .then(a.cmp(&b))
     });
 
@@ -244,8 +244,7 @@ fn shed_phase(
             receivers.sort_by(|&a, &b| {
                 servers[a.index()]
                     .load()
-                    .partial_cmp(&servers[b.index()].load())
-                    .expect("finite loads")
+                    .total_cmp(&servers[b.index()].load())
                     .then(a.cmp(&b))
             });
         }
@@ -275,9 +274,9 @@ fn shed_phase(
                     .cmp(&a_clears)
                     .then_with(|| {
                         if a_clears && b_clears {
-                            a.1.partial_cmp(&b.1).expect("finite demand")
+                            a.1.total_cmp(&b.1)
                         } else {
-                            b.1.partial_cmp(&a.1).expect("finite demand")
+                            b.1.total_cmp(&a.1)
                         }
                     })
                     .then(a.0.cmp(&b.0))
@@ -340,8 +339,7 @@ fn drain_phase(
     candidates.sort_by(|&a, &b| {
         servers[a.index()]
             .load()
-            .partial_cmp(&servers[b.index()].load())
-            .expect("finite loads")
+            .total_cmp(&servers[b.index()].load())
             .then(a.cmp(&b))
     });
 
@@ -378,7 +376,7 @@ fn drain_phase(
                     .apps()
                     .iter()
                     .filter(|a| cand_srv.load() + a.demand <= ceiling + EPS)
-                    .max_by(|x, y| x.demand.partial_cmp(&y.demand).expect("finite"))
+                    .max_by(|x, y| x.demand.total_cmp(&y.demand))
                     .map(|a| a.id);
                 match pick {
                     Some(app) => {
@@ -420,9 +418,7 @@ fn drain_phase(
         receivers.sort_by(|&a, &b| {
             let ha = config.drain_fill.ceiling(&servers[a.index()]) - servers[a.index()].load();
             let hb = config.drain_fill.ceiling(&servers[b.index()]) - servers[b.index()].load();
-            hb.partial_cmp(&ha)
-                .expect("finite headroom")
-                .then(a.cmp(&b))
+            hb.total_cmp(&ha).then(a.cmp(&b))
         });
         let receivers = cap(&receivers, config).to_vec();
 
@@ -434,7 +430,7 @@ fn drain_phase(
                 .iter()
                 .map(|a| (a.id, a.demand))
                 .collect();
-            apps.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+            apps.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             let mut placed = None;
             'search: for (app, demand) in &apps {
                 for &rx in &receivers {

@@ -419,11 +419,8 @@ impl Cluster {
             .map(|s| (s.id(), s.boundaries().opt_high - s.load()))
             .filter(|&(_, room)| room > 0.0)
             .collect();
-        pool.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite room")
-                .then(a.0.cmp(&b.0))
-        }); // least room first = fullest first
+        pool.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        // least room first = fullest first
 
         let vm_cap = self.config.workload.max_app_demand;
         for i in 0..self.servers.len() {

@@ -125,19 +125,16 @@ impl Federation {
     fn rebalance_across_clusters(&mut self) {
         for _ in 0..self.config.moves_per_interval {
             let loads = self.loads();
-            let (hot, &hot_load) = match loads
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            let (hot, &hot_load) = match loads.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))
             {
                 Some(x) => x,
                 None => return,
             };
-            let (cold, &cold_load) = loads
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                .expect("non-empty");
+            let (cold, &cold_load) =
+                match loads.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)) {
+                    Some(x) => x,
+                    None => return,
+                };
             if hot == cold
                 || hot_load < self.config.high_watermark
                 || cold_load > self.config.low_watermark
@@ -158,40 +155,44 @@ impl Federation {
             .servers()
             .iter()
             .filter(|s| s.is_awake() && s.app_count() > 0)
-            .max_by(|a, b| a.load().partial_cmp(&b.load()).expect("finite"))
+            .max_by(|a, b| a.load().total_cmp(&b.load()))
         {
             Some(s) => s.id(),
             None => return false,
         };
-        let app_id = {
-            let server = &self.clusters[hot].servers()[donor_server.index()];
-            server
-                .apps()
-                .iter()
-                .max_by(|a, b| a.demand.partial_cmp(&b.demand).expect("finite"))
-                .map(|a| a.id)
-                .expect("non-empty server")
+        // The donor passed the `app_count() > 0` filter, so it has a
+        // largest app; bail out rather than panic if that ever changes.
+        let app_id = match self.clusters[hot].servers()[donor_server.index()]
+            .apps()
+            .iter()
+            .max_by(|a, b| a.demand.total_cmp(&b.demand))
+        {
+            Some(a) => a.id,
+            None => return false,
         };
         // Find a receiver in the cold cluster before committing the take.
-        let demand = self.clusters[hot].servers()[donor_server.index()]
+        let Some(demand) = self.clusters[hot].servers()[donor_server.index()]
             .apps()
             .iter()
             .find(|a| a.id == app_id)
             .map(|a| a.demand)
-            .expect("app present");
+        else {
+            return false;
+        };
         let receiver = self.clusters[cold]
             .servers()
             .iter()
             .filter(|s| s.is_awake() && s.load() + demand <= s.boundaries().opt_high)
-            .max_by(|a, b| a.load().partial_cmp(&b.load()).expect("finite"))
+            .max_by(|a, b| a.load().total_cmp(&b.load()))
             .map(Server::id);
         let Some(receiver) = receiver else {
             return false;
         };
 
-        let app: Application = self.clusters[hot]
-            .take_app_for_federation(donor_server, app_id)
-            .expect("app present on donor");
+        let Some(app) = self.clusters[hot].take_app_for_federation(donor_server, app_id) else {
+            return false;
+        };
+        let app: Application = app;
         let cost = self.config.inter_cluster_network.cost_of(&app);
         self.cross_migration_energy_j += cost.energy_j;
         self.cross_migrations += 1;

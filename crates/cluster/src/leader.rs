@@ -103,11 +103,9 @@ impl Leader {
                     .then_some((id, e.load))
             })
             .collect();
-        out.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("loads are finite")
-                .then(a.0.cmp(&b.0))
-        });
+        // total_cmp keeps the broker panic-free even if a load ever went
+        // NaN; ordering for finite loads is identical to partial_cmp.
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         self.stats.record(&Message::PartnerList {
             to: requester,
             candidates: out.clone(),
@@ -132,7 +130,7 @@ impl Leader {
         out.sort_by(|a, b| {
             b.1.index()
                 .cmp(&a.1.index())
-                .then(b.2.partial_cmp(&a.2).expect("loads are finite"))
+                .then(b.2.total_cmp(&a.2))
                 .then(a.0.cmp(&b.0))
         });
         self.stats.record(&Message::PartnerList {

@@ -30,7 +30,7 @@
 //! assert!(report.energy.total_j() > 0.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod admission;

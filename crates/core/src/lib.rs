@@ -32,7 +32,7 @@
 //! assert!(report.final_census.acceptable_fraction() > 0.7);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;

@@ -119,12 +119,8 @@ impl DvfsModel {
     pub fn most_efficient_f(&self) -> f64 {
         self.p_states()
             .into_iter()
-            .min_by(|&a, &b| {
-                self.energy_per_op(a)
-                    .partial_cmp(&self.energy_per_op(b))
-                    .expect("finite")
-            })
-            .expect("at least two P-states")
+            .min_by(|&a, &b| self.energy_per_op(a).total_cmp(&self.energy_per_op(b)))
+            .expect("DvfsModel construction guarantees at least two P-states")
     }
 
     /// The lowest P-state meeting a normalized-performance requirement;

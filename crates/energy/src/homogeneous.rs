@@ -105,7 +105,7 @@ impl HomogeneousModel {
     /// integer so the remaining servers never run above `a_opt`.
     pub fn n_sleep(&self) -> u64 {
         let exact = self.n as f64 * (1.0 - self.a_avg() / self.a_opt);
-        exact.max(0.0).floor() as u64
+        ecolb_metrics::convert::saturating_u64(exact.max(0.0).floor())
     }
 
     /// Optimal-scenario energy `E_opt = (n − n_sleep) · b_opt` (eq. 8),

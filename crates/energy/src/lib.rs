@@ -34,7 +34,7 @@
 //! assert_eq!(bounds.classify(0.5).to_string(), "R3");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod accounting;

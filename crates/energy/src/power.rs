@@ -169,10 +169,7 @@ impl PowerModel for PiecewisePowerModel {
     fn power_w(&self, u: f64) -> f64 {
         let u = u.clamp(0.0, 1.0);
         // Binary search for the containing segment.
-        let idx = match self
-            .knots
-            .binary_search_by(|&(ku, _)| ku.partial_cmp(&u).expect("knots are finite"))
-        {
+        let idx = match self.knots.binary_search_by(|&(ku, _)| ku.total_cmp(&u)) {
             Ok(i) => return self.knots[i].1,
             Err(i) => i,
         };

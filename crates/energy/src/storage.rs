@@ -146,8 +146,9 @@ impl ReplicatedArray {
             window: SlidingWindow::new(window),
             active_set,
             replicas: Default::default(),
-            replica_capacity: (blocks_per_disk as f64 * replica_fraction) as u64
-                * active_set as u64,
+            replica_capacity: ecolb_metrics::convert::saturating_u64(
+                blocks_per_disk as f64 * replica_fraction,
+            ) * active_set as u64,
             spinups: 0,
         }
     }
@@ -293,8 +294,7 @@ impl VirtualNodeStore {
         order.sort_by(|&a, &b| {
             self.vnodes[b]
                 .load
-                .partial_cmp(&self.vnodes[a].load)
-                .expect("finite")
+                .total_cmp(&self.vnodes[a].load)
                 .then(a.cmp(&b))
         });
         let mut bins: Vec<f64> = vec![0.0; self.n_physical];
@@ -308,8 +308,8 @@ impl VirtualNodeStore {
                 .find(|&p| bins[p] + load <= self.capacity + 1e-9)
                 .unwrap_or_else(|| {
                     (0..self.n_physical)
-                        .min_by(|&a, &b| bins[a].partial_cmp(&bins[b]).expect("finite"))
-                        .expect("at least one node")
+                        .min_by(|&a, &b| bins[a].total_cmp(&bins[b]))
+                        .expect("ReplicatedStore construction guarantees n_physical > 0")
                 });
             bins[target] += load;
             new_assignment[v] = target;

@@ -1,0 +1,14 @@
+// Fixture: silent float→int truncation in measurement code. `as usize`
+// on f64 saturates and maps NaN to 0 — fine semantics, but they must be
+// chosen once, in an audited helper, not rediscovered at every cast.
+pub fn bin_index(x: f64, lo: f64, hi: f64, bins: usize) -> usize {
+    ((x - lo) / (hi - lo) * bins as f64) as usize
+}
+
+pub fn scaled_bar(v: f64, max: f64, width: usize) -> usize {
+    ((v / max) * width as f64).round() as usize
+}
+
+pub fn whole_joules(j: f64) -> u64 {
+    j.floor() as u64
+}

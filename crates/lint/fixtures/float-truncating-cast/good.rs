@@ -1,0 +1,20 @@
+// Fixture: all float→int conversions routed through the audited helpers,
+// which document saturation and NaN handling in one place. Int→int and
+// int→float casts are unaffected by the rule.
+use ecolb_metrics::convert;
+
+pub fn bin_index(x: f64, lo: f64, hi: f64, bins: usize) -> usize {
+    convert::saturating_usize((x - lo) / (hi - lo) * bins as f64)
+}
+
+pub fn scaled_bar(v: f64, max: f64, width: usize) -> usize {
+    convert::saturating_usize(((v / max) * width as f64).round())
+}
+
+pub fn whole_joules(j: f64) -> u64 {
+    convert::saturating_u64(j.floor())
+}
+
+pub fn widen(disk: u32) -> u64 {
+    disk as u64
+}

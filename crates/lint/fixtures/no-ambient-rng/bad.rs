@@ -1,0 +1,19 @@
+// Fixture: ambient entropy and index-free reseeding. Both defeat the
+// single-seed reproducibility contract.
+use ecolb_simcore::par;
+use ecolb_simcore::rng::Rng;
+
+pub fn sample_jitter() -> f64 {
+    // Ambient entropy: stream depends on the OS, not the run seed.
+    let mut rng = thread_rng();
+    rng.gen::<f64>()
+}
+
+pub fn run_cells(cells: Vec<Cell>) -> Vec<f64> {
+    par::map_indexed(cells, 4, |_i, cell| {
+        // Constant reseed inside a parallel closure: every item draws the
+        // SAME stream, silently correlating all cells.
+        let mut rng = Rng::new(42);
+        simulate(cell, &mut rng)
+    })
+}

@@ -1,0 +1,15 @@
+// Fixture: every stream derives from the run seed; parallel items seed
+// from their own index, so output is identical at any thread count.
+use ecolb_simcore::par;
+use ecolb_simcore::rng::Rng;
+
+pub fn sample_jitter(rng: &mut Rng) -> f64 {
+    rng.f64_unit()
+}
+
+pub fn run_cells(base_seed: u64, cells: Vec<Cell>) -> Vec<f64> {
+    par::map_indexed(cells, 4, |i, cell| {
+        let mut rng = Rng::new(base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        simulate(cell, &mut rng)
+    })
+}

@@ -1,0 +1,12 @@
+// Fixture: library behaviour keyed off ambient environment variables —
+// two hosts running the same experiment binary can silently diverge.
+pub fn thread_count() -> usize {
+    match std::env::var("ECOLB_THREADS") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
+pub fn debug_enabled() -> bool {
+    std::env::var_os("ECOLB_DEBUG").is_some()
+}

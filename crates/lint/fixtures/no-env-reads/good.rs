@@ -1,0 +1,14 @@
+// Fixture: configuration flows through explicit arguments; only bin
+// targets translate the process environment into config at the edge.
+pub struct HarnessConfig {
+    pub threads: usize,
+    pub debug: bool,
+}
+
+pub fn thread_count(config: &HarnessConfig) -> usize {
+    config.threads
+}
+
+pub fn debug_enabled(config: &HarnessConfig) -> bool {
+    config.debug
+}

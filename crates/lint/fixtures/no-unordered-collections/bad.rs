@@ -1,0 +1,16 @@
+// Fixture: hash-ordered collections in a sim-path crate. Iterating a
+// HashMap folds values in SipHash-key order, which differs per process —
+// any aggregation over it breaks byte-identical output.
+use std::collections::{HashMap, HashSet};
+
+pub struct Directory {
+    pub by_load: HashMap<u32, f64>,
+    pub sleeping: HashSet<u32>,
+}
+
+impl Directory {
+    pub fn total_load(&self) -> f64 {
+        // Non-deterministic iteration order feeding a float sum.
+        self.by_load.values().sum()
+    }
+}

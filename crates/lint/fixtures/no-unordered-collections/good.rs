@@ -1,0 +1,14 @@
+// Fixture: ordered replacements — BTreeMap/BTreeSet iterate in key order
+// on every run, so folds over them are reproducible.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Directory {
+    pub by_load: BTreeMap<u32, f64>,
+    pub sleeping: BTreeSet<u32>,
+}
+
+impl Directory {
+    pub fn total_load(&self) -> f64 {
+        self.by_load.values().sum()
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: wall-clock reads on the simulation path. `ecolb-lint` must
+// flag every use of std::time's clock types outside crates/bench.
+use std::time::Instant;
+
+pub fn measure_round(cluster: &mut Cluster) -> f64 {
+    let start = Instant::now();
+    cluster.run(1);
+    start.elapsed().as_secs_f64()
+}
+
+pub fn stamp_report(report: &mut Report) {
+    // SystemTime in a report makes two identical runs differ byte-wise.
+    report.generated_at = std::time::SystemTime::now();
+}

@@ -1,0 +1,14 @@
+// Fixture: simulated time only — the deterministic replacement for the
+// bad fixture. Mentions of banned names in comments ("Instant") and
+// strings ("SystemTime") must NOT fire.
+use ecolb_simcore::time::SimTime;
+
+pub fn measure_round(cluster: &mut Cluster, now: SimTime) -> SimTime {
+    let start = now;
+    cluster.run_until(now + SimTime::from_secs(1));
+    cluster.now() - start
+}
+
+pub fn stamp_report(report: &mut Report, now: SimTime) {
+    report.generated_at = now; // not "SystemTime::now()"
+}

@@ -1,0 +1,16 @@
+// Fixture: panic creep in library code — every site here counts against
+// the crate's ratchet in lint/panic_budget.toml.
+pub fn pick_partner(loads: &[f64]) -> usize {
+    let best = loads
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    best.0
+}
+
+pub fn must_host(server: &Server, app: AppId) -> usize {
+    server
+        .position(app)
+        .unwrap_or_else(|| panic!("{app:?} not hosted"))
+}

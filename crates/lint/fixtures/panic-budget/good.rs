@@ -1,0 +1,24 @@
+// Fixture: panic-free library code. Total float comparison instead of
+// partial_cmp().unwrap(); Option/Result propagated to the caller. Test
+// modules are exempt — the unwraps below do not count.
+pub fn pick_partner(loads: &[f64]) -> Option<usize> {
+    loads
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+}
+
+pub fn must_host(server: &Server, app: AppId) -> Result<usize, HostError> {
+    server.position(app).ok_or(HostError::NotHosted(app))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_the_heaviest() {
+        assert_eq!(pick_partner(&[0.1, 0.9, 0.4]).unwrap(), 1);
+    }
+}

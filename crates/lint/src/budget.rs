@@ -1,0 +1,147 @@
+//! The panic-budget ratchet file (`lint/panic_budget.toml`).
+//!
+//! A deliberately tiny TOML subset: comments, blank lines, optional
+//! `[section]` headers (ignored), and `crate = count` entries. The file is
+//! a *ratchet*: the lint fails when a crate's library-code panic count
+//! exceeds its budget, and asks for the budget to be lowered when the
+//! count drops — so the number can only go down over time.
+
+use std::collections::BTreeMap;
+
+/// Parsed budgets: crate name → maximum allowed panic sites.
+pub type Budget = BTreeMap<String, usize>;
+
+/// Parses the budget file contents. Returns `Err` with a line-numbered
+/// message on malformed entries.
+pub fn parse_budget(text: &str) -> Result<Budget, String> {
+    let mut out = Budget::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || (line.starts_with('[') && line.ends_with(']')) {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `crate = count`, got {raw:?}", i + 1))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: count must be a non-negative integer", i + 1))?;
+        if out.insert(key.clone(), value).is_some() {
+            return Err(format!("line {}: duplicate crate `{key}`", i + 1));
+        }
+    }
+    Ok(out)
+}
+
+/// One crate's ratchet verdict.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RatchetVerdict {
+    /// Count equals budget: healthy.
+    AtBudget,
+    /// Count below budget: not a failure, but the budget should be lowered
+    /// to lock in the improvement.
+    BelowBudget {
+        /// Observed panic-site count.
+        count: usize,
+        /// Budgeted maximum.
+        budget: usize,
+    },
+    /// Count above budget: a finding (the ratchet only turns one way).
+    OverBudget {
+        /// Observed panic-site count.
+        count: usize,
+        /// Budgeted maximum.
+        budget: usize,
+    },
+    /// Crate absent from the budget file: a finding (every crate must be
+    /// under the ratchet).
+    Unbudgeted {
+        /// Observed panic-site count.
+        count: usize,
+    },
+}
+
+/// Compares observed per-crate counts against the budget.
+///
+/// Crates listed in the budget but absent from `counts` are treated as
+/// count 0 (e.g. a crate whose last panic site was removed).
+pub fn ratchet(
+    counts: &BTreeMap<String, usize>,
+    budget: &Budget,
+) -> BTreeMap<String, RatchetVerdict> {
+    let mut out = BTreeMap::new();
+    for (krate, &count) in counts {
+        let verdict = match budget.get(krate) {
+            None => RatchetVerdict::Unbudgeted { count },
+            Some(&b) if count > b => RatchetVerdict::OverBudget { count, budget: b },
+            Some(&b) if count < b => RatchetVerdict::BelowBudget { count, budget: b },
+            Some(_) => RatchetVerdict::AtBudget,
+        };
+        out.insert(krate.clone(), verdict);
+    }
+    for (krate, &b) in budget {
+        if !counts.contains_key(krate) {
+            let verdict = if b > 0 {
+                RatchetVerdict::BelowBudget {
+                    count: 0,
+                    budget: b,
+                }
+            } else {
+                RatchetVerdict::AtBudget
+            };
+            out.insert(krate.clone(), verdict);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_sections_and_entries() {
+        let text = "# ratchet\n[budget]\ncluster = 7 # lowered in PR 2\nsimcore = 4\n";
+        let b = parse_budget(text).expect("parses");
+        assert_eq!(b.get("cluster"), Some(&7));
+        assert_eq!(b.get("simcore"), Some(&4));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_budget("cluster 7").is_err());
+        assert!(parse_budget("cluster = seven").is_err());
+        assert!(parse_budget("a = 1\na = 2").is_err());
+    }
+
+    #[test]
+    fn ratchet_verdicts() {
+        let mut counts = BTreeMap::new();
+        counts.insert("a".to_string(), 5usize);
+        counts.insert("b".to_string(), 2);
+        counts.insert("c".to_string(), 1);
+        let mut budget = Budget::new();
+        budget.insert("a".to_string(), 5);
+        budget.insert("b".to_string(), 3);
+        budget.insert("d".to_string(), 2);
+        let v = ratchet(&counts, &budget);
+        assert_eq!(v["a"], RatchetVerdict::AtBudget);
+        assert_eq!(
+            v["b"],
+            RatchetVerdict::BelowBudget {
+                count: 2,
+                budget: 3
+            }
+        );
+        assert_eq!(v["c"], RatchetVerdict::Unbudgeted { count: 1 });
+        assert_eq!(
+            v["d"],
+            RatchetVerdict::BelowBudget {
+                count: 0,
+                budget: 2
+            }
+        );
+    }
+}

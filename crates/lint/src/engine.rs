@@ -1,0 +1,137 @@
+//! Per-file analysis driver: lex, run rules, honour suppressions.
+
+use crate::lexer::{lex, Suppression};
+use crate::rules::{check_tokens, panic_sites, FileContext, Finding, ALL_RULES};
+
+/// The outcome of analysing one source file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Rule violations (after suppression filtering), including findings
+    /// about malformed suppression directives themselves.
+    pub findings: Vec<Finding>,
+    /// Library-code panic sites (after suppression filtering); aggregated
+    /// into the per-crate ratchet by the caller.
+    pub panic_sites: Vec<Finding>,
+}
+
+/// True when `s` suppresses rule `rule` at line `line`.
+///
+/// A directive covers its own line (trailing comment) and the next line
+/// (directive on the line above the flagged code).
+fn covers(s: &Suppression, rule: &str, line: u32) -> bool {
+    s.rule == rule && (line == s.line || line == s.line + 1)
+}
+
+/// Analyses one file: lexes, runs every rule, then applies (and polices)
+/// the inline allow directives, e.g.
+/// `// ecolb-lint: allow(no-wallclock, "perf harness measures real time")`.
+pub fn check_file(ctx: &FileContext, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Police the directives first: a suppression without a reason, or for
+    // a rule that does not exist, is itself a finding — and is not
+    // suppressible.
+    for s in &lexed.suppressions {
+        if !ALL_RULES.contains(&s.rule.as_str()) {
+            findings.push(Finding {
+                rule: "suppression",
+                path: ctx.path.clone(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "allow directive names unknown rule `{}` (known: {})",
+                    s.rule,
+                    ALL_RULES.join(", ")
+                ),
+            });
+        } else if s.reason.is_none() {
+            findings.push(Finding {
+                rule: "suppression",
+                path: ctx.path.clone(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "allow({}) without a reason; write `// ecolb-lint: allow({}, \"why\")`",
+                    s.rule, s.rule
+                ),
+            });
+        }
+    }
+
+    let suppressed = |f: &Finding| {
+        lexed
+            .suppressions
+            .iter()
+            .any(|s| s.reason.is_some() && covers(s, f.rule, f.line))
+    };
+
+    findings.extend(
+        check_tokens(ctx, &lexed.tokens)
+            .into_iter()
+            .filter(|f| !suppressed(f)),
+    );
+    let sites = panic_sites(ctx, &lexed.tokens)
+        .into_iter()
+        .filter(|f| !suppressed(f))
+        .collect();
+
+    FileReport {
+        findings,
+        panic_sites: sites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FileContext {
+        FileContext::from_path("crates/cluster/src/x.rs")
+    }
+
+    #[test]
+    fn reasoned_allow_suppresses_same_and_next_line() {
+        let trailing =
+            "let m = HashMap::new(); // ecolb-lint: allow(no-unordered-collections, \"docs\")";
+        let r = check_file(&ctx(), trailing);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+
+        let above =
+            "// ecolb-lint: allow(no-unordered-collections, \"docs\")\nlet m = HashMap::new();";
+        let r = check_file(&ctx(), above);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn reasonless_allow_is_a_finding_and_does_not_suppress() {
+        let src = "let m = HashMap::new(); // ecolb-lint: allow(no-unordered-collections)";
+        let r = check_file(&ctx(), src);
+        let rules: Vec<_> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"suppression"));
+        assert!(rules.contains(&"no-unordered-collections"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_finding() {
+        let src = "// ecolb-lint: allow(no-such-rule, \"oops\")\n";
+        let r = check_file(&ctx(), src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "suppression");
+    }
+
+    #[test]
+    fn allow_for_a_different_rule_does_not_suppress() {
+        let src = "let m = HashMap::new(); // ecolb-lint: allow(no-wallclock, \"wrong rule\")";
+        let r = check_file(&ctx(), src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "no-unordered-collections");
+    }
+
+    #[test]
+    fn panic_sites_can_be_excluded_from_the_ratchet() {
+        let src = "fn f() { x.unwrap(); } // ecolb-lint: allow(panic-budget, \"infallible by construction\")";
+        let r = check_file(&ctx(), src);
+        assert!(r.panic_sites.is_empty());
+    }
+}

@@ -1,0 +1,695 @@
+//! A small hand-rolled Rust lexer for lint purposes.
+//!
+//! This is **not** a full Rust tokenizer — it only needs to be exact about
+//! the places where naive text search goes wrong: line comments, (nested)
+//! block comments, string literals with escapes, raw strings with any
+//! number of `#` guards, byte strings, char literals vs. lifetimes, and raw
+//! identifiers. Everything the rules match on (identifiers, literals,
+//! punctuation) is emitted as a [`Token`] with a 1-based line and column,
+//! so findings point at real source locations.
+//!
+//! Comments are skipped, with one exception: a line comment carrying an
+//! `ecolb-lint: allow(no-wallclock, "some reason")`-style directive is parsed into a
+//! [`Suppression`] so the rule engine can honour (and police) it.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `as`, `fn`, `r#match`, …).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2.5e-3`, `1f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `(`, `!`, …).
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexeme classification.
+    pub kind: TokenKind,
+    /// The lexeme text. For strings this is the *content* (delimiters and
+    /// guards stripped); for raw identifiers the `r#` prefix is stripped so
+    /// rules match `r#fn` and `fn` alike.
+    pub text: String,
+    /// 1-based source line of the first character.
+    pub line: u32,
+    /// 1-based source column (in chars) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// An inline allow directive, e.g.
+/// `// ecolb-lint: allow(no-env-reads, "documented replay hook")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// The quoted reason, if one was given. Reasons are mandatory; a
+    /// missing reason is itself reported by the engine.
+    pub reason: Option<String>,
+    /// 1-based line the directive appears on. The suppression applies to
+    /// findings on this line and the next (covering both trailing-comment
+    /// and line-above placement).
+    pub line: u32,
+}
+
+/// Everything the lexer extracted from one source file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Suppression directives found in comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count chars, not bytes: only advance the column on a
+            // non-continuation byte.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+/// Lexes `src`, returning the token stream and any suppression directives.
+///
+/// The lexer never fails: unterminated strings or comments simply consume
+/// the rest of the file (the compiler is the authority on syntax errors;
+/// the lint only needs to avoid *mis*-classifying well-formed code).
+pub fn lex(src: &str) -> LexOutput {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = LexOutput::default();
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => lex_line_comment(&mut cur, &mut out),
+            b'/' if cur.peek_at(1) == Some(b'*') => lex_block_comment(&mut cur),
+            b'r' | b'b' if starts_raw_or_byte(&cur) => {
+                let text = lex_prefixed(&mut cur);
+                match text {
+                    Prefixed::Str(s) => out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: s,
+                        line,
+                        col,
+                    }),
+                    Prefixed::Char(s) => out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: s,
+                        line,
+                        col,
+                    }),
+                    Prefixed::Ident(s) => out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: s,
+                        line,
+                        col,
+                    }),
+                }
+            }
+            b'"' => {
+                let s = lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: s,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                let (kind, text) = lex_quote(&mut cur);
+                out.tokens.push(Token {
+                    kind,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b'0'..=b'9' => {
+                let (kind, text) = lex_number(&mut cur);
+                out.tokens.push(Token {
+                    kind,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            b if b == b'_' || b.is_ascii_alphabetic() => {
+                let text = lex_ident(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when the cursor sits on `r"`, `r#"`, `r#ident`, `b"`, `b'`, `br"`
+/// or `br#"` — anything needing prefix handling rather than plain
+/// identifier lexing.
+fn starts_raw_or_byte(cur: &Cursor<'_>) -> bool {
+    let b0 = cur.peek();
+    let b1 = cur.peek_at(1);
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"')) | (Some(b'r'), Some(b'#')) => true,
+        (Some(b'b'), Some(b'"')) | (Some(b'b'), Some(b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(cur.peek_at(2), Some(b'"') | Some(b'#')),
+        _ => false,
+    }
+}
+
+enum Prefixed {
+    Str(String),
+    Char(String),
+    Ident(String),
+}
+
+fn lex_prefixed(cur: &mut Cursor<'_>) -> Prefixed {
+    // Consume the `r` / `b` / `br` prefix.
+    let first = cur.bump().unwrap_or(b'r');
+    let mut raw = first == b'r';
+    if first == b'b' {
+        if cur.peek() == Some(b'r') {
+            cur.bump();
+            raw = true;
+        } else if cur.peek() == Some(b'\'') {
+            cur.bump();
+            return Prefixed::Char(lex_char_body(cur));
+        }
+    }
+    if raw {
+        // Count `#` guards. `r#ident` (zero quotes after one `#`) is a raw
+        // identifier, not a raw string.
+        let mut hashes = 0usize;
+        while cur.peek() == Some(b'#') {
+            hashes += 1;
+            cur.bump();
+        }
+        if cur.peek() == Some(b'"') {
+            cur.bump();
+            return Prefixed::Str(lex_raw_string_body(cur, hashes));
+        }
+        if hashes == 1 && first == b'r' {
+            return Prefixed::Ident(lex_ident(cur));
+        }
+        // Odd shapes (`r##x`): degrade to an identifier.
+        return Prefixed::Ident(lex_ident(cur));
+    }
+    // `b"` byte string.
+    cur.bump();
+    Prefixed::Str(lex_string_body(cur))
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>, out: &mut LexOutput) {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(b) = cur.peek() {
+        if b == b'\n' {
+            break;
+        }
+        text.push(b as char);
+        cur.bump();
+    }
+    if let Some(s) = parse_suppression(&text, line) {
+        out.suppressions.push(s);
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+fn lex_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump(); // opening '"'
+    lex_string_body(cur)
+}
+
+fn lex_string_body(cur: &mut Cursor<'_>) -> String {
+    let mut s = String::new();
+    while let Some(b) = cur.peek() {
+        match b {
+            b'"' => {
+                cur.bump();
+                break;
+            }
+            b'\\' => {
+                cur.bump();
+                if let Some(e) = cur.bump() {
+                    s.push('\\');
+                    s.push(e as char);
+                }
+            }
+            _ => {
+                s.push(b as char);
+                cur.bump();
+            }
+        }
+    }
+    s
+}
+
+fn lex_raw_string_body(cur: &mut Cursor<'_>, hashes: usize) -> String {
+    let mut s = String::new();
+    'outer: while let Some(b) = cur.peek() {
+        if b == b'"' {
+            // Check for `"` followed by `hashes` × `#`.
+            for i in 0..hashes {
+                if cur.peek_at(1 + i) != Some(b'#') {
+                    s.push('"');
+                    cur.bump();
+                    continue 'outer;
+                }
+            }
+            cur.bump();
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        s.push(b as char);
+        cur.bump();
+    }
+    s
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) after a `'`.
+fn lex_quote(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    cur.bump(); // opening '\''
+    let b1 = cur.peek();
+    let b2 = cur.peek_at(1);
+    let is_lifetime = match (b1, b2) {
+        (Some(c), next) if c == b'_' || c.is_ascii_alphabetic() => next != Some(b'\''),
+        _ => false,
+    };
+    if is_lifetime {
+        (TokenKind::Lifetime, lex_ident(cur))
+    } else {
+        (TokenKind::Char, lex_char_body(cur))
+    }
+}
+
+fn lex_char_body(cur: &mut Cursor<'_>) -> String {
+    let mut s = String::new();
+    while let Some(b) = cur.peek() {
+        match b {
+            b'\'' => {
+                cur.bump();
+                break;
+            }
+            b'\\' => {
+                cur.bump();
+                if let Some(e) = cur.bump() {
+                    s.push('\\');
+                    s.push(e as char);
+                }
+            }
+            _ => {
+                s.push(b as char);
+                cur.bump();
+            }
+        }
+    }
+    s
+}
+
+fn lex_ident(cur: &mut Cursor<'_>) -> String {
+    let mut s = String::new();
+    while let Some(b) = cur.peek() {
+        if b == b'_' || b.is_ascii_alphanumeric() {
+            s.push(b as char);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut s = String::new();
+    let mut is_float = false;
+    // Hex/octal/binary literals are always integers.
+    if cur.peek() == Some(b'0') && matches!(cur.peek_at(1), Some(b'x') | Some(b'o') | Some(b'b')) {
+        s.push(cur.bump().unwrap_or(b'0') as char);
+        s.push(cur.bump().unwrap_or(b'x') as char);
+        while let Some(b) = cur.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                s.push(b as char);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return (TokenKind::Int, s);
+    }
+    while let Some(b) = cur.peek() {
+        match b {
+            b'0'..=b'9' | b'_' => {
+                s.push(b as char);
+                cur.bump();
+            }
+            b'.' => {
+                // `1.0` is a float; `1..n` and `1.method()` are not.
+                if matches!(cur.peek_at(1), Some(d) if d.is_ascii_digit()) {
+                    is_float = true;
+                    s.push('.');
+                    cur.bump();
+                } else if cur.peek_at(1) == Some(b'.')
+                    || matches!(cur.peek_at(1), Some(c) if c == b'_' || c.is_ascii_alphabetic())
+                {
+                    break;
+                } else {
+                    // Trailing-dot float (`1.`).
+                    is_float = true;
+                    s.push('.');
+                    cur.bump();
+                }
+            }
+            b'e' | b'E' => {
+                // Exponent only if followed by digits (or sign+digits);
+                // otherwise it's a suffix-ish identifier char.
+                let next = cur.peek_at(1);
+                let exp = match next {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some(b'+') | Some(b'-') => {
+                        matches!(cur.peek_at(2), Some(d) if d.is_ascii_digit())
+                    }
+                    _ => false,
+                };
+                if exp {
+                    is_float = true;
+                    s.push(b as char);
+                    cur.bump();
+                    if matches!(cur.peek(), Some(b'+') | Some(b'-')) {
+                        s.push(cur.bump().unwrap_or(b'+') as char);
+                    }
+                } else {
+                    // Suffix like `u64` / `f64` starts here.
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    // Type suffix (`u64`, `f32`, …) — consumed into the token; an `f`
+    // suffix makes the literal a float.
+    if matches!(cur.peek(), Some(c) if c == b'_' || c.is_ascii_alphabetic()) {
+        let suffix = lex_ident(cur);
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        s.push_str(&suffix);
+    }
+    if is_float {
+        (TokenKind::Float, s)
+    } else {
+        (TokenKind::Int, s)
+    }
+}
+
+/// Parses an allow directive — with or without its mandatory reason —
+/// out of a line comment's text.
+fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
+    let idx = comment.find("ecolb-lint:")?;
+    let rest = comment[idx + "ecolb-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    // The directive ends at the first `)` outside the quoted reason, so
+    // trailing prose after the directive (and parens inside the reason)
+    // parse correctly.
+    let mut close = None;
+    let mut in_quotes = false;
+    let mut prev = '\0';
+    for (i, c) in rest.char_indices() {
+        match c {
+            '"' if prev != '\\' => in_quotes = !in_quotes,
+            ')' if !in_quotes => {
+                close = Some(i);
+                break;
+            }
+            _ => {}
+        }
+        prev = c;
+    }
+    let inner = &rest[..close?];
+    let (rule, reason) = match inner.find(',') {
+        Some(c) => {
+            let reason = inner[c + 1..].trim();
+            let reason = reason
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .map(str::trim)
+                .filter(|r| !r.is_empty())
+                .map(String::from);
+            (inner[..c].trim(), reason)
+        }
+        None => (inner.trim(), None),
+    };
+    if rule.is_empty() {
+        return None;
+    }
+    Some(Suppression {
+        rule: rule.to_string(),
+        reason,
+        line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        assert_eq!(idents("let x = 1; // HashMap here\nlet y;"), {
+            vec!["let", "x", "let", "y"]
+        });
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let src = "a /* outer /* inner HashMap */ still comment */ b";
+        assert_eq!(idents(src), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn string_contents_are_not_identifiers() {
+        assert_eq!(idents(r#"let s = "HashMap::new()";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn slashes_inside_strings_do_not_open_comments() {
+        // The `//` lives inside the string; `real` must still be lexed.
+        assert_eq!(
+            idents(r#"let url = "http://x"; let real = 1;"#),
+            vec!["let", "url", "let", "real"]
+        );
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        assert_eq!(
+            idents(r#"let s = "a\"b; HashMap"; tail"#),
+            vec!["let", "s", "tail"]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = "let s = r#\"quote \" and HashMap\"#; done";
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+        let toks = lex(src).tokens;
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).expect("str");
+        assert_eq!(s.text, "quote \" and HashMap");
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_string() {
+        assert_eq!(idents("let r#fn = 1;"), vec!["let", "fn"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let toks = lex("1 2.0 0xFF 1_000u64 2.5e-3 1f64 7usize 1..4 3.max(4)").tokens;
+        let kinds: Vec<(TokenKind, String)> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Int | TokenKind::Float))
+            .map(|t| (t.kind, t.text.clone()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (TokenKind::Int, "1".into()),
+                (TokenKind::Float, "2.0".into()),
+                (TokenKind::Int, "0xFF".into()),
+                (TokenKind::Int, "1_000u64".into()),
+                (TokenKind::Float, "2.5e-3".into()),
+                (TokenKind::Float, "1f64".into()),
+                (TokenKind::Int, "7usize".into()),
+                (TokenKind::Int, "1".into()),
+                (TokenKind::Int, "4".into()),
+                (TokenKind::Int, "3".into()),
+                (TokenKind::Int, "4".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn suppression_directive_parses() {
+        let out = lex("x(); // ecolb-lint: allow(no-wallclock, \"bench only\")\ny();");
+        assert_eq!(
+            out.suppressions,
+            vec![Suppression {
+                rule: "no-wallclock".into(),
+                reason: Some("bench only".into()),
+                line: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn directive_followed_by_prose_still_parses() {
+        let out = lex("// see `ecolb-lint: allow(no-wallclock, \"why\")` — reason is mandatory\n");
+        assert_eq!(
+            out.suppressions,
+            vec![Suppression {
+                rule: "no-wallclock".into(),
+                reason: Some("why".into()),
+                line: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn reason_may_contain_parens() {
+        let out = lex("// ecolb-lint: allow(no-env-reads, \"replay hook (documented)\")\n");
+        assert_eq!(
+            out.suppressions[0].reason.as_deref(),
+            Some("replay hook (documented)")
+        );
+    }
+
+    #[test]
+    fn suppression_without_reason_is_recorded_reasonless() {
+        let out = lex("// ecolb-lint: allow(no-env-reads)\n");
+        assert_eq!(out.suppressions[0].reason, None);
+    }
+
+    #[test]
+    fn directive_inside_string_is_inert() {
+        let out = lex(r#"let s = "// ecolb-lint: allow(no-wallclock, \"x\")";"#);
+        assert!(out.suppressions.is_empty());
+    }
+}

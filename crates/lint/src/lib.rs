@@ -1,0 +1,45 @@
+//! # ecolb-lint
+//!
+//! Workspace-native static analysis enforcing the determinism and
+//! robustness contracts of the `ecolb` simulator. The repo's headline
+//! guarantee — byte-identical sweep output at any thread count — is a
+//! *property of the source*, so this crate turns the conventions that
+//! uphold it into machine-checked rules:
+//!
+//! | Rule | Protects against |
+//! |---|---|
+//! | `no-wallclock` | real-time reads on the sim path (`Instant`, `SystemTime`) |
+//! | `no-unordered-collections` | hash-order iteration (`HashMap`/`HashSet`) in sim crates |
+//! | `no-ambient-rng` | entropy not derived from the run seed; constant reseeds in parallel closures |
+//! | `no-env-reads` | library behaviour depending on ambient environment |
+//! | `float-truncating-cast` | silent `f64 → int` truncation in energy/metrics |
+//! | `panic-budget` | panic creep in library code (one-way ratchet) |
+//!
+//! The pipeline is a hand-rolled [`lexer`] (comments, nested block
+//! comments, raw strings, char-vs-lifetime disambiguation) feeding a
+//! [`rules`] engine, with inline suppressions
+//! (`// ecolb-lint: allow(no-wallclock, "why")` — the reason is mandatory),
+//! a per-crate panic [`budget`] ratchet, and a JSON [`report`] emitted via
+//! `ecolb_metrics::json`. Run it with:
+//!
+//! ```text
+//! cargo run -p ecolb-lint --offline -- --workspace
+//! ```
+//!
+//! Zero dependencies beyond the workspace's own `ecolb-metrics`, in
+//! keeping with the hermetic-build contract.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use budget::{parse_budget, Budget};
+pub use engine::check_file;
+pub use report::{lint_source, run_workspace, WorkspaceReport};
+pub use rules::{FileContext, Finding, ALL_RULES};

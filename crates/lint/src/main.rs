@@ -1,0 +1,137 @@
+//! `ecolb-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ecolb-lint --offline -- --workspace [--root DIR] [--json PATH] [--budget PATH]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+use ecolb_lint::budget::parse_budget;
+use ecolb_lint::report::run_workspace;
+use ecolb_metrics::json::ToJson;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    budget_path: Option<PathBuf>,
+    json_path: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ecolb-lint --workspace [--root DIR] [--budget PATH] [--json PATH] [--quiet]\n\
+         \n\
+         Lints every .rs source of the workspace for determinism/robustness\n\
+         violations. See crates/lint/src/lib.rs for the rule table; suppress a\n\
+         finding with `// ecolb-lint: allow(<rule>, \"<reason>\")`."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        budget_path: None,
+        json_path: None,
+        quiet: false,
+    };
+    let mut saw_workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => saw_workspace = true,
+            "--root" => opts.root = args.next().map(PathBuf::from).unwrap_or_else(|| usage()),
+            "--budget" => {
+                opts.budget_path = Some(args.next().map(PathBuf::from).unwrap_or_else(|| usage()))
+            }
+            "--json" => {
+                opts.json_path = Some(args.next().map(PathBuf::from).unwrap_or_else(|| usage()))
+            }
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if !saw_workspace {
+        usage();
+    }
+    // `cargo run -p ecolb-lint` starts in the workspace root; when invoked
+    // from a member dir, walk up to the first directory holding the
+    // workspace manifest.
+    if !opts.root.join("Cargo.toml").is_file() {
+        let mut probe = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        while !probe.join("Cargo.toml").is_file() {
+            if !probe.pop() {
+                break;
+            }
+        }
+        opts.root = probe;
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let budget_path = opts
+        .budget_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint/panic_budget.toml"));
+    let budget_text = match std::fs::read_to_string(&budget_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ecolb-lint: cannot read {}: {e}", budget_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let budget = match parse_budget(&budget_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("ecolb-lint: {}: {e}", budget_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run_workspace(&opts.root, &budget) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ecolb-lint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("ecolb-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &report.findings {
+        println!(
+            "{}:{}:{}: [{}] {}",
+            f.path, f.line, f.col, f.rule, f.message
+        );
+    }
+    if !opts.quiet {
+        for note in &report.notes {
+            eprintln!("note: {note}");
+        }
+        let counts: Vec<String> = report
+            .panic_counts
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        eprintln!(
+            "ecolb-lint: {} files scanned, {} finding(s); panic sites: {}",
+            report.files_scanned,
+            report.findings.len(),
+            counts.join(" ")
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,147 @@
+//! Workspace-level run and machine-readable report.
+
+use crate::budget::{ratchet, Budget, RatchetVerdict};
+use crate::engine::check_file;
+use crate::rules::{FileContext, Finding};
+use crate::walk::workspace_sources;
+use ecolb_metrics::json::{ObjectWriter, ToJson};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Aggregated outcome of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// All findings, sorted by (path, line, col, rule). Non-empty findings
+    /// mean the lint fails.
+    pub findings: Vec<Finding>,
+    /// Library-code panic sites per crate (after suppressions).
+    pub panic_counts: BTreeMap<String, usize>,
+    /// Advisory messages (e.g. "budget can be lowered") that do not fail
+    /// the run.
+    pub notes: Vec<String>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl ToJson for Finding {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("rule", &self.rule)
+            .field("path", &self.path)
+            .field("line", &self.line)
+            .field("col", &self.col)
+            .field("message", &self.message)
+            .finish();
+    }
+}
+
+impl ToJson for WorkspaceReport {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("tool", &"ecolb-lint")
+            .field("clean", &self.is_clean())
+            .field("files_scanned", &self.files_scanned)
+            .field("findings", &self.findings)
+            .field_with("panic_counts", |o| {
+                let counts: BTreeMap<String, usize> = self
+                    .panic_counts
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), v))
+                    .collect();
+                counts.write_json(o);
+            })
+            .field("notes", &self.notes)
+            .finish();
+    }
+}
+
+/// Lints one file's source text under its derived [`FileContext`]; used by
+/// the fixture self-tests and by [`run_workspace`].
+pub fn lint_source(path: &str, src: &str) -> (Vec<Finding>, Vec<Finding>) {
+    let ctx = FileContext::from_path(path);
+    let report = check_file(&ctx, src);
+    (report.findings, report.panic_sites)
+}
+
+/// Walks the workspace at `root`, lints every source file, and applies the
+/// panic-budget ratchet.
+pub fn run_workspace(root: &Path, budget: &Budget) -> io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    let files = workspace_sources(root)?;
+    report.files_scanned = files.len();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let (findings, sites) = lint_source(rel, &src);
+        report.findings.extend(findings);
+        for site in sites {
+            let krate = FileContext::from_path(rel).krate;
+            *report.panic_counts.entry(krate).or_insert(0) += 1;
+            let _ = site;
+        }
+    }
+    for (krate, verdict) in ratchet(&report.panic_counts, budget) {
+        match verdict {
+            RatchetVerdict::AtBudget => {}
+            RatchetVerdict::BelowBudget { count, budget } => report.notes.push(format!(
+                "crate `{krate}`: {count} panic sites, budget {budget} — lower the budget in \
+                 lint/panic_budget.toml to lock in the improvement"
+            )),
+            RatchetVerdict::OverBudget { count, budget } => report.findings.push(Finding {
+                rule: "panic-budget",
+                path: "lint/panic_budget.toml".to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate `{krate}`: {count} library-code panic sites exceed the budget of \
+                     {budget}; convert to Result or justify with an allow(panic-budget) directive"
+                ),
+            }),
+            RatchetVerdict::Unbudgeted { count } => report.findings.push(Finding {
+                rule: "panic-budget",
+                path: "lint/panic_budget.toml".to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate `{krate}` ({count} panic sites) has no entry in lint/panic_budget.toml"
+                ),
+            }),
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut r = WorkspaceReport::default();
+        r.files_scanned = 2;
+        r.findings.push(Finding {
+            rule: "no-wallclock",
+            path: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 7,
+            message: "bad".into(),
+        });
+        r.panic_counts.insert("cluster".into(), 7);
+        let json = r.to_json();
+        assert!(json.contains(r#""tool":"ecolb-lint""#));
+        assert!(json.contains(r#""clean":false"#));
+        assert!(json.contains(r#""rule":"no-wallclock""#));
+        assert!(json.contains(r#""panic_counts":{"cluster":7}"#));
+    }
+}

@@ -1,0 +1,96 @@
+//! Self-test: every rule must fire on its bad fixture and stay silent on
+//! its good fixture. The fixtures live under `crates/lint/fixtures/` and
+//! are excluded from the workspace walk — they are fed to the engine
+//! directly here, under a synthetic path inside the rule's scope.
+
+use ecolb_lint::lint_source;
+
+/// (rule, synthetic path placing the fixture in the rule's scope, bad, good)
+const CASES: &[(&str, &str, &str, &str)] = &[
+    (
+        "no-wallclock",
+        "crates/simcore/src/fixture.rs",
+        include_str!("../fixtures/no-wallclock/bad.rs"),
+        include_str!("../fixtures/no-wallclock/good.rs"),
+    ),
+    (
+        "no-unordered-collections",
+        "crates/cluster/src/fixture.rs",
+        include_str!("../fixtures/no-unordered-collections/bad.rs"),
+        include_str!("../fixtures/no-unordered-collections/good.rs"),
+    ),
+    (
+        "no-ambient-rng",
+        "crates/policies/src/fixture.rs",
+        include_str!("../fixtures/no-ambient-rng/bad.rs"),
+        include_str!("../fixtures/no-ambient-rng/good.rs"),
+    ),
+    (
+        "no-env-reads",
+        "crates/workload/src/fixture.rs",
+        include_str!("../fixtures/no-env-reads/bad.rs"),
+        include_str!("../fixtures/no-env-reads/good.rs"),
+    ),
+    (
+        "float-truncating-cast",
+        "crates/metrics/src/fixture.rs",
+        include_str!("../fixtures/float-truncating-cast/bad.rs"),
+        include_str!("../fixtures/float-truncating-cast/good.rs"),
+    ),
+];
+
+#[test]
+fn every_rule_fires_on_bad_and_passes_good() {
+    for (rule, path, bad, good) in CASES {
+        let (bad_findings, _) = lint_source(path, bad);
+        assert!(
+            bad_findings.iter().any(|f| f.rule == *rule),
+            "rule {rule} did not fire on its bad fixture; findings: {bad_findings:?}"
+        );
+        let (good_findings, _) = lint_source(path, good);
+        let leaked: Vec<_> = good_findings.iter().filter(|f| f.rule == *rule).collect();
+        assert!(
+            leaked.is_empty(),
+            "rule {rule} fired on its good fixture: {leaked:?}"
+        );
+    }
+}
+
+#[test]
+fn good_fixtures_are_clean_under_all_rules() {
+    for (rule, path, _, good) in CASES {
+        let (findings, _) = lint_source(path, good);
+        assert!(
+            findings.is_empty(),
+            "good fixture of {rule} has findings under other rules: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn panic_budget_counts_bad_sites_and_ignores_good() {
+    let path = "crates/cluster/src/fixture.rs";
+    let (_, bad_sites) = lint_source(path, include_str!("../fixtures/panic-budget/bad.rs"));
+    assert_eq!(
+        bad_sites.len(),
+        3,
+        "two unwraps and one panic! expected: {bad_sites:?}"
+    );
+    let (_, good_sites) = lint_source(path, include_str!("../fixtures/panic-budget/good.rs"));
+    assert!(
+        good_sites.is_empty(),
+        "good fixture has library panic sites: {good_sites:?}"
+    );
+}
+
+#[test]
+fn bad_fixture_locations_are_plausible() {
+    let (findings, _) = lint_source(
+        "crates/simcore/src/fixture.rs",
+        include_str!("../fixtures/no-wallclock/bad.rs"),
+    );
+    for f in &findings {
+        assert!(f.line > 1, "finding should not point at the comment header");
+        assert!(f.col >= 1);
+    }
+}

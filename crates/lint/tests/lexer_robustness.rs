@@ -1,0 +1,127 @@
+//! Satellite: lexer robustness against the classic false-positive traps.
+//! A lint that fires inside comments or strings would train people to
+//! ignore it; these tests pin the no-false-positive behaviour end to end
+//! (through `lint_source`, not just the lexer).
+
+use ecolb_lint::lexer::{lex, TokenKind};
+use ecolb_lint::lint_source;
+
+const SIM_PATH: &str = "crates/cluster/src/doc_heavy.rs";
+
+#[test]
+fn banned_names_in_line_comments_do_not_fire() {
+    let src = "\
+// This module once used HashMap and Instant::now() — see the git log.
+// std::env::var(\"ECOLB_X\") is also only mentioned here.
+pub fn clean() {}
+";
+    let (findings, _) = lint_source(SIM_PATH, src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn banned_names_in_nested_block_comments_do_not_fire() {
+    let src = "\
+/* outer
+   /* nested: HashMap<ServerId, f64> and SystemTime::now() */
+   still inside the outer comment: HashSet
+*/
+pub fn clean() {}
+";
+    let (findings, _) = lint_source(SIM_PATH, src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn banned_names_in_strings_and_raw_strings_do_not_fire() {
+    let src = r####"
+pub fn messages() -> [&'static str; 3] {
+    [
+        "replace HashMap with BTreeMap",
+        r#"raw: SystemTime::now() inside a guarded "string""#,
+        r##"deeper guard: std::env::var("HOME") and Instant"##,
+    ]
+}
+"####;
+    let (findings, _) = lint_source(SIM_PATH, src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn comment_markers_inside_strings_do_not_hide_following_code() {
+    // If `//` inside the string opened a comment, the HashMap after it
+    // would be invisible and the lint would go silent. It must fire.
+    let src = r#"
+pub fn url() -> &'static str { "http://example.com" }
+pub type Bad = HashMap<u32, u32>;
+"#;
+    let (findings, _) = lint_source(SIM_PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "no-unordered-collections");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn block_comment_markers_inside_strings_do_not_swallow_code() {
+    let src = "\
+pub fn s() -> &'static str { \"/* not a comment\" }
+pub type Bad = HashSet<u32>;
+";
+    let (findings, _) = lint_source(SIM_PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}
+
+#[test]
+fn escaped_quotes_do_not_terminate_strings_early() {
+    let src = r#"
+pub fn s() -> String { format!("quote \" then HashMap {}", 1) }
+"#;
+    let (findings, _) = lint_source(SIM_PATH, src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn char_literals_and_lifetimes_do_not_confuse_the_lexer() {
+    let src = "\
+pub fn f<'a>(s: &'a str) -> char {
+    let q = '\"';
+    let n = '\\'';
+    if s.is_empty() { q } else { n }
+}
+pub type Bad = HashMap<u32, u32>;
+";
+    let (findings, _) = lint_source(SIM_PATH, src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 6);
+}
+
+#[test]
+fn token_positions_survive_multibyte_chars() {
+    // The é is two bytes but one column; the ident after it must still
+    // have a sane column.
+    let toks = lex("let é_x = 1; y").tokens;
+    let y = toks.iter().find(|t| t.is_ident("y")).expect("y lexed");
+    assert_eq!(y.line, 1);
+    assert_eq!(y.col, 14);
+}
+
+#[test]
+fn doc_comments_are_comments_too() {
+    let src = "\
+/// Uses HashMap internally? No — that would be flagged. Doc mention ok.
+//! Module docs naming SystemTime are fine as well.
+pub fn clean() {}
+";
+    let (findings, _) = lint_source(SIM_PATH, src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn kinds_roundtrip_on_a_mixed_snippet() {
+    let toks =
+        lex(r#"let x = 1.5e3; let s = "hi"; let c = 'c'; 'label: loop { break 'label; }"#).tokens;
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Float));
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Char));
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime));
+}

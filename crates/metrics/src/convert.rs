@@ -1,0 +1,89 @@
+//! Audited float → integer conversions.
+//!
+//! Rust's `expr as usize` on a float is *saturating*: values are clamped
+//! to the target range and NaN maps to 0. Those semantics are fine for
+//! binning and plotting — but they are a property every call site silently
+//! relies on, so the `float-truncating-cast` lint requires all such casts
+//! in `crates/energy` and `crates/metrics` to flow through this module,
+//! where the behaviour is chosen once, documented, and debug-asserted.
+//!
+//! All helpers truncate toward zero (the `as` semantics). Callers that
+//! want flooring or rounding apply `.floor()` / `.round()` *before* the
+//! conversion, which keeps the rounding decision visible at the call site:
+//!
+//! ```
+//! use ecolb_metrics::convert;
+//!
+//! assert_eq!(convert::saturating_usize(3.9), 3);
+//! assert_eq!(convert::saturating_usize(3.9_f64.round()), 4);
+//! assert_eq!(convert::saturating_u64(-1.0), 0);
+//! assert_eq!(convert::saturating_i64(1e300), i64::MAX);
+//! ```
+
+/// Converts `x` to `usize`, truncating toward zero; saturates at the type
+/// bounds, NaN maps to 0.
+///
+/// Debug builds assert `x` is not NaN — a NaN reaching a bin index is a
+/// logic error upstream even though the release behaviour (bin 0) is
+/// total and deterministic.
+#[inline]
+pub fn saturating_usize(x: f64) -> usize {
+    debug_assert!(!x.is_nan(), "NaN converted to usize");
+    x as usize
+}
+
+/// Converts `x` to `u64`, truncating toward zero; saturates at the type
+/// bounds (negative values map to 0), NaN maps to 0.
+#[inline]
+pub fn saturating_u64(x: f64) -> u64 {
+    debug_assert!(!x.is_nan(), "NaN converted to u64");
+    x as u64
+}
+
+/// Converts `x` to `i64`, truncating toward zero; saturates at the type
+/// bounds, NaN maps to 0.
+#[inline]
+pub fn saturating_i64(x: f64) -> i64 {
+    debug_assert!(!x.is_nan(), "NaN converted to i64");
+    x as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncates_toward_zero() {
+        assert_eq!(saturating_usize(0.0), 0);
+        assert_eq!(saturating_usize(0.999), 0);
+        assert_eq!(saturating_usize(42.7), 42);
+        assert_eq!(saturating_u64(7.99), 7);
+        assert_eq!(saturating_i64(-3.7), -3);
+    }
+
+    #[test]
+    fn saturates_at_bounds() {
+        assert_eq!(saturating_usize(-5.0), 0);
+        assert_eq!(saturating_u64(-0.5), 0);
+        assert_eq!(saturating_usize(1e300), usize::MAX);
+        assert_eq!(saturating_u64(1e300), u64::MAX);
+        assert_eq!(saturating_i64(-1e300), i64::MIN);
+        assert_eq!(saturating_u64(f64::INFINITY), u64::MAX);
+        assert_eq!(saturating_i64(f64::NEG_INFINITY), i64::MIN);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn nan_maps_to_zero_in_release() {
+        assert_eq!(saturating_usize(f64::NAN), 0);
+        assert_eq!(saturating_u64(f64::NAN), 0);
+        assert_eq!(saturating_i64(f64::NAN), 0);
+    }
+
+    #[test]
+    fn exact_integers_roundtrip() {
+        for v in [0u64, 1, 1_000, 1 << 52] {
+            assert_eq!(saturating_u64(v as f64), v);
+        }
+    }
+}

@@ -36,7 +36,9 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += 1;
         } else {
-            let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
+            let idx = crate::convert::saturating_usize(
+                (x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64,
+            );
             // Guard against floating-point edge where x is a hair below hi.
             let idx = idx.min(self.counts.len() - 1);
             self.counts[idx] += 1;

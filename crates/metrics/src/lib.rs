@@ -26,9 +26,10 @@
 //! assert_eq!(series.len(), 1000);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod convert;
 pub mod histogram;
 pub mod json;
 pub mod plot;

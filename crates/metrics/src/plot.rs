@@ -34,7 +34,7 @@ pub fn grouped_bars(
     let series_w = series.iter().map(|s| s.len()).max().unwrap_or(0);
     for (label, values) in groups {
         for (si, v) in values.iter().enumerate() {
-            let bar_len = ((v / max) * width as f64).round() as usize;
+            let bar_len = crate::convert::saturating_usize(((v / max) * width as f64).round());
             let name = if si == 0 { label.as_str() } else { "" };
             let _ = writeln!(
                 out,
@@ -64,7 +64,8 @@ pub fn line_plot(title: &str, values: &[f64], height: usize) -> String {
     // grid[r][c]: row 0 is the top.
     let mut grid = vec![vec![' '; values.len()]; height];
     for (c, &v) in values.iter().enumerate() {
-        let level = ((v - vmin) / span * (height - 1) as f64).round() as usize;
+        let level =
+            crate::convert::saturating_usize(((v - vmin) / span * (height - 1) as f64).round());
         let r = height - 1 - level;
         grid[r][c] = '*';
     }

@@ -57,8 +57,7 @@ impl P2Quantile {
         if self.count <= 5 {
             self.warmup.push(x);
             if self.count == 5 {
-                self.warmup
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                self.warmup.sort_by(|a, b| a.total_cmp(b));
                 for (h, &w) in self.heights.iter_mut().zip(&self.warmup) {
                     *h = w;
                 }
@@ -124,8 +123,8 @@ impl P2Quantile {
         }
         if self.count < 5 {
             let mut xs = self.warmup.clone();
-            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
-            let idx = ((xs.len() as f64 - 1.0) * self.q).round() as usize;
+            xs.sort_by(|a, b| a.total_cmp(b));
+            let idx = crate::convert::saturating_usize(((xs.len() as f64 - 1.0) * self.q).round());
             return Some(xs[idx.min(xs.len() - 1)]);
         }
         Some(self.heights[2])
@@ -156,7 +155,7 @@ mod tests {
 
     fn exact_quantile(xs: &mut [f64], q: f64) -> f64 {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        xs[((xs.len() as f64 - 1.0) * q).round() as usize]
+        xs[crate::convert::saturating_usize(((xs.len() as f64 - 1.0) * q).round())]
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! assert!(report.savings_fraction() > 0.5, "a light flat load needs few servers");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod farm;

@@ -154,14 +154,19 @@ impl<T> CalendarQueue<T> {
             self.current_bucket = (self.current_bucket + 1) % n_buckets;
             self.current_day_start = day_end;
         }
-        // Sparse year: jump straight to the global minimum.
-        let (idx, _) = self
+        // Sparse year: jump straight to the global minimum. `len > 0`
+        // implies a non-empty bucket exists; if the invariant ever broke we
+        // report empty instead of panicking mid-simulation.
+        let Some((idx, _)) = self
             .buckets
             .iter()
             .enumerate()
             .filter_map(|(i, b)| b.first().map(|e| (i, (e.at, e.seq))))
             .min_by_key(|&(_, key)| key)
-            .expect("len > 0 implies a non-empty bucket");
+        else {
+            debug_assert!(false, "len > 0 but all buckets empty");
+            return None;
+        };
         let e = self.buckets[idx].remove(0);
         self.len -= 1;
         self.current_bucket = idx;

@@ -184,7 +184,7 @@ impl Zipf {
     /// Draws a rank in `1..=n`.
     pub fn sample_rank(&self, rng: &mut Rng) -> usize {
         let u = rng.next_f64();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }
     }

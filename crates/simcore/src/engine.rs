@@ -169,7 +169,11 @@ impl<E> Engine<E> {
             if self.events_processed >= self.event_budget {
                 return RunOutcome::EventBudgetExhausted;
             }
-            let (at, event) = self.queue.pop().expect("peeked non-empty queue");
+            // The peek above saw an event; a racing-free single-threaded
+            // queue cannot lose it, but drain gracefully rather than panic.
+            let Some((at, event)) = self.queue.pop() else {
+                return RunOutcome::Drained;
+            };
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.events_processed += 1;

@@ -32,7 +32,7 @@
 //! assert_eq!(fired, 6); // t = 0,1,2,3,4,5
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod calendar;

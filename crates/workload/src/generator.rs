@@ -198,7 +198,9 @@ mod tests {
         let spec = WorkloadSpec::paper_low_load();
         let mut ids = AppIdAllocator::new();
         let mut rng = Rng::new(3);
-        let mut seen = std::collections::HashSet::new();
+        // BTreeSet, not HashSet: sim-path crates are hash-order-free by
+        // lint rule, and the ordered set costs nothing here.
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             for app in generate_server_apps(&spec, &mut ids, &mut rng) {
                 assert!(seen.insert(app.id), "duplicate id {}", app.id);

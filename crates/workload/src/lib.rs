@@ -24,7 +24,7 @@
 //! assert!(load > 0.1 && load <= 0.4, "initial load in the paper's band");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod application;
