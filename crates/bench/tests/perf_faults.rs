@@ -1,0 +1,85 @@
+//! Perf smoke: the fault-injection seams must be free when unused.
+//!
+//! `FaultyClusterSim` with an **empty** plan routes every reallocation
+//! tick through the hooked balance round and every engine event through
+//! the interceptor. This smoke test times that against the plain
+//! `TimedClusterSim` on the same seeds and asserts the overhead stays
+//! under the budget (target < 2 %, asserted at < 5 % to keep the smoke
+//! test robust on noisy CI hosts), then emits `BENCH_faults.json`
+//! through the standard report path.
+//!
+//! ```text
+//! cargo test -p ecolb-bench --release -- --ignored perf_faults
+//! ```
+
+use ecolb_bench::DEFAULT_SEED;
+use ecolb_cluster::cluster::ClusterConfig;
+use ecolb_cluster::sim::TimedClusterSim;
+use ecolb_faults::{FaultPlan, FaultyClusterSim};
+use ecolb_metrics::report::Report;
+use ecolb_workload::generator::WorkloadSpec;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZE: usize = 400;
+const INTERVALS: u64 = 40;
+const ROUNDS: u32 = 5;
+
+fn config() -> ClusterConfig {
+    ClusterConfig::paper(SIZE, WorkloadSpec::paper_low_load())
+}
+
+/// Best-of-N wall-clock for `f`, seconds. Minimum (not mean) is the
+/// right statistic for an overhead ratio: it strips scheduler noise,
+/// which only ever adds time.
+fn best_of<R>(rounds: u32, mut f: impl FnMut(u64) -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    let _ = f(DEFAULT_SEED); // warm-up
+    for i in 0..rounds {
+        let seed = DEFAULT_SEED + u64::from(i);
+        let start = Instant::now();
+        black_box(f(seed));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+#[ignore = "perf smoke"]
+fn perf_faults_empty_plan_overhead() {
+    let plain_s = best_of(ROUNDS, |seed| {
+        TimedClusterSim::new(config(), seed, INTERVALS).run()
+    });
+    let hooked_s = best_of(ROUNDS, |seed| {
+        FaultyClusterSim::new(config(), seed, INTERVALS, FaultPlan::empty(seed)).run()
+    });
+    let overhead = hooked_s / plain_s - 1.0;
+    println!(
+        "perf faults/empty-plan: plain {:.3} ms, hooked {:.3} ms, overhead {:+.2}% \
+         (target < 2%, budget < 5%)",
+        plain_s * 1e3,
+        hooked_s * 1e3,
+        overhead * 100.0
+    );
+
+    let mut report = Report::new("BENCH_faults", DEFAULT_SEED);
+    report
+        .scalar("plain_seconds", plain_s)
+        .scalar("hooked_seconds", hooked_s)
+        .scalar("overhead_fraction", overhead)
+        .scalar("size", SIZE as f64)
+        .scalar("intervals", INTERVALS as f64)
+        .scalar("rounds", f64::from(ROUNDS));
+    // Integration tests run with the crate as cwd; results/ sits two up.
+    let dir = "../../results/perf";
+    std::fs::create_dir_all(dir).expect("create results/perf");
+    let path = format!("{dir}/BENCH_faults.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_faults.json");
+    println!("wrote {path}");
+
+    assert!(
+        overhead < 0.05,
+        "empty-plan fault hooks cost {:.2}% (> 5% budget)",
+        overhead * 100.0
+    );
+}

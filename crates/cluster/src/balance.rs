@@ -23,7 +23,9 @@
 //! **local (vertical)** ones during demand evolution.
 
 use crate::leader::Leader;
+use crate::messages::RetryPolicy;
 use crate::migration::{MigrationCost, MigrationCostModel};
+use crate::recovery::{FaultHooks, NoFaults, RecoveryStats};
 use crate::scaling::{DecisionKind, DecisionLedger};
 use crate::server::{Server, ServerId};
 use ecolb_energy::regimes::OperatingRegime;
@@ -96,6 +98,10 @@ pub struct BalanceConfig {
     /// housekeeping the single leader serialises. This is what makes large
     /// low-load clusters take ~20 intervals to settle, as in Figure 3.
     pub drain_candidates_per_interval: Option<usize>,
+    /// Retry policy for regime reports lost on a faulty star link. Only
+    /// exercised through the hooked entry points; fault-free runs never
+    /// retry because nothing is ever lost.
+    pub retry: RetryPolicy,
 }
 
 impl Default for BalanceConfig {
@@ -111,6 +117,7 @@ impl Default for BalanceConfig {
             shed_moves_per_donor: 4,
             drain_moves_per_candidate: 1,
             drain_candidates_per_interval: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -143,6 +150,9 @@ pub struct BalanceOutcome {
     pub unresolved_overloads: Vec<ServerId>,
     /// R1 servers that failed to drain (stayed awake, underloaded).
     pub failed_drains: Vec<ServerId>,
+    /// Servers whose wake order was lost to an injected transition fault:
+    /// they stay asleep despite the leader's (optimistic) directory update.
+    pub wake_failures: Vec<ServerId>,
 }
 
 impl BalanceOutcome {
@@ -464,13 +474,18 @@ fn drain_phase(
     }
 }
 
-/// Phase 3 — unresolved R5 servers trigger wake orders (action 5).
+/// Phase 3 — unresolved R5 servers trigger wake orders (action 5). Each
+/// wake order passes through the fault hooks: an injected transition
+/// failure loses the order and the server stays asleep.
+#[allow(clippy::too_many_arguments)] // phases share the round's full context
 fn wake_phase(
     servers: &mut [Server],
     leader: &mut Leader,
     sleep_model: &SleepModel,
     config: &BalanceConfig,
     now: SimTime,
+    hooks: &mut dyn FaultHooks,
+    stats: &mut RecoveryStats,
     outcome: &mut BalanceOutcome,
 ) {
     if outcome.unresolved_overloads.is_empty() {
@@ -486,8 +501,45 @@ fn wake_phase(
         let sleepers = leader.find_sleepers(servers);
         for id in sleepers.into_iter().take(config.wakes_per_emergency) {
             leader.issue_wake_order(id);
-            servers[id.index()].begin_wake(now, sleep_model);
-            outcome.woken.push(id);
+            if hooks.wake_fails(id) {
+                stats.wake_failures += 1;
+                outcome.wake_failures.push(id);
+            } else {
+                servers[id.index()].begin_wake(now, sleep_model);
+                outcome.woken.push(id);
+            }
+        }
+    }
+}
+
+/// Per-interval reporting sweep through the fault hooks: every server's
+/// report makes up to `retry.max_attempts` delivery attempts with
+/// exponential backoff; a report that exhausts its budget leaves the
+/// leader's previous directory entry stale until the next sweep.
+fn report_sweep_with_hooks(
+    servers: &[Server],
+    leader: &mut Leader,
+    retry: &RetryPolicy,
+    hooks: &mut dyn FaultHooks,
+    stats: &mut RecoveryStats,
+) {
+    for s in servers {
+        let mut delivered = false;
+        for attempt in 1..=retry.max_attempts.max(1) {
+            if attempt > 1 {
+                stats.report_retries += 1;
+                stats.retry_backoff_seconds += retry.backoff_before(attempt).as_secs_f64();
+            }
+            if hooks.report_lost(s.id(), attempt) {
+                stats.reports_lost += 1;
+                continue;
+            }
+            leader.receive_report(s.id(), s.regime(), s.load(), s.is_sleeping());
+            delivered = true;
+            break;
+        }
+        if !delivered {
+            stats.reports_abandoned += 1;
         }
     }
 }
@@ -503,6 +555,34 @@ pub fn balance_round(
     config: &BalanceConfig,
     now: SimTime,
 ) -> BalanceOutcome {
+    balance_round_with_hooks(
+        servers,
+        leader,
+        ledger,
+        migration_model,
+        sleep_model,
+        config,
+        now,
+        &mut NoFaults,
+        &mut RecoveryStats::default(),
+    )
+}
+
+/// [`balance_round`] with an explicit fault injector: report delivery and
+/// wake orders pass through `hooks`, recovery bookkeeping lands in
+/// `stats`. With [`NoFaults`] this is exactly the fault-free round.
+#[allow(clippy::too_many_arguments)] // the hooked variant adds two seams
+pub fn balance_round_with_hooks(
+    servers: &mut [Server],
+    leader: &mut Leader,
+    ledger: &mut DecisionLedger,
+    migration_model: &MigrationCostModel,
+    sleep_model: &SleepModel,
+    config: &BalanceConfig,
+    now: SimTime,
+    hooks: &mut dyn FaultHooks,
+    stats: &mut RecoveryStats,
+) -> BalanceOutcome {
     // Complete wakes that have matured.
     let mut just_woken = Vec::new();
     for s in servers.iter_mut() {
@@ -513,7 +593,7 @@ pub fn balance_round(
             }
         }
     }
-    leader.full_report_sweep(servers);
+    report_sweep_with_hooks(servers, leader, &config.retry, hooks, stats);
     let mut outcome = BalanceOutcome::default();
     if !config.enabled {
         return outcome; // no-balancing baseline: report sweep only
@@ -537,7 +617,16 @@ pub fn balance_round(
         &just_woken,
         &mut outcome,
     );
-    wake_phase(servers, leader, sleep_model, config, now, &mut outcome);
+    wake_phase(
+        servers,
+        leader,
+        sleep_model,
+        config,
+        now,
+        hooks,
+        stats,
+        &mut outcome,
+    );
     outcome
 }
 
@@ -783,6 +872,140 @@ mod tests {
             targets.len() <= 1,
             "negotiated with more partners than allowed"
         );
+    }
+
+    /// Scripted injector: fails every wake order and drops the first
+    /// `lose_first_attempts` delivery attempts of every report.
+    struct Scripted {
+        fail_wakes: bool,
+        lose_first_attempts: u32,
+    }
+
+    impl FaultHooks for Scripted {
+        fn report_lost(&mut self, _from: ServerId, attempt: u32) -> bool {
+            attempt <= self.lose_first_attempts
+        }
+        fn wake_fails(&mut self, _server: ServerId) -> bool {
+            self.fail_wakes
+        }
+    }
+
+    fn run_hooked(
+        servers: &mut [Server],
+        leader: &mut Leader,
+        config: &BalanceConfig,
+        hooks: &mut dyn FaultHooks,
+        stats: &mut RecoveryStats,
+    ) -> BalanceOutcome {
+        let mut ledger = DecisionLedger::new();
+        balance_round_with_hooks(
+            servers,
+            leader,
+            &mut ledger,
+            &MigrationCostModel::default(),
+            &SleepModel::default(),
+            config,
+            SimTime::ZERO,
+            hooks,
+            stats,
+        )
+    }
+
+    #[test]
+    fn failed_wake_leaves_server_asleep() {
+        let sleep_model = SleepModel::default();
+        let (mut servers, mut leader) = mk_cluster(&[&[0.95], &[]]);
+        servers[1].enter_sleep(SimTime::ZERO, CState::C3, &sleep_model);
+        let mut hooks = Scripted {
+            fail_wakes: true,
+            lose_first_attempts: 0,
+        };
+        let mut stats = RecoveryStats::default();
+        let out = run_hooked(
+            &mut servers,
+            &mut leader,
+            &BalanceConfig::default(),
+            &mut hooks,
+            &mut stats,
+        );
+        assert_eq!(out.wake_failures, vec![ServerId(1)]);
+        assert!(out.woken.is_empty());
+        assert!(servers[1].is_sleeping());
+        assert!(servers[1].wake_ready_at().is_none(), "no wake in flight");
+        assert_eq!(stats.wake_failures, 1);
+        assert_eq!(leader.stats().wake_orders, 1, "the order was still sent");
+    }
+
+    #[test]
+    fn lost_reports_retry_with_backoff_then_deliver() {
+        let (mut servers, mut leader) = mk_cluster(&[&[0.5], &[0.25]]);
+        // Lose the first attempt of every report; the immediate retry
+        // (attempt 2, backoff 100 ms) succeeds.
+        let mut hooks = Scripted {
+            fail_wakes: false,
+            lose_first_attempts: 1,
+        };
+        let mut stats = RecoveryStats::default();
+        run_hooked(
+            &mut servers,
+            &mut leader,
+            &BalanceConfig::default(),
+            &mut hooks,
+            &mut stats,
+        );
+        assert_eq!(stats.reports_lost, 2);
+        assert_eq!(stats.report_retries, 2);
+        assert_eq!(stats.reports_abandoned, 0);
+        assert!((stats.retry_backoff_seconds - 0.2).abs() < 1e-9);
+        assert!(leader.entry(ServerId(0)).is_some(), "retry delivered");
+    }
+
+    #[test]
+    fn exhausted_retries_leave_directory_stale() {
+        let (mut servers, mut leader) = mk_cluster(&[&[0.5]]);
+        let mut hooks = Scripted {
+            fail_wakes: false,
+            lose_first_attempts: u32::MAX,
+        };
+        let mut stats = RecoveryStats::default();
+        run_hooked(
+            &mut servers,
+            &mut leader,
+            &BalanceConfig::default(),
+            &mut hooks,
+            &mut stats,
+        );
+        assert_eq!(stats.reports_abandoned, 1);
+        assert_eq!(stats.reports_lost, 3, "default budget is 3 attempts");
+        assert!(
+            leader.entry(ServerId(0)).is_none(),
+            "never-delivered report leaves no entry"
+        );
+    }
+
+    #[test]
+    fn no_faults_hooks_match_plain_round() {
+        let (mut a_servers, mut a_leader) =
+            mk_cluster(&[&[0.5, 0.4], &[0.25], &[0.1], &[0.72], &[0.3, 0.3]]);
+        let (mut b_servers, mut b_leader) =
+            mk_cluster(&[&[0.5, 0.4], &[0.25], &[0.1], &[0.72], &[0.3, 0.3]]);
+        let out_a = run(&mut a_servers, &mut a_leader, &BalanceConfig::default());
+        let mut stats = RecoveryStats::default();
+        let out_b = run_hooked(
+            &mut b_servers,
+            &mut b_leader,
+            &BalanceConfig::default(),
+            &mut NoFaults,
+            &mut stats,
+        );
+        assert_eq!(out_a.migrations, out_b.migrations);
+        assert_eq!(out_a.slept, out_b.slept);
+        assert_eq!(out_a.woken, out_b.woken);
+        assert_eq!(stats, RecoveryStats::default(), "no recovery work done");
+        assert_eq!(a_leader.stats(), b_leader.stats());
+        for (x, y) in a_servers.iter().zip(&b_servers) {
+            assert_eq!(x.load(), y.load());
+        }
     }
 
     #[test]

@@ -22,11 +22,13 @@ use crate::admission::{
     AdmissionController, AdmissionPolicy, AdmissionStats, ArrivalSpec, ServiceRequest,
 };
 use crate::balance::{
-    balance_round, cluster_load_fraction, BalanceConfig, BalanceOutcome, MigrationRecord,
+    balance_round_with_hooks, cluster_load_fraction, BalanceConfig, BalanceOutcome, MigrationRecord,
 };
 use crate::leader::Leader;
+use crate::messages::Message;
 use crate::migration::MigrationCostModel;
 use crate::mix::ServerMix;
+use crate::recovery::{FaultHooks, NoFaults, RecoveryConfig, RecoveryStats};
 use crate::scaling::{DecisionKind, DecisionLedger, IntervalCounts};
 use crate::server::{Server, ServerId};
 use ecolb_energy::accounting::EnergyBreakdown;
@@ -172,6 +174,16 @@ pub struct Cluster {
     /// Average power (Watts) the initial placement would burn on awake
     /// servers — the always-on reference rate.
     reference_power_w: f64,
+    /// Server currently hosting the leader role.
+    leader_host: ServerId,
+    /// Election epoch: bumped on every completed failover.
+    leader_epoch: u64,
+    /// Consecutive intervals without a leader heartbeat.
+    missed_heartbeats: u32,
+    /// Recovery-protocol tunables.
+    recovery: RecoveryConfig,
+    /// Recovery-protocol accounting (all zero in fault-free runs).
+    recovery_stats: RecoveryStats,
 }
 
 impl Cluster {
@@ -225,6 +237,11 @@ impl Cluster {
             undesirable_server_intervals: 0,
             classes,
             reference_power_w,
+            leader_host: ServerId(0),
+            leader_epoch: 0,
+            missed_heartbeats: 0,
+            recovery: RecoveryConfig::default(),
+            recovery_stats: RecoveryStats::default(),
         }
     }
 
@@ -546,8 +563,144 @@ impl Cluster {
         }
     }
 
+    /// Server currently hosting the leader role.
+    pub fn leader_host(&self) -> ServerId {
+        self.leader_host
+    }
+
+    /// Current election epoch (bumped on every completed failover).
+    pub fn leader_epoch(&self) -> u64 {
+        self.leader_epoch
+    }
+
+    /// Recovery-protocol accounting so far (all zero in fault-free runs).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery_stats
+    }
+
+    /// Replaces the recovery-protocol tunables.
+    pub fn set_recovery_config(&mut self, cfg: RecoveryConfig) {
+        self.recovery = cfg;
+    }
+
+    /// True while the leader host is crash-stopped and no successor has
+    /// been elected yet — the cluster cannot balance.
+    pub fn leaderless(&self) -> bool {
+        self.servers[self.leader_host.index()].is_crashed()
+    }
+
+    /// Crash-stops a server at instant `at`, returning its orphaned VMs.
+    /// The leader's directory forgets the host immediately (the paper's
+    /// star topology makes link death observable). No-op on an
+    /// already-crashed host.
+    pub fn crash_server(&mut self, id: ServerId, at: SimTime) -> Vec<Application> {
+        if self.servers[id.index()].is_crashed() {
+            return Vec::new();
+        }
+        let orphans = self.servers[id.index()].crash(at);
+        self.leader.mark_offline(id);
+        self.recovery_stats.servers_crashed += 1;
+        orphans
+    }
+
+    /// Repairs a crashed server at instant `at`; it reboots through the
+    /// C6 wake path and returns the instant it will be serviceable.
+    /// `None` if the server was not crashed.
+    pub fn recover_server(&mut self, id: ServerId, at: SimTime) -> Option<SimTime> {
+        if !self.servers[id.index()].is_crashed() {
+            return None;
+        }
+        let ready = self.servers[id.index()].recover(at, &self.config.sleep);
+        self.recovery_stats.servers_recovered += 1;
+        Some(ready)
+    }
+
+    /// Re-admits VMs orphaned by a host crash through the admission
+    /// queue: the owners resubmit their service requests and placement
+    /// follows the normal admission path next interval.
+    pub fn readmit_orphans(&mut self, orphans: Vec<Application>) {
+        for app in orphans {
+            self.recovery_stats.orphans_readmitted += 1;
+            self.admission.submit(ServiceRequest {
+                demand: app.demand.clamp(VM_RETIRE_FLOOR, 1.0),
+                lambda: app.lambda,
+                image_gib: app.vm_image_gib,
+            });
+        }
+    }
+
+    /// Elects a successor leader: the lowest-id awake server, falling
+    /// back to the lowest-id non-crashed one (woken if asleep). The new
+    /// leader starts from an empty directory and rebuilds it with a full
+    /// report sweep. Returns `false` when no live server remains.
+    fn fail_over(&mut self) -> bool {
+        let successor = self
+            .servers
+            .iter()
+            .find(|s| s.is_awake())
+            .map(Server::id)
+            .or_else(|| {
+                self.servers
+                    .iter()
+                    .find(|s| !s.is_crashed())
+                    .map(Server::id)
+            });
+        let Some(new_leader) = successor else {
+            return false;
+        };
+        self.leader_host = new_leader;
+        self.leader_epoch += 1;
+        self.missed_heartbeats = 0;
+        self.recovery_stats.failovers += 1;
+        self.leader.observe(&Message::LeaderElected {
+            leader: new_leader,
+            epoch: self.leader_epoch,
+        });
+        self.leader.reset_directory();
+        self.leader.full_report_sweep(&self.servers);
+        for s in &self.servers {
+            if s.is_crashed() {
+                self.leader.mark_offline(s.id());
+            }
+        }
+        if self.servers[new_leader.index()].is_sleeping()
+            && self.servers[new_leader.index()].wake_ready_at().is_none()
+        {
+            self.servers[new_leader.index()].begin_wake(self.now, &self.config.sleep);
+        }
+        true
+    }
+
+    /// Heartbeat bookkeeping at the top of each interval: a live leader
+    /// beacons and resets the miss counter; a dead one accumulates misses
+    /// until the timeout elects a successor.
+    fn heartbeat_check(&mut self) {
+        if !self.servers[self.leader_host.index()].is_crashed() {
+            self.missed_heartbeats = 0;
+            self.recovery_stats.heartbeats_sent += 1;
+            self.leader.observe(&Message::Heartbeat {
+                leader: self.leader_host,
+                epoch: self.leader_epoch,
+            });
+            return;
+        }
+        self.missed_heartbeats += 1;
+        self.recovery_stats.heartbeats_missed += 1;
+        if self.missed_heartbeats >= self.recovery.heartbeat_timeout_intervals {
+            self.fail_over();
+        }
+    }
+
     /// Runs one reallocation interval; returns the balancing outcome.
     pub fn run_interval(&mut self) -> BalanceOutcome {
+        self.run_interval_with_hooks(&mut NoFaults)
+    }
+
+    /// [`Cluster::run_interval`] with an explicit fault injector. With
+    /// [`NoFaults`] the behaviour — and every report — is identical to
+    /// the plain entry point: the hook layer draws no randomness and the
+    /// recovery bookkeeping never reaches [`ClusterRunReport`].
+    pub fn run_interval_with_hooks(&mut self, hooks: &mut dyn FaultHooks) -> BalanceOutcome {
         self.interval_migrations.clear();
         // Advance the clock by τ and integrate every meter under the state
         // that held during the interval.
@@ -555,6 +708,9 @@ impl Cluster {
         for s in &mut self.servers {
             s.meter_advance(self.now);
         }
+
+        // Recovery protocol: leader liveness check before any brokering.
+        self.heartbeat_check();
 
         // Step 0: new service requests and admission control.
         self.admit_arrivals();
@@ -576,16 +732,38 @@ impl Cluster {
             }
         }
 
-        // Step 2: the §4 balancing protocol.
-        let outcome = balance_round(
-            &mut self.servers,
-            &mut self.leader,
-            &mut self.ledger,
-            &self.config.migration,
-            &self.config.sleep,
-            &self.config.balance,
-            self.now,
-        );
+        // Step 2: the §4 balancing protocol — skipped entirely while the
+        // cluster is leaderless (nobody brokers partners), which is where
+        // failed consolidations accumulate.
+        let outcome = if self.leaderless() {
+            for s in &mut self.servers {
+                if let Some(t) = s.wake_ready_at() {
+                    if t <= self.now {
+                        s.complete_wake(self.now);
+                    }
+                }
+            }
+            let failed = self
+                .servers
+                .iter()
+                .filter(|s| s.is_awake() && s.regime().is_undesirable())
+                .count() as u64;
+            self.recovery_stats.failed_consolidations += failed;
+            self.recovery_stats.leaderless_intervals += 1;
+            BalanceOutcome::default()
+        } else {
+            balance_round_with_hooks(
+                &mut self.servers,
+                &mut self.leader,
+                &mut self.ledger,
+                &self.config.migration,
+                &self.config.sleep,
+                &self.config.balance,
+                self.now,
+                hooks,
+                &mut self.recovery_stats,
+            )
+        };
         self.migration_energy_j += outcome.migration_energy_j();
         self.migrations += outcome.migrations.len() as u64;
         self.interval_migrations
@@ -745,6 +923,79 @@ mod tests {
         c.run(30);
         let census_total = c.census().total() as usize;
         assert_eq!(census_total + c.sleeping_count(), 50);
+    }
+
+    #[test]
+    fn leader_crash_fails_over_to_lowest_id_live_server() {
+        let mut c = Cluster::new(small_config(), 11);
+        assert_eq!(c.leader_host(), ServerId(0));
+        let orphans = c.crash_server(ServerId(0), c.now());
+        assert!(!orphans.is_empty(), "initial placement hosts apps");
+        c.readmit_orphans(orphans);
+        assert!(c.leaderless());
+
+        // Interval 1 after the crash: one heartbeat missed, below the
+        // 2-interval timeout → the cluster idles leaderless.
+        c.run_interval();
+        assert!(c.leaderless());
+        assert_eq!(c.recovery_stats().leaderless_intervals, 1);
+        assert!(c.recovery_stats().failed_consolidations > 0);
+
+        // Interval 2: timeout reached → failover, balancing resumes.
+        c.run_interval();
+        assert!(!c.leaderless());
+        assert_eq!(c.leader_epoch(), 1);
+        assert_eq!(c.recovery_stats().failovers, 1);
+        assert_eq!(
+            c.leader_host(),
+            ServerId(1),
+            "successor is the lowest-id awake server"
+        );
+        assert!(c.recovery_stats().orphans_readmitted > 0);
+        assert_eq!(c.leader().stats().elections, 1);
+    }
+
+    #[test]
+    fn crashed_non_leader_is_dropped_and_recovers() {
+        let mut c = Cluster::new(small_config(), 12);
+        let orphans = c.crash_server(ServerId(5), c.now());
+        let n_orphans = orphans.len();
+        c.readmit_orphans(orphans);
+        assert!(!c.leaderless(), "leader survived");
+        assert!(c.leader().entry(ServerId(5)).is_none());
+        assert!(c.crash_server(ServerId(5), c.now()).is_empty(), "no-op");
+        c.run_interval();
+        assert_eq!(c.recovery_stats().orphans_readmitted as usize, n_orphans);
+        let ready = c.recover_server(ServerId(5), c.now()).expect("was crashed");
+        assert!(ready > c.now(), "reboot takes wake latency");
+        assert_eq!(c.recover_server(ServerId(5), c.now()), None, "no-op");
+        assert_eq!(c.recovery_stats().servers_crashed, 1);
+        assert_eq!(c.recovery_stats().servers_recovered, 1);
+    }
+
+    #[test]
+    fn fault_free_hooked_run_matches_plain_run() {
+        let mut a = Cluster::new(small_config(), 42);
+        let mut b = Cluster::new(small_config(), 42);
+        for _ in 0..10 {
+            a.run_interval();
+            b.run_interval_with_hooks(&mut NoFaults);
+        }
+        assert_eq!(a.energy(), b.energy());
+        assert_eq!(a.migrations(), b.migrations());
+        assert_eq!(a.leader().stats(), b.leader().stats());
+        assert_eq!(a.recovery_stats(), b.recovery_stats());
+        let s = b.recovery_stats();
+        assert_eq!(s.heartbeats_sent, 10, "live leader beacons every interval");
+        assert_eq!(
+            RecoveryStats {
+                heartbeats_sent: 0,
+                ..s
+            },
+            RecoveryStats::default(),
+            "no recovery work in a fault-free run"
+        );
+        assert_eq!(b.leader_epoch(), 0);
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl Leader {
     pub fn find_sleepers(&self, servers: &[Server]) -> Vec<ServerId> {
         let mut out: Vec<(ServerId, u8)> = servers
             .iter()
-            .filter(|s| s.is_sleeping() && s.wake_ready_at().is_none())
+            .filter(|s| s.is_sleeping() && s.wake_ready_at().is_none() && !s.is_crashed())
             .map(|s| (s.id(), s.cstate().depth()))
             .collect();
         out.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -157,6 +157,22 @@ impl Leader {
         self.stats.record(&Message::WakeOrder { to });
         if let Some(e) = &mut self.directory[to.index()] {
             e.sleeping = false; // optimistic: the server is now waking
+        }
+    }
+
+    /// Drops a server from the directory — called when the host is known
+    /// to have crashed, so the broker stops offering it as a partner until
+    /// it reports again after recovery.
+    pub fn mark_offline(&mut self, id: ServerId) {
+        self.directory[id.index()] = None;
+    }
+
+    /// Forgets every directory entry while keeping message statistics.
+    /// A freshly elected leader starts from an empty directory and must
+    /// rebuild it with a [`Leader::full_report_sweep`].
+    pub fn reset_directory(&mut self) {
+        for e in &mut self.directory {
+            *e = None;
         }
     }
 
@@ -289,6 +305,52 @@ mod tests {
         leader.issue_wake_order(ServerId(0));
         assert!(!leader.entry(ServerId(0)).unwrap().sleeping);
         assert_eq!(leader.stats().wake_orders, 1);
+    }
+
+    #[test]
+    fn mark_offline_hides_server_until_next_report() {
+        let servers = vec![mk_server(0, 0.25), mk_server(1, 0.5)];
+        let mut leader = Leader::new(2);
+        leader.full_report_sweep(&servers);
+        leader.mark_offline(ServerId(0));
+        assert!(leader.entry(ServerId(0)).is_none());
+        assert!(
+            leader.find_receivers(ServerId(1)).is_empty(),
+            "crashed host must not be brokered as a partner"
+        );
+        leader.full_report_sweep(&servers);
+        assert!(leader.entry(ServerId(0)).is_some());
+    }
+
+    #[test]
+    fn reset_directory_clears_entries_but_keeps_stats() {
+        let servers = vec![mk_server(0, 0.25), mk_server(1, 0.5)];
+        let mut leader = Leader::new(2);
+        leader.full_report_sweep(&servers);
+        let reports_before = leader.stats().regime_reports;
+        leader.reset_directory();
+        assert!(leader.entry(ServerId(0)).is_none());
+        assert!(leader.entry(ServerId(1)).is_none());
+        assert_eq!(leader.census().total(), 0);
+        assert_eq!(
+            leader.stats().regime_reports,
+            reports_before,
+            "message accounting survives failover"
+        );
+    }
+
+    #[test]
+    fn crashed_servers_are_not_wake_candidates() {
+        let sm = SleepModel::default();
+        let mut servers = vec![mk_server(0, 0.0), mk_server(1, 0.0)];
+        servers[0].enter_sleep(SimTime::ZERO, CState::C3, &sm);
+        servers[1].crash(SimTime::ZERO);
+        let leader = Leader::new(2);
+        assert_eq!(
+            leader.find_sleepers(&servers),
+            vec![ServerId(0)],
+            "a dead host cannot honour a wake order"
+        );
     }
 
     #[test]

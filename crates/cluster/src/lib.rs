@@ -17,7 +17,10 @@
 //! * [`sim`] — the event-driven timed variant (migration/wake latencies);
 //! * [`admission`] — §3/§6 admission control with arrival streams;
 //! * [`federation`] — the multi-cluster tier (§4 scalability);
-//! * [`mix`] — heterogeneous Table 1 server-class populations.
+//! * [`mix`] — heterogeneous Table 1 server-class populations;
+//! * [`recovery`] — the failure-recovery protocol: fault hooks,
+//!   heartbeat/failover configuration and degradation accounting (driven
+//!   by the `ecolb-faults` injection crate).
 //!
 //! ```
 //! use ecolb_cluster::{Cluster, ClusterConfig};
@@ -41,6 +44,7 @@ pub mod leader;
 pub mod messages;
 pub mod migration;
 pub mod mix;
+pub mod recovery;
 pub mod scaling;
 pub mod server;
 pub mod sim;
@@ -48,13 +52,17 @@ pub mod sim;
 pub use admission::{
     AdmissionController, AdmissionPolicy, AdmissionStats, ArrivalSpec, ServiceRequest,
 };
-pub use balance::{balance_round, BalanceConfig, BalanceOutcome, FillLimit, MigrationRecord};
+pub use balance::{
+    balance_round, balance_round_with_hooks, BalanceConfig, BalanceOutcome, FillLimit,
+    MigrationRecord,
+};
 pub use cluster::{Cluster, ClusterConfig, ClusterRunReport};
 pub use federation::{Federation, FederationConfig, FederationReport};
 pub use leader::Leader;
-pub use messages::{CommLedger, Message, MessageStats};
+pub use messages::{CommLedger, Message, MessageStats, RetryPolicy};
 pub use migration::{MigrationCost, MigrationCostModel};
 pub use mix::ServerMix;
+pub use recovery::{FaultHooks, NoFaults, RecoveryConfig, RecoveryStats};
 pub use scaling::{DecisionKind, DecisionLedger, IntervalCounts};
 pub use server::{Server, ServerId, ServerPowerSpec};
 pub use sim::{SimEvent, TimedClusterSim, TimedRunReport};

@@ -10,6 +10,7 @@
 
 use crate::server::ServerId;
 use ecolb_energy::regimes::OperatingRegime;
+use ecolb_simcore::time::SimDuration;
 use ecolb_workload::application::AppId;
 
 /// Protocol messages exchanged over the star topology.
@@ -66,6 +67,22 @@ pub enum Message {
         /// Server to wake.
         to: ServerId,
     },
+    /// Leader → all servers: periodic liveness beacon. Missing beacons
+    /// trigger timeout-based failover in the recovery protocol.
+    Heartbeat {
+        /// Current leader.
+        leader: ServerId,
+        /// Election epoch the beacon belongs to.
+        epoch: u64,
+    },
+    /// Broadcast announcing a completed failover: the new leader and the
+    /// epoch it starts.
+    LeaderElected {
+        /// Newly elected leader (lowest-id live server).
+        leader: ServerId,
+        /// New election epoch.
+        epoch: u64,
+    },
 }
 
 impl Message {
@@ -80,6 +97,8 @@ impl Message {
             Message::TransferProposal { .. } => 32,
             Message::TransferAnswer { .. } => 20,
             Message::WakeOrder { .. } => 12,
+            Message::Heartbeat { .. } => 16,
+            Message::LeaderElected { .. } => 16,
         }
     }
 }
@@ -130,6 +149,10 @@ pub struct MessageStats {
     pub transfer_answers: u64,
     /// Wake orders issued.
     pub wake_orders: u64,
+    /// Liveness beacons sent by the leader.
+    pub heartbeats: u64,
+    /// Leader-election announcements observed.
+    pub elections: u64,
 }
 
 impl MessageStats {
@@ -142,6 +165,8 @@ impl MessageStats {
             Message::TransferProposal { .. } => self.transfer_proposals += 1,
             Message::TransferAnswer { .. } => self.transfer_answers += 1,
             Message::WakeOrder { .. } => self.wake_orders += 1,
+            Message::Heartbeat { .. } => self.heartbeats += 1,
+            Message::LeaderElected { .. } => self.elections += 1,
         }
     }
 
@@ -153,6 +178,50 @@ impl MessageStats {
             + self.transfer_proposals
             + self.transfer_answers
             + self.wake_orders
+            + self.heartbeats
+            + self.elections
+    }
+}
+
+/// Bounded retry-with-backoff policy for messages lost on a faulty link.
+///
+/// The sender makes up to `max_attempts` tries; attempt `n` (1-based)
+/// waits `base_backoff × 2^(n−2)` before resending, i.e. the first
+/// attempt is immediate and each retry doubles the wait. After the last
+/// failed attempt the message is abandoned and the receiver simply works
+/// from stale state until the next reporting interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum delivery attempts (including the first). 0 is treated as 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub base_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff waited *before* the given 1-based attempt: zero for the
+    /// first attempt, `base × 2^(attempt−2)` afterwards (saturating on
+    /// overflow).
+    pub fn backoff_before(&self, attempt: u32) -> SimDuration {
+        if attempt <= 1 {
+            return SimDuration::ZERO;
+        }
+        let doublings = attempt - 2;
+        let factor = if doublings >= 63 {
+            u64::MAX
+        } else {
+            1u64 << doublings
+        };
+        SimDuration::from_ticks(self.base_backoff.ticks().saturating_mul(factor))
     }
 }
 
@@ -240,10 +309,54 @@ mod tests {
             accept: true,
         });
         s.record(&Message::WakeOrder { to: ServerId(2) });
+        s.record(&Message::Heartbeat {
+            leader: ServerId(0),
+            epoch: 0,
+        });
+        s.record(&Message::LeaderElected {
+            leader: ServerId(1),
+            epoch: 1,
+        });
         assert_eq!(s.regime_reports, 1);
         assert_eq!(s.transfer_proposals, 1);
         assert_eq!(s.transfer_answers, 1);
         assert_eq!(s.wake_orders, 1);
-        assert_eq!(s.total(), 4);
+        assert_eq!(s.heartbeats, 1);
+        assert_eq!(s.elections, 1);
+        assert_eq!(s.total(), 6);
+    }
+
+    #[test]
+    fn recovery_messages_have_fixed_wire_size() {
+        let hb = Message::Heartbeat {
+            leader: ServerId(0),
+            epoch: 9,
+        };
+        let el = Message::LeaderElected {
+            leader: ServerId(3),
+            epoch: 1,
+        };
+        assert_eq!(hb.wire_bytes(), 16);
+        assert_eq!(el.wire_bytes(), 16);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_after_immediate_first_attempt() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_before(1), SimDuration::ZERO);
+        assert_eq!(p.backoff_before(2), SimDuration::from_millis(100));
+        assert_eq!(p.backoff_before(3), SimDuration::from_millis(200));
+        assert_eq!(p.backoff_before(4), SimDuration::from_millis(400));
+        assert_eq!(p.backoff_before(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn retry_backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: SimDuration::from_secs(1),
+        };
+        let huge = p.backoff_before(200);
+        assert_eq!(huge, SimDuration::from_ticks(u64::MAX));
     }
 }

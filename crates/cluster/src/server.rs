@@ -74,6 +74,9 @@ pub struct Server {
     cstate: CState,
     /// Set while a wake-up is in flight: the instant the server reaches C0.
     wake_ready_at: Option<SimTime>,
+    /// Set while the server is crash-stopped (out of service until
+    /// repaired through [`Server::recover`]).
+    crashed: bool,
     meter: EnergyMeter,
     /// Lifetime counts of VMs migrated in/out, for reporting.
     pub migrations_in: u64,
@@ -97,6 +100,7 @@ impl Server {
             load: 0.0,
             cstate: CState::C0,
             wake_ready_at: None,
+            crashed: false,
             meter: EnergyMeter::new(t0),
             migrations_in: 0,
             migrations_out: 0,
@@ -142,7 +146,13 @@ impl Server {
 
     /// True when the server is awake and able to execute.
     pub fn is_awake(&self) -> bool {
-        self.cstate == CState::C0 && self.wake_ready_at.is_none()
+        !self.crashed && self.cstate == CState::C0 && self.wake_ready_at.is_none()
+    }
+
+    /// True while the server is crash-stopped (out of service; not
+    /// eligible for wake orders until repaired).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// True when asleep or still waking.
@@ -236,10 +246,41 @@ impl Server {
         self.wake_ready_at = None;
     }
 
+    /// Crash-stops the server at `now`: the energy meter is settled under
+    /// the pre-crash state, every hosted VM is lost (returned as orphans
+    /// for re-admission elsewhere), and the host drops to C6 residual
+    /// draw until repaired. A crashed server is neither awake nor
+    /// eligible for wake orders.
+    pub fn crash(&mut self, now: SimTime) -> Vec<Application> {
+        self.meter_advance(now);
+        self.crashed = true;
+        self.cstate = CState::C6;
+        self.wake_ready_at = None;
+        self.drain_apps()
+    }
+
+    /// Repairs a crashed server at `now`: the host reboots through the
+    /// normal C6 wake path (full setup energy and latency) and returns
+    /// the instant it reaches C0. No-op returning `now` for servers that
+    /// were not crashed.
+    pub fn recover(&mut self, now: SimTime, sleep_model: &SleepModel) -> SimTime {
+        if !self.crashed {
+            return now;
+        }
+        self.meter_advance(now);
+        self.crashed = false;
+        self.begin_wake(now, sleep_model)
+    }
+
     /// Begins waking the server; it reaches C0 after the sleep state's wake
     /// latency, during which it burns near-peak power (paper §3). Returns
-    /// the completion instant. No-op returning `now` when already awake.
+    /// the completion instant. No-op returning `now` when already awake,
+    /// and for crashed servers (a dead host cannot honour a wake order —
+    /// it must be repaired through [`Server::recover`] first).
     pub fn begin_wake(&mut self, now: SimTime, sleep_model: &SleepModel) -> SimTime {
+        if self.crashed {
+            return now;
+        }
         if self.is_awake() {
             return now;
         }
@@ -462,6 +503,55 @@ mod tests {
         s.apps_mut()[0].demand = 0.6;
         s.refresh_load();
         assert!((s.load() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_orphans_apps_and_takes_host_offline() {
+        let mut s = server();
+        s.place_app(app(1, 0.3));
+        s.place_app(app(2, 0.2));
+        let orphans = s.crash(t(100));
+        assert_eq!(orphans.len(), 2);
+        assert!(s.is_crashed());
+        assert!(!s.is_awake());
+        assert!(s.is_sleeping(), "a crashed host cannot execute");
+        assert_eq!(s.app_count(), 0);
+        assert_eq!(s.load(), 0.0);
+        assert_eq!(s.cstate(), CState::C6, "dead host draws residual power");
+    }
+
+    #[test]
+    fn crashed_server_ignores_wake_orders() {
+        let sm = SleepModel::default();
+        let mut s = server();
+        s.crash(t(0));
+        assert_eq!(s.begin_wake(t(5), &sm), t(5));
+        assert!(s.wake_ready_at().is_none(), "no wake in flight");
+        assert!(s.is_crashed());
+    }
+
+    #[test]
+    fn recover_reboots_through_the_c6_wake_path() {
+        let sm = SleepModel::default();
+        let mut s = server();
+        s.place_app(app(1, 0.4));
+        s.crash(t(10));
+        let before = s.energy().total_j();
+        let ready = s.recover(t(100), &sm);
+        assert!(!s.is_crashed());
+        assert_eq!(ready, t(100) + sm.wake_latency(CState::C6));
+        assert!(s.is_sleeping(), "still booting");
+        assert!(s.energy().total_j() > before, "reboot charges setup energy");
+        s.complete_wake(ready);
+        assert!(s.is_awake());
+    }
+
+    #[test]
+    fn recover_on_healthy_server_is_noop() {
+        let sm = SleepModel::default();
+        let mut s = server();
+        assert_eq!(s.recover(t(7), &sm), t(7));
+        assert!(s.is_awake());
     }
 
     #[test]

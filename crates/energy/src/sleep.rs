@@ -178,6 +178,15 @@ impl SleepModel {
         }
     }
 
+    /// Energy wasted by a wake transition that *fails*: the server pays
+    /// the full enter+leave cycle energy for the state it was sleeping in
+    /// and ends up back asleep with nothing to show for it. Used by the
+    /// fault-injection layer's degradation accounting (a server ordered
+    /// out of C6 that never wakes).
+    pub fn failed_wake_energy_j(&self, state: CState) -> f64 {
+        self.transition_energy_j(state)
+    }
+
     /// Overrides the wake latency of one state (builder style).
     pub fn with_wake_latency(mut self, state: CState, lat: SimDuration) -> Self {
         assert!(state.is_sleeping(), "C0 has no wake latency");
@@ -308,6 +317,17 @@ mod tests {
             m.wake_latency(CState::C3),
             CState::C3.default_wake_latency()
         );
+    }
+
+    #[test]
+    fn failed_wake_wastes_the_cycle_energy() {
+        let m = SleepModel::default();
+        assert_eq!(
+            m.failed_wake_energy_j(CState::C6),
+            m.transition_energy_j(CState::C6)
+        );
+        assert_eq!(m.failed_wake_energy_j(CState::C0), 0.0);
+        assert!(m.failed_wake_energy_j(CState::C6) > m.failed_wake_energy_j(CState::C3));
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Fault plans: *what* goes wrong, *when*, drawn from keyed RNG streams.
+//!
+//! A [`FaultPlan`] is a pure description — nothing happens until the plan
+//! is handed to a [`FaultyClusterSim`](crate::sim::FaultyClusterSim). Two
+//! ingredient kinds compose a plan:
+//!
+//! * **Scheduled events** ([`FaultEvent`]): server crashes (crash-stop or
+//!   crash-recover) and leader crashes pinned to simulated instants.
+//! * **Stochastic link/transition faults**: per-report message loss,
+//!   per-migration message delay on the star topology, and sleep→wake
+//!   transition failures, each governed by a probability and drawn from
+//!   an independent RNG stream keyed by `(seed, fault kind, server id)`.
+//!
+//! The keying is the determinism contract: enabling one fault family, or
+//! touching one server's stream, never perturbs the draws of any other
+//! family or server, so experiments stay byte-identical under replay and
+//! comparable across plans that share a seed.
+
+use ecolb_cluster::server::ServerId;
+use ecolb_simcore::rng::{splitmix64, Rng};
+use ecolb_simcore::time::{SimDuration, SimTime};
+
+/// Families of injectable faults. Each family owns a disjoint RNG stream
+/// tag so adding a family never perturbs the others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A host stops executing (crash-stop or crash-recover).
+    ServerCrash,
+    /// A previously crashed host reboots.
+    ServerRecover,
+    /// The host carrying the leader role crashes.
+    LeaderCrash,
+    /// A `StateReport` message is lost on its star link.
+    MessageLoss,
+    /// A migration transfer is delayed on its star link.
+    MessageDelay,
+    /// A sleep→C0 transition fails and leaves the server asleep.
+    WakeFailure,
+}
+
+impl FaultKind {
+    /// Stream-domain separator mixed into [`fault_stream`] seeds.
+    pub fn stream_tag(self) -> u64 {
+        match self {
+            FaultKind::ServerCrash => 0x5EC0_0001,
+            FaultKind::ServerRecover => 0x5EC0_0002,
+            FaultKind::LeaderCrash => 0x5EC0_0003,
+            FaultKind::MessageLoss => 0x5EC0_0004,
+            FaultKind::MessageDelay => 0x5EC0_0005,
+            FaultKind::WakeFailure => 0x5EC0_0006,
+        }
+    }
+}
+
+/// Derives the independent RNG stream for `(seed, kind, server)`.
+///
+/// Each component is folded through SplitMix64 before seeding the
+/// xoshiro generator, so adjacent seeds / tags / server ids land in
+/// unrelated stream states.
+pub fn fault_stream(seed: u64, kind: FaultKind, server: ServerId) -> Rng {
+    let mut state = seed;
+    let a = splitmix64(&mut state);
+    state ^= kind.stream_tag();
+    let b = splitmix64(&mut state);
+    state ^= server.0 as u64;
+    let c = splitmix64(&mut state);
+    Rng::new(a ^ b.rotate_left(21) ^ c.rotate_left(42))
+}
+
+/// What a scheduled fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// Crash a specific host. `recover_after: None` is crash-stop; with a
+    /// duration the host reboots that long after the crash.
+    ServerCrash {
+        /// The host to crash.
+        server: ServerId,
+        /// Crash-recover delay, or `None` for crash-stop.
+        recover_after: Option<SimDuration>,
+    },
+    /// Reboot a crashed host (scheduled internally by crash-recover, but
+    /// also available for scripting exact repair times).
+    ServerRecover {
+        /// The host to reboot.
+        server: ServerId,
+    },
+    /// Crash whichever host carries the leader role *at fire time* — this
+    /// is what exercises the heartbeat-timeout failover path.
+    LeaderCrash {
+        /// Crash-recover delay, or `None` for crash-stop.
+        recover_after: Option<SimDuration>,
+    },
+}
+
+/// A scheduled fault: a [`FaultEventKind`] pinned to a simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What it does.
+    pub kind: FaultEventKind,
+}
+
+/// A complete, deterministic fault schedule for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every stochastic stream in the plan (keyed per
+    /// [`FaultKind`] and per server via [`fault_stream`]).
+    pub seed: u64,
+    /// Scheduled crash / recover events, sorted by fire time.
+    pub events: Vec<FaultEvent>,
+    /// Per-attempt probability that a `StateReport` is lost on its link.
+    pub message_loss_prob: f64,
+    /// Per-transfer probability that a migration arrival is delayed.
+    pub message_delay_prob: f64,
+    /// Upper bound of the uniform extra delay added to a delayed transfer.
+    pub max_message_delay: SimDuration,
+    /// Per-order probability that a sleep→C0 wake transition fails.
+    pub wake_failure_prob: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing. Running it must be byte-identical to
+    /// running without the fault layer at all.
+    pub fn empty(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+            message_loss_prob: 0.0,
+            message_delay_prob: 0.0,
+            max_message_delay: SimDuration::ZERO,
+            wake_failure_prob: 0.0,
+        }
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+            && self.message_loss_prob <= 0.0
+            && self.message_delay_prob <= 0.0
+            && self.wake_failure_prob <= 0.0
+    }
+
+    /// Schedules a crash of `server` at `at` (builder style).
+    pub fn with_server_crash(
+        mut self,
+        at: SimTime,
+        server: ServerId,
+        recover_after: Option<SimDuration>,
+    ) -> Self {
+        self.push_event(FaultEvent {
+            at,
+            kind: FaultEventKind::ServerCrash {
+                server,
+                recover_after,
+            },
+        });
+        self
+    }
+
+    /// Schedules a reboot of `server` at `at` (builder style).
+    pub fn with_server_recover(mut self, at: SimTime, server: ServerId) -> Self {
+        self.push_event(FaultEvent {
+            at,
+            kind: FaultEventKind::ServerRecover { server },
+        });
+        self
+    }
+
+    /// Schedules a crash of the *current leader host* at `at`.
+    pub fn with_leader_crash(mut self, at: SimTime, recover_after: Option<SimDuration>) -> Self {
+        self.push_event(FaultEvent {
+            at,
+            kind: FaultEventKind::LeaderCrash { recover_after },
+        });
+        self
+    }
+
+    /// Enables per-report message loss with probability `p` (builder).
+    pub fn with_message_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of [0,1]");
+        self.message_loss_prob = p;
+        self
+    }
+
+    /// Enables per-transfer message delay: with probability `p` a
+    /// migration arrival is postponed by a uniform draw in
+    /// `[0, max_delay)` (builder). A re-delivered arrival faces the same
+    /// lossy link again (geometric repetition), so `p` must be strictly
+    /// below 1 — at `p = 1` a transfer would never complete.
+    pub fn with_message_delay(mut self, p: f64, max_delay: SimDuration) -> Self {
+        assert!((0.0..1.0).contains(&p), "delay probability out of [0,1)");
+        self.message_delay_prob = p;
+        self.max_message_delay = max_delay;
+        self
+    }
+
+    /// Enables wake-transition failures with probability `p` (builder).
+    pub fn with_wake_failures(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "wake probability out of [0,1]");
+        self.wake_failure_prob = p;
+        self
+    }
+
+    /// Samples crash-recover events for an `n_servers` cluster: each
+    /// server independently crashes with probability `crash_prob`, at a
+    /// uniform instant in `[0, horizon)`, drawn from its own
+    /// `(seed, ServerCrash, id)` stream (builder).
+    pub fn with_sampled_crashes(
+        mut self,
+        n_servers: usize,
+        crash_prob: f64,
+        horizon: SimDuration,
+        recover_after: Option<SimDuration>,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&crash_prob),
+            "crash probability out of [0,1]"
+        );
+        for i in 0..n_servers {
+            let id = ServerId(i as u32);
+            let mut rng = fault_stream(self.seed, FaultKind::ServerCrash, id);
+            if rng.chance(crash_prob) {
+                let at = SimTime::from_ticks(rng.uniform_u64(horizon.ticks().max(1)));
+                self.push_event(FaultEvent {
+                    at,
+                    kind: FaultEventKind::ServerCrash {
+                        server: id,
+                        recover_after,
+                    },
+                });
+            }
+        }
+        self
+    }
+
+    fn push_event(&mut self, ev: FaultEvent) {
+        self.events.push(ev);
+        // Stable sort keeps same-instant events in insertion order.
+        self.events.sort_by_key(|e| e.at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let p = FaultPlan::empty(42);
+        assert!(p.is_empty());
+        assert!(!p.clone().with_message_loss(0.01).is_empty());
+        assert!(!p
+            .clone()
+            .with_leader_crash(SimTime::from_secs(10), None)
+            .is_empty());
+    }
+
+    #[test]
+    fn streams_are_keyed_and_independent() {
+        let a = fault_stream(1, FaultKind::MessageLoss, ServerId(0));
+        // Same key → same stream.
+        assert_eq!(a, fault_stream(1, FaultKind::MessageLoss, ServerId(0)));
+        // Any differing component → different stream.
+        assert_ne!(a, fault_stream(2, FaultKind::MessageLoss, ServerId(0)));
+        assert_ne!(a, fault_stream(1, FaultKind::MessageDelay, ServerId(0)));
+        assert_ne!(a, fault_stream(1, FaultKind::MessageLoss, ServerId(1)));
+    }
+
+    #[test]
+    fn events_stay_sorted_by_fire_time() {
+        let p = FaultPlan::empty(7)
+            .with_server_crash(SimTime::from_secs(50), ServerId(3), None)
+            .with_leader_crash(SimTime::from_secs(10), None)
+            .with_server_recover(SimTime::from_secs(90), ServerId(3));
+        let times: Vec<u64> = p.events.iter().map(|e| e.at.ticks()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn sampled_crashes_are_deterministic_and_bounded() {
+        let horizon = SimDuration::from_secs(1000);
+        let a = FaultPlan::empty(11).with_sampled_crashes(200, 0.25, horizon, None);
+        let b = FaultPlan::empty(11).with_sampled_crashes(200, 0.25, horizon, None);
+        assert_eq!(a, b);
+        assert!(
+            !a.events.is_empty(),
+            "0.25 over 200 servers should crash some"
+        );
+        assert!(a.events.len() < 200);
+        for e in &a.events {
+            assert!(e.at < SimTime::ZERO + horizon);
+        }
+        // A different seed reshuffles the schedule.
+        let c = FaultPlan::empty(12).with_sampled_crashes(200, 0.25, horizon, None);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_tags_are_distinct() {
+        let kinds = [
+            FaultKind::ServerCrash,
+            FaultKind::ServerRecover,
+            FaultKind::LeaderCrash,
+            FaultKind::MessageLoss,
+            FaultKind::MessageDelay,
+            FaultKind::WakeFailure,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.stream_tag(), b.stream_tag());
+            }
+        }
+    }
+}

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod convert;
+pub mod degradation;
 pub mod histogram;
 pub mod json;
 pub mod plot;
@@ -39,6 +40,7 @@ pub mod summary;
 pub mod table;
 pub mod timeseries;
 
+pub use degradation::DegradationSummary;
 pub use histogram::Histogram;
 pub use quantile::P2Quantile;
 pub use report::Report;

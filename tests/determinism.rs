@@ -108,6 +108,74 @@ fn multi_seed_sweep_is_byte_identical_at_any_thread_count() {
 }
 
 #[test]
+fn empty_fault_plan_is_byte_identical_at_any_thread_count() {
+    // The fault-injection layer's no-op contract, end to end: running the
+    // timed simulation through `FaultyClusterSim` with an empty plan must
+    // reproduce the plain `TimedClusterSim` report *byte for byte* — at
+    // any `par` fan-out width — so the fault seams (hooked balance
+    // rounds, intercepted engine loop) provably cost nothing when unused.
+    use ecolb_cluster::sim::{TimedClusterSim, TimedRunReport};
+    use ecolb_faults::{FaultPlan, FaultyClusterSim};
+    use ecolb_metrics::json::ToJson;
+    use ecolb_simcore::par::map_indexed;
+
+    let seeds: Vec<u64> = vec![2, 19, 77, 2014];
+    let config = || ClusterConfig::paper(40, WorkloadSpec::paper_low_load());
+    let plain: Vec<TimedRunReport> = seeds
+        .iter()
+        .map(|&s| TimedClusterSim::new(config(), s, 8).run())
+        .collect();
+
+    let render = |r: &TimedRunReport, seed: u64| -> String {
+        let mut rep = Report::new(format!("faultfree_seed{seed}"), seed);
+        rep.scalar("energy_j", r.base.energy.total_j())
+            .scalar("migrations", r.base.migrations as f64)
+            .scalar("downtime_demand_seconds", r.downtime_demand_seconds)
+            .push_series(r.base.ratio_series.clone())
+            .push_series(r.base.sleeping_series.clone());
+        ToJson::to_json(&rep)
+    };
+
+    for threads in [1usize, 2, 8] {
+        let faulty = map_indexed(seeds.clone(), threads, |_, s| {
+            FaultyClusterSim::new(config(), s, 8, FaultPlan::empty(s)).run()
+        });
+        for ((f, p), &seed) in faulty.iter().zip(&plain).zip(&seeds) {
+            assert_eq!(&f.timed, p, "seed {seed} at {threads} threads diverged");
+            assert_eq!(
+                render(&f.timed, seed),
+                render(p, seed),
+                "rendered report differs at {threads} threads"
+            );
+            assert!(f.plan_was_empty);
+            assert_eq!(f.degradation.availability, 1.0);
+        }
+    }
+}
+
+#[test]
+fn fault_plans_are_deterministic_and_seed_sensitive() {
+    use ecolb_faults::{FaultPlan, FaultyClusterSim};
+    use ecolb_simcore::time::SimTime;
+
+    let config = || ClusterConfig::paper(40, WorkloadSpec::paper_low_load());
+    let plan = |seed: u64| {
+        FaultPlan::empty(seed)
+            .with_message_loss(0.02)
+            .with_leader_crash(SimTime::from_secs(1200), None)
+    };
+    let a = FaultyClusterSim::new(config(), 7, 8, plan(7)).run();
+    let b = FaultyClusterSim::new(config(), 7, 8, plan(7)).run();
+    assert_eq!(a, b, "same seed, same plan: must replay bit-identically");
+
+    let c = FaultyClusterSim::new(config(), 7, 8, plan(8)).run();
+    assert_ne!(
+        a.recovery, c.recovery,
+        "different fault seed should change the loss pattern"
+    );
+}
+
+#[test]
 fn rng_streams_are_stable_across_versions() {
     // Pin the generator output: if this test ever fails, every recorded
     // experiment result in EXPERIMENTS.md is invalidated and must be
