@@ -1,0 +1,87 @@
+//! Perf smoke: tracing must be cheap when enabled and free when absent.
+//!
+//! The disabled path is structural — `run()` delegates through `NoTrace`,
+//! whose methods are empty `#[inline(always)]` bodies, so there is
+//! nothing to time. What this smoke test bounds is the **enabled** cost:
+//! a `RingTracer` on the same seeds must stay within the overhead budget
+//! (target < 2 %, asserted at < 5 % to keep the smoke test robust on
+//! noisy CI hosts), then emits `BENCH_trace.json` through the standard
+//! report path.
+//!
+//! ```text
+//! cargo test -p ecolb-bench --release -- --ignored perf_trace
+//! ```
+
+use ecolb_bench::DEFAULT_SEED;
+use ecolb_cluster::cluster::ClusterConfig;
+use ecolb_cluster::sim::TimedClusterSim;
+use ecolb_metrics::report::Report;
+use ecolb_trace::RingTracer;
+use ecolb_workload::generator::WorkloadSpec;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZE: usize = 400;
+const INTERVALS: u64 = 40;
+const ROUNDS: u32 = 5;
+
+fn config() -> ClusterConfig {
+    ClusterConfig::paper(SIZE, WorkloadSpec::paper_low_load())
+}
+
+/// Best-of-N wall-clock for `f`, seconds. Minimum (not mean) is the
+/// right statistic for an overhead ratio: it strips scheduler noise,
+/// which only ever adds time.
+fn best_of<R>(rounds: u32, mut f: impl FnMut(u64) -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    let _ = f(DEFAULT_SEED); // warm-up
+    for i in 0..rounds {
+        let seed = DEFAULT_SEED + u64::from(i);
+        let start = Instant::now();
+        black_box(f(seed));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+#[ignore = "perf smoke"]
+fn perf_trace_ring_tracer_overhead() {
+    let plain_s = best_of(ROUNDS, |seed| {
+        TimedClusterSim::new(config(), seed, INTERVALS).run()
+    });
+    let traced_s = best_of(ROUNDS, |seed| {
+        let mut tracer = RingTracer::new();
+        let report = TimedClusterSim::new(config(), seed, INTERVALS).run_traced(&mut tracer);
+        (report, tracer.recorded())
+    });
+    let overhead = traced_s / plain_s - 1.0;
+    println!(
+        "perf trace/ring-tracer: plain {:.3} ms, traced {:.3} ms, overhead {:+.2}% \
+         (target < 2%, budget < 5%)",
+        plain_s * 1e3,
+        traced_s * 1e3,
+        overhead * 100.0
+    );
+
+    let mut report = Report::new("BENCH_trace", DEFAULT_SEED);
+    report
+        .scalar("plain_seconds", plain_s)
+        .scalar("traced_seconds", traced_s)
+        .scalar("overhead_fraction", overhead)
+        .scalar("size", SIZE as f64)
+        .scalar("intervals", INTERVALS as f64)
+        .scalar("rounds", f64::from(ROUNDS));
+    // Integration tests run with the crate as cwd; results/ sits two up.
+    let dir = "../../results/perf";
+    std::fs::create_dir_all(dir).expect("create results/perf");
+    let path = format!("{dir}/BENCH_trace.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_trace.json");
+    println!("wrote {path}");
+
+    assert!(
+        overhead < 0.05,
+        "ring tracer costs {:.2}% (> 5% budget)",
+        overhead * 100.0
+    );
+}

@@ -31,6 +31,7 @@ use crate::server::{Server, ServerId};
 use ecolb_energy::regimes::OperatingRegime;
 use ecolb_energy::sleep::{CState, SleepModel, SleepPolicy};
 use ecolb_simcore::time::SimTime;
+use ecolb_trace::{NoTrace, SpanKind, TraceEventKind, Tracer};
 use ecolb_workload::application::AppId;
 
 /// Tolerance for load/room comparisons: demands are sums of many f64
@@ -207,14 +208,43 @@ fn cap<'a>(ids: &'a [ServerId], config: &BalanceConfig) -> &'a [ServerId] {
     }
 }
 
+/// Static label for a sleep state, for trace events.
+fn cstate_label(state: CState) -> &'static str {
+    match state {
+        CState::C0 => "C0",
+        CState::C1 => "C1",
+        CState::C2 => "C2",
+        CState::C3 => "C3",
+        CState::C4 => "C4",
+        CState::C5 => "C5",
+        CState::C6 => "C6",
+    }
+}
+
+/// Emits the trace event for one committed migration.
+fn trace_migration(tracer: &mut dyn Tracer, now: SimTime, rec: &MigrationRecord) {
+    tracer.event(
+        now.ticks(),
+        TraceEventKind::Migration {
+            from: rec.from.0,
+            to: rec.to.0,
+            app: rec.app.0,
+            demand: rec.demand,
+        },
+    );
+}
+
 /// Phase 1 — overloaded servers (R4, R5) shed VMs to underloaded
 /// receivers.
+#[allow(clippy::too_many_arguments)] // phases share the round's full context
 fn shed_phase(
     servers: &mut [Server],
     leader: &mut Leader,
     ledger: &mut DecisionLedger,
     migration_model: &MigrationCostModel,
     config: &BalanceConfig,
+    now: SimTime,
+    tracer: &mut dyn Tracer,
     outcome: &mut BalanceOutcome,
 ) {
     // Donors sorted: R5 (urgent) first, then heaviest.
@@ -236,7 +266,15 @@ fn shed_phase(
         if !servers[donor.index()].regime().is_overloaded() {
             continue; // already relieved by an earlier donor's receiver churn
         }
-        leader.receive_assistance_request(donor, servers[donor.index()].regime());
+        let donor_regime = servers[donor.index()].regime();
+        leader.receive_assistance_request(donor, donor_regime);
+        tracer.event(
+            now.ticks(),
+            TraceEventKind::AssistanceRequested {
+                server: donor.0,
+                regime: donor_regime.index() as u8,
+            },
+        );
         // Leader proposes R1/R2 receivers; fall back to R3 servers with
         // headroom when the strict list is empty (see module docs).
         let mut receivers = leader.find_receivers(donor);
@@ -301,6 +339,7 @@ fn shed_phase(
                     }
                     if rx_srv.load() + demand <= config.shed_fill.ceiling(rx_srv) + EPS {
                         let rec = commit_migration(servers, donor, rx, app, migration_model);
+                        trace_migration(tracer, now, &rec);
                         outcome.migrations.push(rec);
                         ledger.record(DecisionKind::InClusterHorizontal);
                         moved = true;
@@ -331,6 +370,7 @@ fn drain_phase(
     config: &BalanceConfig,
     now: SimTime,
     just_woken: &[ServerId],
+    tracer: &mut dyn Tracer,
     outcome: &mut BalanceOutcome,
 ) {
     let cluster_load = cluster_load_fraction(servers);
@@ -367,6 +407,13 @@ fn drain_phase(
         }
         processed += 1;
         leader.receive_assistance_request(cand, OperatingRegime::UndesirableLow);
+        tracer.event(
+            now.ticks(),
+            TraceEventKind::AssistanceRequested {
+                server: cand.0,
+                regime: OperatingRegime::UndesirableLow.index() as u8,
+            },
+        );
 
         // Option A: gather from remaining overloaded donors (paper gives
         // this branch when R4/R5 servers exist).
@@ -391,6 +438,7 @@ fn drain_phase(
                 match pick {
                     Some(app) => {
                         let rec = commit_migration(servers, donor, cand, app, migration_model);
+                        trace_migration(tracer, now, &rec);
                         outcome.migrations.push(rec);
                         ledger.record(DecisionKind::InClusterHorizontal);
                         gathered = true;
@@ -454,6 +502,7 @@ fn drain_phase(
             match placed {
                 Some((app, rx)) => {
                     let rec = commit_migration(servers, cand, rx, app, migration_model);
+                    trace_migration(tracer, now, &rec);
                     outcome.migrations.push(rec);
                     ledger.record(DecisionKind::InClusterHorizontal);
                     moved += 1;
@@ -466,6 +515,13 @@ fn drain_phase(
             if let Some(state) = config.sleep_policy.choose(cluster_load) {
                 servers[cand.index()].enter_sleep(now, state, sleep_model);
                 leader.receive_report(cand, OperatingRegime::UndesirableLow, 0.0, true);
+                tracer.event(
+                    now.ticks(),
+                    TraceEventKind::SleepEntered {
+                        server: cand.0,
+                        cstate: cstate_label(state),
+                    },
+                );
                 outcome.slept.push((cand, state));
             }
         } else {
@@ -486,6 +542,7 @@ fn wake_phase(
     now: SimTime,
     hooks: &mut dyn FaultHooks,
     stats: &mut RecoveryStats,
+    tracer: &mut dyn Tracer,
     outcome: &mut BalanceOutcome,
 ) {
     if outcome.unresolved_overloads.is_empty() {
@@ -501,8 +558,10 @@ fn wake_phase(
         let sleepers = leader.find_sleepers(servers);
         for id in sleepers.into_iter().take(config.wakes_per_emergency) {
             leader.issue_wake_order(id);
+            tracer.event(now.ticks(), TraceEventKind::WakeOrdered { server: id.0 });
             if hooks.wake_fails(id) {
                 stats.wake_failures += 1;
+                tracer.event(now.ticks(), TraceEventKind::WakeFailed { server: id.0 });
                 outcome.wake_failures.push(id);
             } else {
                 servers[id.index()].begin_wake(now, sleep_model);
@@ -522,6 +581,7 @@ fn report_sweep_with_hooks(
     retry: &RetryPolicy,
     hooks: &mut dyn FaultHooks,
     stats: &mut RecoveryStats,
+    tracer: &mut dyn Tracer,
 ) {
     for s in servers {
         let mut delivered = false;
@@ -532,9 +592,11 @@ fn report_sweep_with_hooks(
             }
             if hooks.report_lost(s.id(), attempt) {
                 stats.reports_lost += 1;
+                tracer.counter("balance.reports_lost", 1);
                 continue;
             }
             leader.receive_report(s.id(), s.regime(), s.load(), s.is_sleeping());
+            tracer.counter("balance.reports_delivered", 1);
             delivered = true;
             break;
         }
@@ -583,19 +645,57 @@ pub fn balance_round_with_hooks(
     hooks: &mut dyn FaultHooks,
     stats: &mut RecoveryStats,
 ) -> BalanceOutcome {
+    balance_round_traced(
+        servers,
+        leader,
+        ledger,
+        migration_model,
+        sleep_model,
+        config,
+        now,
+        hooks,
+        stats,
+        &mut NoTrace,
+    )
+}
+
+/// [`balance_round_with_hooks`] with a tracer: the round is bracketed by
+/// a `balance` span and every protocol action (assistance requests,
+/// migrations, sleep/wake transitions, report deliveries) lands in the
+/// trace. With [`NoTrace`] nothing is recorded and the round is exactly
+/// the untraced one.
+#[allow(clippy::too_many_arguments)] // the traced variant adds one more seam
+pub fn balance_round_traced(
+    servers: &mut [Server],
+    leader: &mut Leader,
+    ledger: &mut DecisionLedger,
+    migration_model: &MigrationCostModel,
+    sleep_model: &SleepModel,
+    config: &BalanceConfig,
+    now: SimTime,
+    hooks: &mut dyn FaultHooks,
+    stats: &mut RecoveryStats,
+    tracer: &mut dyn Tracer,
+) -> BalanceOutcome {
+    tracer.span_enter(now.ticks(), SpanKind::Balance);
     // Complete wakes that have matured.
     let mut just_woken = Vec::new();
     for s in servers.iter_mut() {
         if let Some(t) = s.wake_ready_at() {
             if t <= now {
                 s.complete_wake(now);
+                tracer.event(
+                    now.ticks(),
+                    TraceEventKind::WakeCompleted { server: s.id().0 },
+                );
                 just_woken.push(s.id());
             }
         }
     }
-    report_sweep_with_hooks(servers, leader, &config.retry, hooks, stats);
+    report_sweep_with_hooks(servers, leader, &config.retry, hooks, stats, tracer);
     let mut outcome = BalanceOutcome::default();
     if !config.enabled {
+        tracer.span_exit(now.ticks(), SpanKind::Balance);
         return outcome; // no-balancing baseline: report sweep only
     }
     shed_phase(
@@ -604,6 +704,8 @@ pub fn balance_round_with_hooks(
         ledger,
         migration_model,
         config,
+        now,
+        tracer,
         &mut outcome,
     );
     drain_phase(
@@ -615,6 +717,7 @@ pub fn balance_round_with_hooks(
         config,
         now,
         &just_woken,
+        tracer,
         &mut outcome,
     );
     wake_phase(
@@ -625,8 +728,10 @@ pub fn balance_round_with_hooks(
         now,
         hooks,
         stats,
+        tracer,
         &mut outcome,
     );
+    tracer.span_exit(now.ticks(), SpanKind::Balance);
     outcome
 }
 

@@ -22,7 +22,7 @@ use crate::admission::{
     AdmissionController, AdmissionPolicy, AdmissionStats, ArrivalSpec, ServiceRequest,
 };
 use crate::balance::{
-    balance_round_with_hooks, cluster_load_fraction, BalanceConfig, BalanceOutcome, MigrationRecord,
+    balance_round_traced, cluster_load_fraction, BalanceConfig, BalanceOutcome, MigrationRecord,
 };
 use crate::leader::Leader;
 use crate::messages::Message;
@@ -37,6 +37,7 @@ use ecolb_energy::sleep::SleepModel;
 use ecolb_metrics::timeseries::TimeSeries;
 use ecolb_simcore::rng::Rng;
 use ecolb_simcore::time::{SimDuration, SimTime};
+use ecolb_trace::{NoTrace, SpanKind, TraceEventKind, Tracer};
 use ecolb_workload::application::{AppId, Application};
 use ecolb_workload::generator::{generate_server_apps, AppIdAllocator, WorkloadSpec};
 
@@ -424,7 +425,7 @@ impl Cluster {
     }
 
     /// Demand evolution + scaling decisions for one interval (step 1).
-    fn evolve_and_scale(&mut self) {
+    fn evolve_and_scale(&mut self, tracer: &mut dyn Tracer) {
         // Receiver pool for horizontal requests: awake servers with spare
         // room below their opt_high ceiling, fullest first (best-fit keeps
         // the workload concentrated). Remaining room is tracked locally so
@@ -483,6 +484,15 @@ impl Cluster {
                                 self.migration_energy_j += cost.energy_j;
                                 self.migrations += 1;
                                 self.servers[rx.index()].migrations_in += 1;
+                                tracer.event(
+                                    self.now.ticks(),
+                                    TraceEventKind::Migration {
+                                        from: i as u32,
+                                        to: rx.0,
+                                        app: vm.id.0,
+                                        demand: vm.demand,
+                                    },
+                                );
                                 self.interval_migrations.push(MigrationRecord {
                                     from: ServerId(i as u32),
                                     to: rx,
@@ -492,8 +502,22 @@ impl Cluster {
                                 });
                                 self.servers[rx.index()].place_app(vm);
                                 self.ledger.record(DecisionKind::InClusterHorizontal);
+                                tracer.event(
+                                    self.now.ticks(),
+                                    TraceEventKind::Decision {
+                                        decision: DecisionKind::InClusterHorizontal.label(),
+                                    },
+                                );
                             }
-                            None => self.ledger.record(DecisionKind::Deferred),
+                            None => {
+                                self.ledger.record(DecisionKind::Deferred);
+                                tracer.event(
+                                    self.now.ticks(),
+                                    TraceEventKind::Decision {
+                                        decision: DecisionKind::Deferred.label(),
+                                    },
+                                );
+                            }
                         }
                     } else if self.servers[i].load() + delta
                         <= self.servers[i].boundaries().sopt_high
@@ -505,6 +529,12 @@ impl Cluster {
                         self.servers[i].apps_mut()[a].demand += delta;
                         self.servers[i].refresh_load();
                         self.ledger.record(DecisionKind::LocalVertical);
+                        tracer.event(
+                            self.now.ticks(),
+                            TraceEventKind::Decision {
+                                decision: DecisionKind::LocalVertical.label(),
+                            },
+                        );
                     } else {
                         // No local headroom: migrate the grown VM elsewhere.
                         let grown = demand + delta;
@@ -523,6 +553,15 @@ impl Cluster {
                                 self.migrations += 1;
                                 self.servers[i].migrations_out += 1;
                                 self.servers[rx.index()].migrations_in += 1;
+                                tracer.event(
+                                    self.now.ticks(),
+                                    TraceEventKind::Migration {
+                                        from: i as u32,
+                                        to: rx.0,
+                                        app: app.id.0,
+                                        demand: app.demand,
+                                    },
+                                );
                                 self.interval_migrations.push(MigrationRecord {
                                     from: ServerId(i as u32),
                                     to: rx,
@@ -532,6 +571,12 @@ impl Cluster {
                                 });
                                 self.servers[rx.index()].place_app(app);
                                 self.ledger.record(DecisionKind::InClusterHorizontal);
+                                tracer.event(
+                                    self.now.ticks(),
+                                    TraceEventKind::Decision {
+                                        decision: DecisionKind::InClusterHorizontal.label(),
+                                    },
+                                );
                                 // The app vacated slot `a`; stop iterating
                                 // this server's tail conservatively
                                 // (swap_remove reordered the apps).
@@ -539,6 +584,12 @@ impl Cluster {
                             }
                             None => {
                                 self.ledger.record(DecisionKind::Deferred);
+                                tracer.event(
+                                    self.now.ticks(),
+                                    TraceEventKind::Decision {
+                                        decision: DecisionKind::Deferred.label(),
+                                    },
+                                );
                             }
                         }
                     }
@@ -633,7 +684,7 @@ impl Cluster {
     /// back to the lowest-id non-crashed one (woken if asleep). The new
     /// leader starts from an empty directory and rebuilds it with a full
     /// report sweep. Returns `false` when no live server remains.
-    fn fail_over(&mut self) -> bool {
+    fn fail_over(&mut self, tracer: &mut dyn Tracer) -> bool {
         let successor = self
             .servers
             .iter()
@@ -652,6 +703,13 @@ impl Cluster {
         self.leader_epoch += 1;
         self.missed_heartbeats = 0;
         self.recovery_stats.failovers += 1;
+        tracer.event(
+            self.now.ticks(),
+            TraceEventKind::Failover {
+                new_leader: new_leader.0,
+                epoch: self.leader_epoch,
+            },
+        );
         self.leader.observe(&Message::LeaderElected {
             leader: new_leader,
             epoch: self.leader_epoch,
@@ -674,7 +732,7 @@ impl Cluster {
     /// Heartbeat bookkeeping at the top of each interval: a live leader
     /// beacons and resets the miss counter; a dead one accumulates misses
     /// until the timeout elects a successor.
-    fn heartbeat_check(&mut self) {
+    fn heartbeat_check(&mut self, tracer: &mut dyn Tracer) {
         if !self.servers[self.leader_host.index()].is_crashed() {
             self.missed_heartbeats = 0;
             self.recovery_stats.heartbeats_sent += 1;
@@ -682,12 +740,24 @@ impl Cluster {
                 leader: self.leader_host,
                 epoch: self.leader_epoch,
             });
+            tracer.event(
+                self.now.ticks(),
+                TraceEventKind::HeartbeatSent {
+                    leader: self.leader_host.0,
+                },
+            );
             return;
         }
         self.missed_heartbeats += 1;
         self.recovery_stats.heartbeats_missed += 1;
+        tracer.event(
+            self.now.ticks(),
+            TraceEventKind::HeartbeatMissed {
+                consecutive: self.missed_heartbeats,
+            },
+        );
         if self.missed_heartbeats >= self.recovery.heartbeat_timeout_intervals {
-            self.fail_over();
+            self.fail_over(tracer);
         }
     }
 
@@ -701,22 +771,43 @@ impl Cluster {
     /// the plain entry point: the hook layer draws no randomness and the
     /// recovery bookkeeping never reaches [`ClusterRunReport`].
     pub fn run_interval_with_hooks(&mut self, hooks: &mut dyn FaultHooks) -> BalanceOutcome {
+        self.run_interval_traced(hooks, &mut NoTrace)
+    }
+
+    /// [`Cluster::run_interval_with_hooks`] with a tracer: the interval is
+    /// bracketed by an `interval` span (covering the τ it simulates) and
+    /// every scaling decision, regime sample, migration, sleep/wake
+    /// transition, and leader-liveness action lands in the trace. With
+    /// [`NoTrace`] nothing is recorded and the interval is exactly the
+    /// untraced one — same state evolution, same reports.
+    pub fn run_interval_traced(
+        &mut self,
+        hooks: &mut dyn FaultHooks,
+        tracer: &mut dyn Tracer,
+    ) -> BalanceOutcome {
         self.interval_migrations.clear();
+        tracer.span_enter(self.now.ticks(), SpanKind::Interval);
         // Advance the clock by τ and integrate every meter under the state
         // that held during the interval.
         self.now += self.config.realloc_interval;
         for s in &mut self.servers {
             s.meter_advance(self.now);
         }
+        tracer.event(
+            self.now.ticks(),
+            TraceEventKind::IntervalStarted {
+                index: self.interval_index,
+            },
+        );
 
         // Recovery protocol: leader liveness check before any brokering.
-        self.heartbeat_check();
+        self.heartbeat_check(tracer);
 
         // Step 0: new service requests and admission control.
         self.admit_arrivals();
 
         // Step 1: demand evolution and scaling decisions.
-        self.evolve_and_scale();
+        self.evolve_and_scale(tracer);
 
         // QoS census for the interval that just elapsed: saturated
         // servers violated response times, undesirable regimes violated
@@ -729,6 +820,16 @@ impl Cluster {
                 if s.regime().is_undesirable() {
                     self.undesirable_server_intervals += 1;
                 }
+                if tracer.enabled() {
+                    tracer.event(
+                        self.now.ticks(),
+                        TraceEventKind::RegimeSample {
+                            server: s.id().0,
+                            regime: s.regime().index() as u8,
+                            load: s.load(),
+                        },
+                    );
+                }
             }
         }
 
@@ -740,6 +841,10 @@ impl Cluster {
                 if let Some(t) = s.wake_ready_at() {
                     if t <= self.now {
                         s.complete_wake(self.now);
+                        tracer.event(
+                            self.now.ticks(),
+                            TraceEventKind::WakeCompleted { server: s.id().0 },
+                        );
                     }
                 }
             }
@@ -752,7 +857,7 @@ impl Cluster {
             self.recovery_stats.leaderless_intervals += 1;
             BalanceOutcome::default()
         } else {
-            balance_round_with_hooks(
+            balance_round_traced(
                 &mut self.servers,
                 &mut self.leader,
                 &mut self.ledger,
@@ -762,6 +867,7 @@ impl Cluster {
                 self.now,
                 hooks,
                 &mut self.recovery_stats,
+                tracer,
             )
         };
         self.migration_energy_j += outcome.migration_energy_j();
@@ -770,7 +876,17 @@ impl Cluster {
             .extend_from_slice(&outcome.migrations);
 
         // Step 3: close the interval.
-        self.ledger.close_interval();
+        let counts = self.ledger.close_interval();
+        tracer.event(
+            self.now.ticks(),
+            TraceEventKind::IntervalClosed {
+                index: self.interval_index,
+                local: counts.local,
+                in_cluster: counts.in_cluster,
+                deferred: counts.deferred,
+            },
+        );
+        tracer.span_exit(self.now.ticks(), SpanKind::Interval);
         self.interval_index += 1;
         outcome
     }

@@ -24,6 +24,17 @@ pub enum DecisionKind {
     Deferred,
 }
 
+impl DecisionKind {
+    /// Stable snake_case label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionKind::LocalVertical => "local_vertical",
+            DecisionKind::InClusterHorizontal => "in_cluster_horizontal",
+            DecisionKind::Deferred => "deferred",
+        }
+    }
+}
+
 /// Per-interval decision counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IntervalCounts {

@@ -18,10 +18,12 @@
 
 use crate::balance::MigrationRecord;
 use crate::cluster::{Cluster, ClusterConfig, ClusterRunReport};
+use crate::recovery::NoFaults;
 use crate::server::ServerId;
 use ecolb_metrics::summary::OnlineStats;
 use ecolb_simcore::engine::{Control, Engine, RunOutcome};
 use ecolb_simcore::time::{SimDuration, SimTime};
+use ecolb_trace::{NoTrace, Tracer};
 use ecolb_workload::application::AppId;
 
 /// Events of the timed cluster simulation.
@@ -136,6 +138,14 @@ impl TimedClusterSim {
 
     /// Runs to completion and returns the timing-augmented report.
     pub fn run(self) -> TimedRunReport {
+        self.run_traced(&mut NoTrace)
+    }
+
+    /// [`TimedClusterSim::run`] with a tracer observing every engine
+    /// dispatch and every cluster interval. With [`NoTrace`] the run is
+    /// structurally identical to [`TimedClusterSim::run`] — same events,
+    /// same clock, byte-identical [`TimedRunReport`].
+    pub fn run_traced<T: Tracer>(self, tracer: &mut T) -> TimedRunReport {
         let realloc_interval = self.cluster.config().realloc_interval;
         let mut engine: Engine<SimEvent> = Engine::new();
         engine.schedule_at(SimTime::ZERO + realloc_interval, SimEvent::ReallocationTick);
@@ -158,11 +168,13 @@ impl TimedClusterSim {
         let mut load = ecolb_metrics::timeseries::TimeSeries::new("cluster_load");
         let initial_census = state.cluster.census();
 
-        let outcome = engine.run(&mut state, |state, sched, event| {
+        let outcome = engine.run_traced(&mut state, tracer, |state, sched, event| {
             match event {
                 SimEvent::ReallocationTick => {
                     let now = sched.now();
-                    let outcome = state.cluster.run_interval();
+                    let outcome = state
+                        .cluster
+                        .run_interval_traced(&mut NoFaults, sched.tracer());
                     sleeping.push(state.cluster.sleeping_count() as f64);
                     load.push(state.cluster.load_fraction());
 
@@ -235,9 +247,9 @@ impl TimedClusterSim {
     }
 }
 
-fn schedule_arrival(
+fn schedule_arrival<T: Tracer>(
     state: &mut SimState,
-    sched: &mut ecolb_simcore::engine::Scheduler<'_, SimEvent>,
+    sched: &mut ecolb_simcore::engine::Scheduler<'_, SimEvent, T>,
     rec: &MigrationRecord,
 ) {
     state.in_flight += 1;

@@ -37,6 +37,7 @@ use ecolb_metrics::timeseries::TimeSeries;
 use ecolb_metrics::DegradationSummary;
 use ecolb_simcore::engine::{Control, Disposition, Engine, RunOutcome, Scheduler};
 use ecolb_simcore::time::{SimDuration, SimTime};
+use ecolb_trace::{NoTrace, TraceEventKind, Tracer};
 use ecolb_workload::application::AppId;
 
 /// Events of the faulty timed simulation — the timed cluster's events
@@ -109,6 +110,15 @@ impl FaultyClusterSim {
 
     /// Runs to completion and returns the degradation-augmented report.
     pub fn run(self) -> FaultyRunReport {
+        self.run_traced(&mut NoTrace)
+    }
+
+    /// [`FaultyClusterSim::run`] with a tracer: injection dispositions
+    /// (dropped reports, delayed arrivals), scheduled crashes/recoveries
+    /// and every cluster-interval event land in the trace. With
+    /// [`NoTrace`] the run is structurally identical to
+    /// [`FaultyClusterSim::run`].
+    pub fn run_traced<T: Tracer>(self, tracer: &mut T) -> FaultyRunReport {
         let n_servers = self.cluster.config().n_servers;
         let realloc_interval = self.cluster.config().realloc_interval;
         let horizon = SimTime::ZERO + mul_interval(realloc_interval, self.intervals);
@@ -148,8 +158,9 @@ impl FaultyClusterSim {
         let mut load = TimeSeries::new("cluster_load");
         let initial_census = state.cluster.census();
 
-        let outcome = engine.run_intercepted(
+        let outcome = engine.run_intercepted_traced(
             &mut state,
+            tracer,
             |state, _now, ev| match ev {
                 FaultSimEvent::MigrationArrive { to, .. } => {
                     state.injector.arrival_disposition(*to)
@@ -160,7 +171,10 @@ impl FaultyClusterSim {
                 FaultSimEvent::ReallocationTick => {
                     let now = sched.now();
                     let was_leaderless = state.cluster.leaderless();
-                    let outcome = state.cluster.run_interval_with_hooks(&mut state.injector);
+                    let SimState {
+                        cluster, injector, ..
+                    } = state;
+                    let outcome = cluster.run_interval_traced(injector, sched.tracer());
                     sleeping.push(state.cluster.sleeping_count() as f64);
                     load.push(state.cluster.load_fraction());
 
@@ -296,9 +310,9 @@ fn mul_interval(interval: SimDuration, count: u64) -> SimDuration {
     SimDuration::from_ticks(interval.ticks().saturating_mul(count))
 }
 
-fn schedule_arrival(
+fn schedule_arrival<T: Tracer>(
     state: &mut SimState,
-    sched: &mut Scheduler<'_, FaultSimEvent>,
+    sched: &mut Scheduler<'_, FaultSimEvent, T>,
     rec: &MigrationRecord,
 ) {
     state.in_flight += 1;
@@ -316,9 +330,9 @@ fn schedule_arrival(
     );
 }
 
-fn apply_fault(
+fn apply_fault<T: Tracer>(
     state: &mut SimState,
-    sched: &mut Scheduler<'_, FaultSimEvent>,
+    sched: &mut Scheduler<'_, FaultSimEvent, T>,
     kind: FaultEventKind,
     now: SimTime,
 ) {
@@ -326,13 +340,33 @@ fn apply_fault(
         FaultEventKind::ServerCrash {
             server,
             recover_after,
-        } => apply_crash(state, sched, server, recover_after, now),
+        } => {
+            sched.tracer().event(
+                now.ticks(),
+                TraceEventKind::FaultInjected {
+                    fault: "server_crash",
+                    server: server.0,
+                },
+            );
+            apply_crash(state, sched, server, recover_after, now)
+        }
         FaultEventKind::LeaderCrash { recover_after } => {
             let leader = state.cluster.leader_host();
+            sched.tracer().event(
+                now.ticks(),
+                TraceEventKind::FaultInjected {
+                    fault: "leader_crash",
+                    server: leader.0,
+                },
+            );
             apply_crash(state, sched, leader, recover_after, now);
         }
         FaultEventKind::ServerRecover { server } => {
             if let Some(ready) = state.cluster.recover_server(server, now) {
+                sched.tracer().event(
+                    now.ticks(),
+                    TraceEventKind::ServerRecovered { server: server.0 },
+                );
                 if let Some(start) = state.crash_start[server.index()].take() {
                     state.closed_windows.push((start, ready));
                 }
@@ -343,9 +377,9 @@ fn apply_fault(
     }
 }
 
-fn apply_crash(
+fn apply_crash<T: Tracer>(
     state: &mut SimState,
-    sched: &mut Scheduler<'_, FaultSimEvent>,
+    sched: &mut Scheduler<'_, FaultSimEvent, T>,
     server: ServerId,
     recover_after: Option<SimDuration>,
     now: SimTime,
@@ -353,6 +387,10 @@ fn apply_crash(
     if state.cluster.servers()[server.index()].is_crashed() {
         return;
     }
+    sched.tracer().event(
+        now.ticks(),
+        TraceEventKind::ServerCrashed { server: server.0 },
+    );
     let orphans = state.cluster.crash_server(server, now);
     // Orphans wait in the admission queue until the next reallocation
     // tick; that waiting time is SLA-violation time.

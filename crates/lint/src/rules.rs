@@ -14,7 +14,9 @@ use crate::lexer::{Token, TokenKind};
 
 /// Crates whose code is on the simulation path: anything here must be
 /// bit-reproducible, so unordered collections and ambient state are banned.
-pub const SIM_PATH_CRATES: &[&str] = &["simcore", "cluster", "energy", "workload", "policies"];
+pub const SIM_PATH_CRATES: &[&str] = &[
+    "simcore", "cluster", "energy", "workload", "policies", "trace",
+];
 
 /// All rule identifiers, in reporting order.
 pub const ALL_RULES: &[&str] = &[

@@ -11,28 +11,41 @@
 //! dispatch is the hottest loop of the simulator and an enum match compiles
 //! to a jump table, whereas boxed closures would allocate per event.
 
+use ecolb_trace::{NoTrace, SpanKind, TraceEventKind, Tracer};
+
 use crate::event::{EventQueue, Priority};
 use crate::time::{SimDuration, SimTime};
 
 /// The scheduling interface handed to event handlers.
 ///
 /// A thin wrapper over the queue that also knows the current instant, so
-/// handlers schedule with relative delays.
-pub struct Scheduler<'a, E> {
+/// handlers schedule with relative delays. The tracer parameter defaults
+/// to [`NoTrace`], so pre-trace `Scheduler<'_, E>` annotations keep
+/// compiling and the untraced path monomorphizes to the original code.
+pub struct Scheduler<'a, E, T: Tracer = NoTrace> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
+    tracer: &'a mut T,
 }
 
-impl<'a, E> Scheduler<'a, E> {
+impl<'a, E, T: Tracer> Scheduler<'a, E, T> {
     /// The current simulated instant.
     #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
+    /// The run's tracer, for handlers that emit domain events. A
+    /// `&mut T` auto-coerces to `&mut dyn Tracer` at cold call sites.
+    #[inline]
+    pub fn tracer(&mut self) -> &mut T {
+        self.tracer
+    }
+
     /// Schedules `event` to fire `delay` after the current instant.
     #[inline]
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.tracer.counter("engine.scheduled", 1);
         self.queue.schedule(self.now + delay, event);
     }
 
@@ -45,6 +58,7 @@ impl<'a, E> Scheduler<'a, E> {
             "scheduling into the past: {at} < {}",
             self.now
         );
+        self.tracer.counter("engine.scheduled", 1);
         self.queue.schedule(at, event);
     }
 
@@ -56,6 +70,7 @@ impl<'a, E> Scheduler<'a, E> {
             "scheduling into the past: {at} < {}",
             self.now
         );
+        self.tracer.counter("engine.scheduled", 1);
         self.queue.schedule_with(at, prio, event);
     }
 
@@ -77,6 +92,18 @@ pub enum RunOutcome {
     EventBudgetExhausted,
     /// A handler requested an early stop.
     Stopped,
+}
+
+impl RunOutcome {
+    /// Stable snake_case label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunOutcome::Drained => "drained",
+            RunOutcome::HorizonReached => "horizon",
+            RunOutcome::EventBudgetExhausted => "budget",
+            RunOutcome::Stopped => "stopped",
+        }
+    }
 }
 
 /// Flow-control decision returned by event handlers.
@@ -179,6 +206,19 @@ impl<E> Engine<E> {
         self.run_intercepted(state, |_, _, _| Disposition::Deliver, handler)
     }
 
+    /// [`Engine::run`] with a tracer: the loop emits `engine_started` /
+    /// `engine_finished` events, an `engine` span, and per-dispatch
+    /// counters. With [`NoTrace`] this monomorphizes back to the plain
+    /// loop.
+    pub fn run_traced<S, T: Tracer>(
+        &mut self,
+        state: &mut S,
+        tracer: &mut T,
+        handler: impl FnMut(&mut S, &mut Scheduler<'_, E, T>, E) -> Control,
+    ) -> RunOutcome {
+        self.run_intercepted_traced(state, tracer, |_, _, _| Disposition::Deliver, handler)
+    }
+
     /// [`Engine::run`] with an injection seam: before each event reaches
     /// the handler, `intercept` may [`Disposition::Drop`] it (lossy link)
     /// or [`Disposition::Delay`] it (slow link, requeued at `now + d`).
@@ -188,30 +228,58 @@ impl<E> Engine<E> {
     pub fn run_intercepted<S>(
         &mut self,
         state: &mut S,
-        mut intercept: impl FnMut(&mut S, SimTime, &E) -> Disposition,
-        mut handler: impl FnMut(&mut S, &mut Scheduler<'_, E>, E) -> Control,
+        intercept: impl FnMut(&mut S, SimTime, &E) -> Disposition,
+        handler: impl FnMut(&mut S, &mut Scheduler<'_, E>, E) -> Control,
     ) -> RunOutcome {
-        loop {
+        self.run_intercepted_traced(state, &mut NoTrace, intercept, handler)
+    }
+
+    /// [`Engine::run_intercepted`] with a tracer. Interceptor verdicts
+    /// become `event_dropped` / `event_delayed` trace events, so fault
+    /// injection dispositions are visible in the trace without the fault
+    /// layer knowing about the tracer.
+    pub fn run_intercepted_traced<S, T: Tracer>(
+        &mut self,
+        state: &mut S,
+        tracer: &mut T,
+        mut intercept: impl FnMut(&mut S, SimTime, &E) -> Disposition,
+        mut handler: impl FnMut(&mut S, &mut Scheduler<'_, E, T>, E) -> Control,
+    ) -> RunOutcome {
+        tracer.span_enter(self.now.ticks(), SpanKind::Engine);
+        tracer.event(self.now.ticks(), TraceEventKind::EngineStarted);
+        let outcome = loop {
             match self.queue.peek_time() {
-                None => return RunOutcome::Drained,
-                Some(t) if t > self.horizon => return RunOutcome::HorizonReached,
+                None => break RunOutcome::Drained,
+                Some(t) if t > self.horizon => break RunOutcome::HorizonReached,
                 Some(_) => {}
             }
             if self.events_processed >= self.event_budget {
-                return RunOutcome::EventBudgetExhausted;
+                break RunOutcome::EventBudgetExhausted;
             }
             // The peek above saw an event; a racing-free single-threaded
             // queue cannot lose it, but drain gracefully rather than panic.
             let Some((at, event)) = self.queue.pop() else {
-                return RunOutcome::Drained;
+                break RunOutcome::Drained;
             };
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.events_processed += 1;
+            tracer.counter("engine.dispatched", 1);
             match intercept(state, self.now, &event) {
                 Disposition::Deliver => {}
-                Disposition::Drop => continue,
+                Disposition::Drop => {
+                    tracer.event(self.now.ticks(), TraceEventKind::EventDropped);
+                    tracer.counter("engine.dropped", 1);
+                    continue;
+                }
                 Disposition::Delay(d) if !d.is_zero() => {
+                    tracer.event(
+                        self.now.ticks(),
+                        TraceEventKind::EventDelayed {
+                            delay_us: d.ticks(),
+                        },
+                    );
+                    tracer.counter("engine.delayed", 1);
                     self.queue.schedule(self.now + d, event);
                     continue;
                 }
@@ -220,11 +288,21 @@ impl<E> Engine<E> {
             let mut sched = Scheduler {
                 now: self.now,
                 queue: &mut self.queue,
+                tracer: &mut *tracer,
             };
             if handler(state, &mut sched, event) == Control::Stop {
-                return RunOutcome::Stopped;
+                break RunOutcome::Stopped;
             }
-        }
+        };
+        tracer.event(
+            self.now.ticks(),
+            TraceEventKind::EngineFinished {
+                outcome: outcome.label(),
+                events: self.events_processed,
+            },
+        );
+        tracer.span_exit(self.now.ticks(), SpanKind::Engine);
+        outcome
     }
 }
 
@@ -426,6 +504,106 @@ mod tests {
             *last = s.now();
             Control::Continue
         });
+    }
+
+    #[test]
+    fn traced_run_brackets_with_engine_lifecycle_events() {
+        use ecolb_trace::RingTracer;
+        let mut engine = Engine::new();
+        for i in 0..3 {
+            engine.schedule_at(SimTime::from_secs(i), Ev::Tick(i as u32));
+        }
+        let mut tracer = RingTracer::new();
+        let outcome = engine.run_traced(&mut (), &mut tracer, |_, s, _| {
+            s.tracer().counter("test.handled", 1);
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        let kinds: Vec<&'static str> = tracer.events().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "span_enter",
+                "engine_started",
+                "engine_finished",
+                "span_exit"
+            ]
+        );
+        assert_eq!(tracer.counter_value("engine.dispatched"), 3);
+        assert_eq!(tracer.counter_value("test.handled"), 3);
+        assert!(tracer.events().any(|e| e.kind
+            == TraceEventKind::EngineFinished {
+                outcome: "drained",
+                events: 3
+            }));
+    }
+
+    #[test]
+    fn traced_interception_records_dispositions() {
+        use ecolb_trace::RingTracer;
+        let mut engine = Engine::new();
+        for i in 0..4 {
+            engine.schedule_at(SimTime::from_secs(i), Ev::Tick(i as u32));
+        }
+        let mut tracer = RingTracer::new();
+        let mut seen = Vec::new();
+        let mut delayed_once = false;
+        engine.run_intercepted_traced(
+            &mut seen,
+            &mut tracer,
+            |_, _, ev| match ev {
+                Ev::Tick(1) => Disposition::Drop,
+                Ev::Tick(2) if !delayed_once => {
+                    delayed_once = true;
+                    Disposition::Delay(SimDuration::from_secs(5))
+                }
+                _ => Disposition::Deliver,
+            },
+            |seen: &mut Vec<u32>, _s, ev| {
+                if let Ev::Tick(i) = ev {
+                    seen.push(i);
+                }
+                Control::Continue
+            },
+        );
+        assert_eq!(seen, vec![0, 3, 2], "tick 2 requeued past tick 3");
+        assert_eq!(tracer.counter_value("engine.dropped"), 1);
+        assert_eq!(tracer.counter_value("engine.delayed"), 1);
+        assert!(tracer.events().any(|e| e.kind
+            == TraceEventKind::EventDelayed {
+                delay_us: 5_000_000
+            }));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        use ecolb_trace::RingTracer;
+        let mk = || {
+            let mut e = Engine::new();
+            e.schedule_at(SimTime::ZERO, Ev::Tick(0));
+            e
+        };
+        let mut plain = mk();
+        let plain_outcome = plain.run(&mut 0u32, |n, s, _| {
+            *n += 1;
+            if *n < 10 {
+                s.schedule_in(SimDuration::from_secs(1), Ev::Tick(*n));
+            }
+            Control::Continue
+        });
+        let mut traced = mk();
+        let mut rt = RingTracer::new();
+        let traced_outcome = traced.run_traced(&mut 0u32, &mut rt, |n, s, _| {
+            *n += 1;
+            if *n < 10 {
+                s.schedule_in(SimDuration::from_secs(1), Ev::Tick(*n));
+            }
+            Control::Continue
+        });
+        assert_eq!(plain_outcome, traced_outcome);
+        assert_eq!(plain.now(), traced.now());
+        assert_eq!(plain.events_processed(), traced.events_processed());
+        assert_eq!(rt.counter_value("engine.scheduled"), 9);
     }
 
     #[test]

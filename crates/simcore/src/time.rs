@@ -271,4 +271,11 @@ mod tests {
         assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(5));
         assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
     }
+
+    #[test]
+    fn tracer_tick_rate_agrees_with_engine() {
+        // ecolb-trace duplicates the tick rate so it can sit below this
+        // crate in the dependency graph; the duplication must not drift.
+        assert_eq!(ecolb_trace::TICKS_PER_SECOND, TICKS_PER_SECOND);
+    }
 }

@@ -1,0 +1,118 @@
+//! The sealed [`Tracer`] seam and its structural no-op implementation.
+//!
+//! Simulation code is generic over `T: Tracer` on hot paths (the engine
+//! run loop monomorphizes the [`NoTrace`] case away entirely) and takes
+//! `&mut dyn Tracer` on cold, once-per-interval paths. The trait is
+//! sealed: the only implementations are [`NoTrace`] here and
+//! [`RingTracer`](crate::RingTracer), so the "disabled tracing is a
+//! structural no-op" guarantee cannot be eroded from outside the crate.
+
+use crate::event::TraceEventKind;
+
+mod sealed {
+    /// Seals [`super::Tracer`]: only this crate can implement it.
+    pub trait Sealed {}
+    impl Sealed for super::NoTrace {}
+    impl Sealed for crate::ring::RingTracer {}
+}
+
+/// A span kind — a named region of simulated time whose duration is
+/// aggregated per kind by the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One full engine run (`Engine::run*` entry to exit).
+    Engine,
+    /// One reallocation interval (`Cluster::run_interval*`).
+    Interval,
+    /// One leader balance round within an interval.
+    Balance,
+}
+
+impl SpanKind {
+    /// Stable snake_case label used in events and span aggregates.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Engine => "engine",
+            SpanKind::Interval => "interval",
+            SpanKind::Balance => "balance",
+        }
+    }
+}
+
+/// The tracing seam. All methods take the current simulated time in
+/// ticks (microseconds) — implementations never consult a clock of
+/// their own, wall or simulated.
+pub trait Tracer: sealed::Sealed {
+    /// `true` if this tracer records anything. Callers may use this to
+    /// skip building event payloads that would only be thrown away.
+    fn enabled(&self) -> bool;
+
+    /// Records one structured event at the given simulated instant.
+    fn event(&mut self, at_ticks: u64, kind: TraceEventKind);
+
+    /// Opens a span of the given kind.
+    fn span_enter(&mut self, at_ticks: u64, span: SpanKind);
+
+    /// Closes the most recently opened span of the given kind.
+    fn span_exit(&mut self, at_ticks: u64, span: SpanKind);
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&mut self, name: &'static str, delta: u64);
+}
+
+/// The disabled tracer: a zero-sized type whose inlined empty methods
+/// compile to nothing. `Scheduler` defaults its tracer parameter to
+/// this, so pre-trace call sites build unchanged and pay nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoTrace;
+
+impl Tracer for NoTrace {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn event(&mut self, _at_ticks: u64, _kind: TraceEventKind) {}
+
+    #[inline(always)]
+    fn span_enter(&mut self, _at_ticks: u64, _span: SpanKind) {}
+
+    #[inline(always)]
+    fn span_exit(&mut self, _at_ticks: u64, _span: SpanKind) {}
+
+    #[inline(always)]
+    fn counter(&mut self, _name: &'static str, _delta: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_trace_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NoTrace>(), 0);
+        assert!(!NoTrace.enabled());
+    }
+
+    #[test]
+    fn no_trace_absorbs_all_calls() {
+        let mut t = NoTrace;
+        t.event(0, TraceEventKind::EngineStarted);
+        t.span_enter(0, SpanKind::Engine);
+        t.span_exit(5, SpanKind::Engine);
+        t.counter("engine.scheduled", 3);
+        assert_eq!(t, NoTrace);
+    }
+
+    #[test]
+    fn span_labels_are_distinct() {
+        let labels = [
+            SpanKind::Engine.label(),
+            SpanKind::Interval.label(),
+            SpanKind::Balance.label(),
+        ];
+        let unique: std::collections::BTreeSet<&str> = labels.iter().copied().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the streaming summaries the trace views lean on:
+//! `metrics::quantile` (P² estimator) and `metrics::histogram`. On the
+//! hermetic `proptest_lite` harness (seeded cases, no shrinking;
+//! failures print a replay seed).
+
+use ecolb_metrics::histogram::Histogram;
+use ecolb_metrics::quantile::P2Quantile;
+use ecolb_simcore::proptest_lite::check;
+
+/// P² estimates are bracketed by the observed data range, and the
+/// estimate is monotone in the target quantile over one fixed stream.
+#[test]
+fn p2_estimates_are_bracketed_and_monotone_in_q() {
+    check("p2_estimates_are_bracketed_and_monotone_in_q", |g| {
+        let xs = g.vec_f64(-50.0, 50.0, 5, 400);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+        let qs = [0.05, 0.25, 0.5, 0.75, 0.95];
+        let mut estimates = Vec::with_capacity(qs.len());
+        for &q in &qs {
+            let mut est = P2Quantile::new(q);
+            for &x in &xs {
+                est.push(x);
+            }
+            let e = est.estimate().expect("non-empty stream has an estimate");
+            assert!(
+                (lo..=hi).contains(&e),
+                "p{q}: estimate {e} escapes the data range [{lo}, {hi}]"
+            );
+            estimates.push(e);
+        }
+        for pair in estimates.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 1e-9,
+                "quantile estimates must be monotone in q: {estimates:?}"
+            );
+        }
+    });
+}
+
+/// The exact-phase contract: for fewer than five observations P² holds
+/// the whole sample, so the median estimate is exact.
+#[test]
+fn p2_small_samples_are_exact() {
+    check("p2_small_samples_are_exact", |g| {
+        let xs = g.vec_f64(-10.0, 10.0, 3, 4); // half-open length range: exactly 3
+        let mut est = P2Quantile::new(0.5);
+        for &x in &xs {
+            est.push(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let e = est.estimate().expect("three observations");
+        assert!(
+            (e - sorted[1]).abs() < 1e-12,
+            "median of 3 must be the middle element: {e} vs {sorted:?}"
+        );
+    });
+}
+
+/// Merging histograms conserves every count (per-bin, underflow,
+/// overflow and total) and is commutative.
+#[test]
+fn histogram_merge_is_commutative_and_conserves_counts() {
+    check("histogram_merge_is_commutative_and_conserves_counts", |g| {
+        let bins = g.usize_in(1, 32);
+        let a_xs = g.vec_f64(-2.0, 3.0, 0, 200);
+        let b_xs = g.vec_f64(-2.0, 3.0, 0, 200);
+        let fill = |xs: &[f64]| {
+            let mut h = Histogram::new(0.0, 1.0, bins);
+            for &x in xs {
+                h.record(x);
+            }
+            h
+        };
+        let (a, b) = (fill(&a_xs), fill(&b_xs));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        assert_eq!(ab.counts(), ba.counts(), "merge must be commutative");
+        assert_eq!(ab.underflow(), ba.underflow());
+        assert_eq!(ab.overflow(), ba.overflow());
+        assert_eq!(
+            ab.total(),
+            (a_xs.len() + b_xs.len()) as u64,
+            "every recorded observation lands in exactly one tally"
+        );
+        for i in 0..bins {
+            assert_eq!(ab.count(i), a.count(i) + b.count(i), "bin {i} conserved");
+        }
+        assert_eq!(ab.underflow(), a.underflow() + b.underflow());
+        assert_eq!(ab.overflow(), a.overflow() + b.overflow());
+    });
+}
+
+/// Merging is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c), bin for bin.
+#[test]
+fn histogram_merge_is_associative() {
+    check("histogram_merge_is_associative", |g| {
+        let bins = g.usize_in(1, 16);
+        let fill = |xs: &[f64]| {
+            let mut h = Histogram::new(-1.0, 2.0, bins);
+            for &x in xs {
+                h.record(x);
+            }
+            h
+        };
+        let a = fill(&g.vec_f64(-3.0, 4.0, 0, 100));
+        let b = fill(&g.vec_f64(-3.0, 4.0, 0, 100));
+        let c = fill(&g.vec_f64(-3.0, 4.0, 0, 100));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left.counts(), right.counts());
+        assert_eq!(left.underflow(), right.underflow());
+        assert_eq!(left.overflow(), right.overflow());
+        assert_eq!(left.total(), right.total());
+    });
+}
+
+/// Histogram quantiles are monotone in q and stay inside the bin range
+/// whenever at least one in-range observation exists.
+#[test]
+fn histogram_quantiles_are_monotone_in_q() {
+    check("histogram_quantiles_are_monotone_in_q", |g| {
+        let bins = g.usize_in(1, 24);
+        let xs = g.vec_f64(0.0, 1.0, 1, 300);
+        let mut h = Histogram::new(0.0, 1.0 + 1e-9, bins);
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = f64::from(i) / 10.0;
+            let v = h.quantile(q).expect("in-range observations give quantiles");
+            assert!(v >= prev - 1e-12, "q={q}: {v} < {prev}");
+            assert!((0.0..=1.0 + 1e-6).contains(&v), "q={q}: {v} out of range");
+            prev = v;
+        }
+    });
+}

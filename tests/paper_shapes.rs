@@ -167,3 +167,51 @@ fn energy_managed_cluster_beats_always_on_at_low_load() {
         cell.report.savings_fraction()
     );
 }
+
+#[test]
+fn table1_embeds_all_21_koomey_values() {
+    // The paper's Table 1 (Koomey's server-power survey): three server
+    // classes across 2000–2006. Pin every one of the 21 embedded watt
+    // figures, not just the corners — a silent edit to any cell would
+    // skew the Table 1 reproduction and the power-trend fits built on it.
+    use ecolb::experiments::table1_rows;
+
+    let expected: [(&str, [f64; 7]); 3] = [
+        ("Vol", [186.0, 193.0, 200.0, 207.0, 213.0, 219.0, 225.0]),
+        ("Mid", [424.0, 457.0, 491.0, 524.0, 574.0, 625.0, 675.0]),
+        (
+            "High",
+            [5534.0, 5832.0, 6130.0, 6428.0, 6973.0, 7651.0, 8163.0],
+        ),
+    ];
+    let rows = table1_rows();
+    assert_eq!(rows.len(), 3, "three server classes");
+    for ((label, watts), row) in expected.iter().zip(&rows) {
+        assert_eq!(&row.0, label);
+        assert_eq!(row.1.len(), 7, "{label}: seven years, 2000–2006");
+        for (year_idx, (&want, &got)) in watts.iter().zip(&row.1).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "{label} year {}: {got} W != {want} W",
+                2000 + year_idx
+            );
+        }
+    }
+}
+
+#[test]
+fn eq13_reference_to_optimal_energy_ratio_is_2_25() {
+    // Eq. 13's worked example: with the paper's `a_avg`/`b_avg` the
+    // always-on reference cluster burns 2.2500× the energy of the
+    // optimally-managed one. This is a closed-form figure, so pin it to
+    // full precision rather than a band.
+    use ecolb::experiments::homogeneous_paper_point;
+
+    let p = homogeneous_paper_point();
+    assert!(
+        (p.ratio - 2.25).abs() < 1e-12,
+        "E_ref/E_opt = {:.6}, expected 2.2500",
+        p.ratio
+    );
+}
