@@ -359,6 +359,94 @@ pub fn render_all(opts: &HarnessOptions) -> String {
     out
 }
 
+/// Paired overhead measurement for the perf smokes.
+///
+/// The rounds interleave baseline and candidate, so both legs sample
+/// the same span of host time — timing the two as separate batched
+/// loops lets a host-speed drift between the batches bias the ratio in
+/// either direction (single-core CI runners swing ±10 %). The asserted
+/// statistic ([`PairedOverhead::robust_overhead`]) is the smaller of
+/// two independent estimates — the ratio of the interleaved minima and
+/// the median of per-round ratios. A real regression inflates every
+/// candidate round, so both estimates read high together; host noise
+/// (steal windows, frequency drift) corrupts them in different
+/// directions, so taking the minimum keeps a noisy window from failing
+/// the budget while a genuine slowdown still cannot hide.
+pub struct PairedOverhead {
+    /// Best-of-N baseline wall-clock, seconds.
+    pub baseline_seconds: f64,
+    /// Best-of-N candidate wall-clock, seconds.
+    pub candidate_seconds: f64,
+    /// `candidate_seconds / baseline_seconds - 1` (interleaved minima).
+    pub overhead: f64,
+    /// Median over rounds of `candidate/baseline - 1`.
+    pub median_overhead: f64,
+}
+
+impl PairedOverhead {
+    /// The statistic the perf smokes assert against their budget: the
+    /// smaller of the minima-ratio and median-ratio estimates (see the
+    /// type-level docs for why the minimum is the noise-robust choice).
+    pub fn robust_overhead(&self) -> f64 {
+        self.overhead.min(self.median_overhead)
+    }
+}
+
+/// Measures [`PairedOverhead`] over `rounds` interleaved rounds, seeding
+/// round `i` with `base_seed + i` (one unseeded warm-up per leg first).
+pub fn paired_overhead<A, B>(
+    rounds: u32,
+    base_seed: u64,
+    mut baseline: impl FnMut(u64) -> A,
+    mut candidate: impl FnMut(u64) -> B,
+) -> PairedOverhead {
+    use std::hint::black_box;
+    use std::time::Instant;
+    let _ = black_box(baseline(base_seed)); // warm-up, both paths
+    let _ = black_box(candidate(base_seed));
+    let mut best_base = f64::INFINITY;
+    let mut best_cand = f64::INFINITY;
+    let mut ratios: Vec<f64> = Vec::with_capacity(rounds.max(1) as usize);
+    for i in 0..rounds.max(1) {
+        let seed = base_seed + u64::from(i);
+        let start = Instant::now();
+        black_box(baseline(seed));
+        let base_s = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        black_box(candidate(seed));
+        let cand_s = start.elapsed().as_secs_f64();
+        best_base = best_base.min(base_s);
+        best_cand = best_cand.min(cand_s);
+        if base_s > 0.0 {
+            ratios.push(cand_s / base_s);
+        }
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median_overhead = match ratios.as_slice() {
+        [] => 0.0,
+        rs => {
+            let mid = rs.len() / 2;
+            let median = if rs.len() % 2 == 1 {
+                rs[mid]
+            } else {
+                (rs[mid - 1] + rs[mid]) / 2.0
+            };
+            median - 1.0
+        }
+    };
+    let overhead = if best_base > 0.0 && best_base.is_finite() {
+        best_cand / best_base - 1.0
+    } else {
+        0.0
+    };
+    PairedOverhead {
+        baseline_seconds: best_base,
+        candidate_seconds: best_cand,
+        overhead,
+        median_overhead,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +488,32 @@ mod tests {
         let par = run_matrix_parallel(3, &[40], 5);
         let ser = ecolb::experiments::run_matrix(3, &[40], 5);
         assert_eq!(par, ser, "thread fan-out must not change results");
+    }
+
+    #[test]
+    fn paired_overhead_median_is_robust_to_one_outlier() {
+        // Candidate does ~2x the baseline's work every round; one noisy
+        // round cannot drag the median ratio to an extreme.
+        let work = |iters: u64| {
+            let mut acc = 0u64;
+            for i in 0..iters {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let p = paired_overhead(5, 1, |_| work(200_000), |_| work(400_000));
+        assert!(
+            p.robust_overhead() > 0.2,
+            "overhead {} not clearly positive",
+            p.robust_overhead()
+        );
+        assert!(p.baseline_seconds.is_finite() && p.candidate_seconds.is_finite());
+        let same = paired_overhead(5, 1, |_| work(200_000), |_| work(200_000));
+        assert!(
+            same.robust_overhead().abs() < 0.5,
+            "identical work measured {}% apart",
+            same.robust_overhead() * 100.0
+        );
     }
 
     #[test]

@@ -12,54 +12,40 @@
 //! cargo test -p ecolb-bench --release -- --ignored perf_faults
 //! ```
 
-use ecolb_bench::DEFAULT_SEED;
+use ecolb_bench::{paired_overhead, DEFAULT_SEED};
 use ecolb_cluster::cluster::ClusterConfig;
 use ecolb_cluster::sim::TimedClusterSim;
 use ecolb_faults::{FaultPlan, FaultyClusterSim};
 use ecolb_metrics::report::Report;
 use ecolb_workload::generator::WorkloadSpec;
-use std::hint::black_box;
-use std::time::Instant;
 
 const SIZE: usize = 400;
 const INTERVALS: u64 = 40;
-const ROUNDS: u32 = 5;
+const ROUNDS: u32 = 9;
 
 fn config() -> ClusterConfig {
     ClusterConfig::paper(SIZE, WorkloadSpec::paper_low_load())
 }
 
-/// Best-of-N wall-clock for `f`, seconds. Minimum (not mean) is the
-/// right statistic for an overhead ratio: it strips scheduler noise,
-/// which only ever adds time.
-fn best_of<R>(rounds: u32, mut f: impl FnMut(u64) -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    let _ = f(DEFAULT_SEED); // warm-up
-    for i in 0..rounds {
-        let seed = DEFAULT_SEED + u64::from(i);
-        let start = Instant::now();
-        black_box(f(seed));
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
-}
-
 #[test]
 #[ignore = "perf smoke"]
 fn perf_faults_empty_plan_overhead() {
-    let plain_s = best_of(ROUNDS, |seed| {
-        TimedClusterSim::new(config(), seed, INTERVALS).run()
-    });
-    let hooked_s = best_of(ROUNDS, |seed| {
-        FaultyClusterSim::new(config(), seed, INTERVALS, FaultPlan::empty(seed)).run()
-    });
-    let overhead = hooked_s / plain_s - 1.0;
+    let measured = paired_overhead(
+        ROUNDS,
+        DEFAULT_SEED,
+        |seed| TimedClusterSim::new(config(), seed, INTERVALS).run(),
+        |seed| FaultyClusterSim::new(config(), seed, INTERVALS, FaultPlan::empty(seed)).run(),
+    );
+    let (plain_s, hooked_s) = (measured.baseline_seconds, measured.candidate_seconds);
+    let overhead = measured.robust_overhead();
     println!(
         "perf faults/empty-plan: plain {:.3} ms, hooked {:.3} ms, overhead {:+.2}% \
-         (target < 2%, budget < 5%)",
+         (minima {:+.2}%, median {:+.2}%; target < 2%, budget < 5%)",
         plain_s * 1e3,
         hooked_s * 1e3,
-        overhead * 100.0
+        overhead * 100.0,
+        measured.overhead * 100.0,
+        measured.median_overhead * 100.0
     );
 
     let mut report = Report::new("BENCH_faults", DEFAULT_SEED);
@@ -67,6 +53,8 @@ fn perf_faults_empty_plan_overhead() {
         .scalar("plain_seconds", plain_s)
         .scalar("hooked_seconds", hooked_s)
         .scalar("overhead_fraction", overhead)
+        .scalar("minima_overhead_fraction", measured.overhead)
+        .scalar("median_overhead_fraction", measured.median_overhead)
         .scalar("size", SIZE as f64)
         .scalar("intervals", INTERVALS as f64)
         .scalar("rounds", f64::from(ROUNDS));

@@ -1,0 +1,269 @@
+//! The fault-plan fuzzer: `(seed, plan index, scenario)` → [`FaultPlan`].
+//!
+//! Generation follows the same keyed-stream discipline as the fault layer
+//! itself: every stochastic choice is drawn from a stream keyed by the
+//! plan's own seed, a [`FaultKind`] tag and a server id, so plans are
+//! fully reproducible from their triple and no family's draws perturb
+//! another's. A scenario's single `intensity` knob in `[0, 1]` scales
+//! every family at once — the sweep walks an intensity grid from "nothing
+//! ever fails" to "a third of the cluster crashes while links drop and
+//! delay messages and wake transitions fail".
+
+use ecolb_cluster::cluster::ClusterConfig;
+use ecolb_cluster::server::ServerId;
+use ecolb_faults::plan::{fault_stream, FaultKind, FaultPlan};
+use ecolb_metrics::json::{ObjectWriter, ToJson};
+use ecolb_simcore::rng::splitmix64;
+use ecolb_simcore::time::{SimDuration, SimTime};
+use ecolb_workload::generator::WorkloadSpec;
+
+/// Per-unit-intensity probability that a given server crashes.
+const CRASH_PROB_SCALE: f64 = 0.35;
+/// Per-unit-intensity probability of a leader-targeted crash.
+const LEADER_CRASH_SCALE: f64 = 0.6;
+/// Per-unit-intensity per-report message-loss probability.
+const MESSAGE_LOSS_SCALE: f64 = 0.05;
+/// Per-unit-intensity per-transfer message-delay probability (capped
+/// below 1: a delayed transfer faces the lossy link again).
+const MESSAGE_DELAY_SCALE: f64 = 0.3;
+/// Per-unit-intensity wake-transition failure probability.
+const WAKE_FAILURE_SCALE: f64 = 0.2;
+
+/// The shape of one chaos experiment: cluster size, run length and how
+/// hard the fuzzer leans on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosScenario {
+    /// Servers in the simulated cluster.
+    pub n_servers: usize,
+    /// Reallocation intervals to simulate.
+    pub intervals: u64,
+    /// Fault intensity in `[0, 1]`. At `0` the generated plan is
+    /// [`FaultPlan::empty`] and generation makes **zero** RNG draws — the
+    /// run must be byte-identical to the fault-free simulation.
+    pub intensity: f64,
+}
+
+impl ChaosScenario {
+    /// A scenario over the paper's low-load cluster configuration.
+    pub fn new(n_servers: usize, intervals: u64, intensity: f64) -> Self {
+        ChaosScenario {
+            n_servers,
+            intervals,
+            intensity,
+        }
+    }
+
+    /// The cluster configuration every chaos run uses: the paper's
+    /// parameters with the low-load workload. Deriving it from the
+    /// scenario (rather than storing it) keeps reproducer artifacts
+    /// self-contained — `(seed, scenario)` rebuilds the exact run.
+    pub fn config(&self) -> ClusterConfig {
+        ClusterConfig::paper(self.n_servers, WorkloadSpec::paper_low_load())
+    }
+
+    /// The reallocation interval τ of [`ChaosScenario::config`].
+    pub fn realloc_interval(&self) -> SimDuration {
+        self.config().realloc_interval
+    }
+
+    /// The simulated horizon: `intervals × τ`.
+    pub fn horizon(&self) -> SimDuration {
+        SimDuration::from_ticks(
+            self.realloc_interval()
+                .ticks()
+                .saturating_mul(self.intervals),
+        )
+    }
+}
+
+impl ToJson for ChaosScenario {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("n_servers", &(self.n_servers as u64))
+            .field("intervals", &self.intervals)
+            .field("intensity", &self.intensity)
+            .finish();
+    }
+}
+
+/// An evenly spaced intensity grid over `[0, 1]` with `steps + 1` points
+/// (so `intensity_grid(4)` is `[0, 0.25, 0.5, 0.75, 1]`). `steps = 0`
+/// collapses to the single point `[0]`.
+pub fn intensity_grid(steps: usize) -> Vec<f64> {
+    if steps == 0 {
+        return vec![0.0];
+    }
+    (0..=steps).map(|i| i as f64 / steps as f64).collect()
+}
+
+/// Derives the seed of plan `index` under sweep seed `seed`. Folded
+/// through SplitMix64 so adjacent indices land in unrelated stream
+/// states — the same discipline as [`fault_stream`].
+pub fn plan_seed(seed: u64, index: u64) -> u64 {
+    let mut state = seed;
+    let a = splitmix64(&mut state);
+    state ^= index.rotate_left(17);
+    let b = splitmix64(&mut state);
+    a ^ b.rotate_left(21)
+}
+
+/// Expands `(seed, index, scenario)` into a concrete [`FaultPlan`].
+///
+/// At `intensity ≤ 0` this returns [`FaultPlan::empty`] without
+/// constructing a single RNG stream: the no-op contract is structural,
+/// not statistical. Otherwise each fault family draws from its own keyed
+/// stream of the plan seed:
+///
+/// * **Crash bursts** — each server independently crashes with
+///   probability `0.35·intensity` at a uniform instant in the horizon;
+///   half the crashes (an independent coin of the same stream) are
+///   crash-recover with a repair time of τ plus a uniform draw below
+///   half the horizon, the rest are crash-stop.
+/// * **Leader-targeted crash** — with probability `0.6·intensity` the
+///   current leader host crashes mid-run, exercising failover.
+/// * **Link faults** — report loss (`0.05·intensity`), migration delay
+///   (`0.3·intensity`, uniform extra latency below τ/2) and wake
+///   failures (`0.2·intensity`) are enabled as plan probabilities; their
+///   per-event draws happen inside the injector's own keyed streams.
+pub fn generate_plan(seed: u64, index: u64, scenario: &ChaosScenario) -> FaultPlan {
+    let ps = plan_seed(seed, index);
+    if scenario.intensity <= 0.0 {
+        return FaultPlan::empty(ps);
+    }
+    let intensity = scenario.intensity.min(1.0);
+    let tau = scenario.realloc_interval();
+    let horizon = scenario.horizon().ticks().max(1);
+
+    let mut plan = FaultPlan::empty(ps)
+        .with_message_loss((MESSAGE_LOSS_SCALE * intensity).min(1.0))
+        .with_message_delay(
+            (MESSAGE_DELAY_SCALE * intensity).min(0.9),
+            SimDuration::from_ticks(tau.ticks() / 2),
+        )
+        .with_wake_failures((WAKE_FAILURE_SCALE * intensity).min(1.0));
+
+    let crash_prob = (CRASH_PROB_SCALE * intensity).min(1.0);
+    for i in 0..scenario.n_servers {
+        let id = ServerId(i as u32);
+        let mut rng = fault_stream(ps, FaultKind::ServerCrash, id);
+        if rng.chance(crash_prob) {
+            let at = SimTime::from_ticks(rng.uniform_u64(horizon));
+            let recover = if rng.chance(0.5) {
+                Some(SimDuration::from_ticks(
+                    tau.ticks()
+                        .saturating_add(rng.uniform_u64((horizon / 2).max(1))),
+                ))
+            } else {
+                None
+            };
+            plan = plan.with_server_crash(at, id, recover);
+        }
+    }
+
+    let mut leader_rng = fault_stream(ps, FaultKind::LeaderCrash, ServerId(u32::MAX));
+    if leader_rng.chance((LEADER_CRASH_SCALE * intensity).min(1.0)) {
+        let at = SimTime::from_ticks(leader_rng.uniform_u64(horizon));
+        let recover = if leader_rng.chance(0.5) {
+            Some(SimDuration::from_ticks(tau.ticks().saturating_add(
+                leader_rng.uniform_u64((horizon / 2).max(1)),
+            )))
+        } else {
+            None
+        };
+        plan = plan.with_leader_crash(at, recover);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecolb_faults::plan::FaultEventKind;
+
+    #[test]
+    fn zero_intensity_generates_the_empty_plan_without_streams() {
+        let scenario = ChaosScenario::new(40, 10, 0.0);
+        let plan = generate_plan(7, 3, &scenario);
+        assert!(plan.is_empty());
+        assert_eq!(plan, FaultPlan::empty(plan_seed(7, 3)));
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_triple() {
+        let scenario = ChaosScenario::new(40, 10, 0.8);
+        let a = generate_plan(11, 5, &scenario);
+        let b = generate_plan(11, 5, &scenario);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_plan(12, 5, &scenario));
+        assert_ne!(a, generate_plan(11, 6, &scenario));
+    }
+
+    #[test]
+    fn intensity_scales_the_fault_load() {
+        let n = 200;
+        let mild = ChaosScenario::new(n, 10, 0.1);
+        let harsh = ChaosScenario::new(n, 10, 1.0);
+        let count = |s: &ChaosScenario| -> usize {
+            (0..20).map(|i| generate_plan(3, i, s).events.len()).sum()
+        };
+        assert!(count(&harsh) > count(&mild));
+        let p = generate_plan(3, 0, &harsh);
+        assert!(p.message_loss_prob > 0.0);
+        assert!(p.message_delay_prob > 0.0);
+        assert!(p.wake_failure_prob > 0.0);
+    }
+
+    #[test]
+    fn crash_bursts_mix_stop_and_recover_and_respect_the_horizon() {
+        let scenario = ChaosScenario::new(300, 10, 1.0);
+        let horizon = scenario.horizon();
+        let mut stops = 0;
+        let mut recovers = 0;
+        for i in 0..5 {
+            let plan = generate_plan(99, i, &scenario);
+            for ev in &plan.events {
+                assert!(ev.at < SimTime::ZERO + horizon);
+                if let FaultEventKind::ServerCrash { recover_after, .. } = ev.kind {
+                    match recover_after {
+                        Some(d) => {
+                            recovers += 1;
+                            assert!(d >= scenario.realloc_interval());
+                        }
+                        None => stops += 1,
+                    }
+                }
+            }
+        }
+        assert!(stops > 0, "expected some crash-stop events");
+        assert!(recovers > 0, "expected some crash-recover events");
+    }
+
+    #[test]
+    fn leader_crashes_appear_at_high_intensity() {
+        let scenario = ChaosScenario::new(40, 10, 1.0);
+        let leader_crashes = (0..20)
+            .filter(|&i| {
+                generate_plan(5, i, &scenario)
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, FaultEventKind::LeaderCrash { .. }))
+            })
+            .count();
+        assert!(leader_crashes > 0, "0.6 over 20 plans should hit");
+    }
+
+    #[test]
+    fn intensity_grid_is_inclusive_and_even() {
+        assert_eq!(intensity_grid(0), vec![0.0]);
+        assert_eq!(intensity_grid(4), vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn scenarios_serialize_to_stable_json() {
+        let s = ChaosScenario::new(30, 8, 0.75);
+        assert_eq!(
+            s.to_json(),
+            r#"{"n_servers":30,"intervals":8,"intensity":0.75}"#
+        );
+    }
+}

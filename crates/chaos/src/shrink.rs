@@ -1,0 +1,390 @@
+//! Delta-debugging shrinker: reduce a violating `(plan, scenario)` pair
+//! to a minimal reproducer.
+//!
+//! The oracle is a caller-supplied predicate — *does this candidate still
+//! violate?* — so the shrinker works for any failure signal: the real
+//! chaos harness, a deliberately buggy fixture in a test, or a predicate
+//! over a report. Reduction interleaves four rules to a fixpoint, each
+//! accepted only when the oracle still fires:
+//!
+//! 1. **Drop fault events** — greedy delta debugging over the event list
+//!    with geometrically shrinking chunks (halves first, then single
+//!    events).
+//! 2. **Simplify surviving events** — crash-recover becomes crash-stop
+//!    and server ids are renamed toward 0 (which is what lets rule 5
+//!    shrink the cluster underneath them).
+//! 3. **Zero stochastic families** — message loss, message delay and wake
+//!    failures are each tried at probability zero.
+//! 4. **Shorten the horizon** — halve the interval count.
+//! 5. **Shrink the cluster** — halve the server count, discarding events
+//!    that name servers outside the smaller cluster.
+//!
+//! Every oracle call is counted against a budget so a pathological oracle
+//! cannot hang the shrink; on exhaustion the best reproducer so far is
+//! returned.
+
+use crate::gen::ChaosScenario;
+use ecolb_cluster::server::ServerId;
+use ecolb_faults::plan::{FaultEventKind, FaultPlan};
+
+/// Smallest cluster the shrinker will try: one leader plus one peer.
+const MIN_SERVERS: usize = 2;
+
+/// The oracle signature: `true` when the candidate still reproduces the
+/// violation.
+pub type Oracle<'a> = dyn FnMut(&FaultPlan, &ChaosScenario) -> bool + 'a;
+
+/// What the shrinker produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkOutcome {
+    /// The minimised plan.
+    pub plan: FaultPlan,
+    /// The minimised scenario (possibly fewer intervals and servers than
+    /// the input).
+    pub scenario: ChaosScenario,
+    /// `false` when the *input* never violated — the input is returned
+    /// unchanged in that case and nothing was shrunk.
+    pub reproduced: bool,
+    /// Oracle invocations spent.
+    pub oracle_calls: u64,
+}
+
+/// Oracle wrapper that enforces the call budget. Once the budget is
+/// spent every candidate is reported as non-reproducing, which stalls
+/// all reduction rules and terminates the fixpoint loop.
+struct Budget<'a, 'b> {
+    oracle: &'a mut Oracle<'b>,
+    calls: u64,
+    max_calls: u64,
+}
+
+impl Budget<'_, '_> {
+    fn check(&mut self, plan: &FaultPlan, scenario: &ChaosScenario) -> bool {
+        if self.calls >= self.max_calls {
+            return false;
+        }
+        self.calls += 1;
+        (self.oracle)(plan, scenario)
+    }
+}
+
+/// Minimises a violating `(plan, scenario)` pair under `oracle`, spending
+/// at most `max_oracle_calls` oracle invocations (one is spent up front
+/// to confirm the input reproduces).
+pub fn shrink(
+    plan: &FaultPlan,
+    scenario: &ChaosScenario,
+    max_oracle_calls: u64,
+    oracle: &mut Oracle<'_>,
+) -> ShrinkOutcome {
+    let mut budget = Budget {
+        oracle,
+        calls: 0,
+        max_calls: max_oracle_calls.max(1),
+    };
+    if !budget.check(plan, scenario) {
+        return ShrinkOutcome {
+            plan: plan.clone(),
+            scenario: *scenario,
+            reproduced: false,
+            oracle_calls: budget.calls,
+        };
+    }
+
+    let mut best_plan = plan.clone();
+    let mut best_scenario = *scenario;
+    loop {
+        let mut changed = false;
+        changed |= drop_events(&mut budget, &mut best_plan, &best_scenario);
+        changed |= simplify_events(&mut budget, &mut best_plan, &best_scenario);
+        changed |= zero_probabilities(&mut budget, &mut best_plan, &best_scenario);
+        changed |= shorten_horizon(&mut budget, &best_plan, &mut best_scenario);
+        changed |= shrink_cluster(&mut budget, &mut best_plan, &mut best_scenario);
+        if !changed {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        plan: best_plan,
+        scenario: best_scenario,
+        reproduced: true,
+        oracle_calls: budget.calls,
+    }
+}
+
+/// Greedy delta debugging over the event list: try removing chunks, from
+/// half the list down to single events, restarting the granularity after
+/// any successful removal pass.
+fn drop_events(
+    budget: &mut Budget<'_, '_>,
+    plan: &mut FaultPlan,
+    scenario: &ChaosScenario,
+) -> bool {
+    let before = plan.events.len();
+    let mut chunk = (plan.events.len() / 2).max(1);
+    while !plan.events.is_empty() {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < plan.events.len() {
+            let end = (start + chunk).min(plan.events.len());
+            let mut candidate = plan.clone();
+            candidate.events.drain(start..end);
+            if budget.check(&candidate, scenario) {
+                *plan = candidate;
+                removed_any = true;
+                // Events shifted left into `start`; retry the same slot.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        chunk = if removed_any {
+            (plan.events.len() / 2).max(1)
+        } else {
+            (chunk / 2).max(1)
+        };
+    }
+    plan.events.len() < before
+}
+
+/// Simplifies the surviving events in place: crash-recover is tried as
+/// plain crash-stop, and server ids are renamed toward 0. Renaming looks
+/// odd for a *reducer*, but it is what makes the cluster-shrinking rule
+/// effective: a lone crash of server 17 pins the cluster at 18 hosts,
+/// while the same crash renamed to server 0 lets it collapse to the
+/// minimum.
+fn simplify_events(
+    budget: &mut Budget<'_, '_>,
+    plan: &mut FaultPlan,
+    scenario: &ChaosScenario,
+) -> bool {
+    let mut changed = false;
+    for i in 0..plan.events.len() {
+        if let FaultEventKind::ServerCrash {
+            server,
+            recover_after: Some(_),
+        } = plan.events[i].kind
+        {
+            let mut candidate = plan.clone();
+            candidate.events[i].kind = FaultEventKind::ServerCrash {
+                server,
+                recover_after: None,
+            };
+            if budget.check(&candidate, scenario) {
+                *plan = candidate;
+                changed = true;
+            }
+        }
+        let renamed = match plan.events[i].kind {
+            FaultEventKind::ServerCrash {
+                server,
+                recover_after,
+            } if server.0 > 0 => Some(FaultEventKind::ServerCrash {
+                server: ServerId(0),
+                recover_after,
+            }),
+            FaultEventKind::ServerRecover { server } if server.0 > 0 => {
+                Some(FaultEventKind::ServerRecover {
+                    server: ServerId(0),
+                })
+            }
+            _ => None,
+        };
+        if let Some(kind) = renamed {
+            let mut candidate = plan.clone();
+            candidate.events[i].kind = kind;
+            if budget.check(&candidate, scenario) {
+                *plan = candidate;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Tries each stochastic family at probability zero.
+fn zero_probabilities(
+    budget: &mut Budget<'_, '_>,
+    plan: &mut FaultPlan,
+    scenario: &ChaosScenario,
+) -> bool {
+    let mut changed = false;
+    if plan.message_loss_prob > 0.0 {
+        let mut candidate = plan.clone();
+        candidate.message_loss_prob = 0.0;
+        if budget.check(&candidate, scenario) {
+            *plan = candidate;
+            changed = true;
+        }
+    }
+    if plan.message_delay_prob > 0.0 {
+        let mut candidate = plan.clone();
+        candidate.message_delay_prob = 0.0;
+        candidate.max_message_delay = ecolb_simcore::time::SimDuration::ZERO;
+        if budget.check(&candidate, scenario) {
+            *plan = candidate;
+            changed = true;
+        }
+    }
+    if plan.wake_failure_prob > 0.0 {
+        let mut candidate = plan.clone();
+        candidate.wake_failure_prob = 0.0;
+        if budget.check(&candidate, scenario) {
+            *plan = candidate;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Repeatedly halves the interval count while the oracle still fires.
+fn shorten_horizon(
+    budget: &mut Budget<'_, '_>,
+    plan: &FaultPlan,
+    scenario: &mut ChaosScenario,
+) -> bool {
+    let before = scenario.intervals;
+    while scenario.intervals > 1 {
+        let mut candidate = *scenario;
+        candidate.intervals = (scenario.intervals / 2).max(1);
+        if budget.check(plan, &candidate) {
+            *scenario = candidate;
+        } else {
+            break;
+        }
+    }
+    scenario.intervals < before
+}
+
+/// Repeatedly halves the server count, dropping events that name servers
+/// outside the smaller cluster, while the oracle still fires.
+fn shrink_cluster(
+    budget: &mut Budget<'_, '_>,
+    plan: &mut FaultPlan,
+    scenario: &mut ChaosScenario,
+) -> bool {
+    let before = scenario.n_servers;
+    while scenario.n_servers > MIN_SERVERS {
+        let mut smaller = *scenario;
+        smaller.n_servers = (scenario.n_servers / 2).max(MIN_SERVERS);
+        let mut candidate = plan.clone();
+        candidate.events.retain(|ev| match ev.kind {
+            FaultEventKind::ServerCrash { server, .. }
+            | FaultEventKind::ServerRecover { server } => (server.0 as usize) < smaller.n_servers,
+            FaultEventKind::LeaderCrash { .. } => true,
+        });
+        if budget.check(&candidate, &smaller) {
+            *plan = candidate;
+            *scenario = smaller;
+        } else {
+            break;
+        }
+    }
+    scenario.n_servers < before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecolb_cluster::server::ServerId;
+    use ecolb_simcore::time::{SimDuration, SimTime};
+
+    fn noisy_plan() -> FaultPlan {
+        let mut p = FaultPlan::empty(9)
+            .with_message_loss(0.2)
+            .with_message_delay(0.3, SimDuration::from_secs(60))
+            .with_wake_failures(0.4)
+            .with_leader_crash(SimTime::from_secs(700), None);
+        for i in 0..12 {
+            p = p.with_server_crash(SimTime::from_secs(100 * (i + 1)), ServerId(i as u32), None);
+        }
+        p
+    }
+
+    fn has_crash_of(plan: &FaultPlan, server: u32) -> bool {
+        plan.events.iter().any(
+            |e| matches!(e.kind, FaultEventKind::ServerCrash { server: s, .. } if s.0 == server),
+        )
+    }
+
+    #[test]
+    fn shrinks_to_the_single_relevant_event() {
+        // Oracle: "fails" whenever server 3's crash is in the plan.
+        let scenario = ChaosScenario::new(64, 16, 0.9);
+        let mut oracle = |p: &FaultPlan, _s: &ChaosScenario| has_crash_of(p, 3);
+        let out = shrink(&noisy_plan(), &scenario, 1_000, &mut oracle);
+        assert!(out.reproduced);
+        assert_eq!(out.plan.events.len(), 1, "events: {:?}", out.plan.events);
+        assert!(has_crash_of(&out.plan, 3));
+        assert_eq!(out.plan.message_loss_prob, 0.0);
+        assert_eq!(out.plan.message_delay_prob, 0.0);
+        assert_eq!(out.plan.wake_failure_prob, 0.0);
+        assert_eq!(out.scenario.intervals, 1);
+        // Server 3 must survive the cluster shrink: 64 → 4 keeps id 3.
+        assert!(out.scenario.n_servers <= 4);
+        assert!(out.scenario.n_servers > 3);
+    }
+
+    #[test]
+    fn non_reproducing_input_is_returned_unchanged() {
+        let scenario = ChaosScenario::new(16, 8, 0.5);
+        let plan = noisy_plan();
+        let mut oracle = |_: &FaultPlan, _: &ChaosScenario| false;
+        let out = shrink(&plan, &scenario, 100, &mut oracle);
+        assert!(!out.reproduced);
+        assert_eq!(out.plan, plan);
+        assert_eq!(out.scenario, scenario);
+        assert_eq!(out.oracle_calls, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_terminates_with_a_valid_reproducer() {
+        let scenario = ChaosScenario::new(64, 16, 0.9);
+        let mut oracle = |p: &FaultPlan, _s: &ChaosScenario| has_crash_of(p, 3);
+        // A tiny budget: the shrink must stop early but still reproduce.
+        let out = shrink(&noisy_plan(), &scenario, 5, &mut oracle);
+        assert!(out.reproduced);
+        assert!(out.oracle_calls <= 5);
+        assert!(has_crash_of(&out.plan, 3));
+    }
+
+    #[test]
+    fn oracle_over_event_count_keeps_a_minimal_pair() {
+        // Needs *two* events of any kind — exercises chunked removal
+        // paths that cannot go all the way to one.
+        let scenario = ChaosScenario::new(32, 8, 0.9);
+        let mut oracle = |p: &FaultPlan, _s: &ChaosScenario| p.events.len() >= 2;
+        let out = shrink(&noisy_plan(), &scenario, 1_000, &mut oracle);
+        assert!(out.reproduced);
+        assert_eq!(out.plan.events.len(), 2);
+    }
+
+    #[test]
+    fn events_touching_dropped_servers_are_filtered_on_cluster_shrink() {
+        let scenario = ChaosScenario::new(64, 8, 0.9);
+        // Reproduces regardless of events: pure scenario-size oracle.
+        let mut oracle = |_: &FaultPlan, s: &ChaosScenario| s.n_servers >= 2;
+        let out = shrink(&noisy_plan(), &scenario, 1_000, &mut oracle);
+        assert!(out.reproduced);
+        assert_eq!(out.scenario.n_servers, MIN_SERVERS);
+        for ev in &out.plan.events {
+            if let FaultEventKind::ServerCrash { server, .. } = ev.kind {
+                assert!((server.0 as usize) < MIN_SERVERS);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_event_list_shrinks_without_panicking() {
+        let scenario = ChaosScenario::new(8, 4, 0.5);
+        let plan = FaultPlan::empty(1).with_message_loss(0.5);
+        let mut oracle = |p: &FaultPlan, _: &ChaosScenario| p.message_loss_prob > 0.0;
+        let out = shrink(&plan, &scenario, 100, &mut oracle);
+        assert!(out.reproduced);
+        assert!(out.plan.events.is_empty());
+        assert!(out.plan.message_loss_prob > 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Regression-corpus replay: every shrunk reproducer ever committed
+//! under `tests/regressions/` is parsed and re-run against the *real*
+//! simulation on every `cargo test`.
+//!
+//! Each corpus file is a minimal fault schedule that once exposed an
+//! invariant violation (see `shrinker_validation.rs` for how one is
+//! produced and blessed). On a healthy tree the replay must be clean —
+//! a reappearing violation means the bug the reproducer was shrunk from
+//! has crept back in.
+
+use ecolb_chaos::{run_plan, ReproArtifact};
+use std::path::PathBuf;
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir("tests/regressions")
+        .expect("corpus directory tests/regressions must exist")
+        .map(|entry| entry.expect("read corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn regression_corpus_replays_clean() {
+    let files = corpus_files();
+    assert!(
+        !files.is_empty(),
+        "the corpus must hold at least one reproducer"
+    );
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("read corpus file");
+        let artifact = ReproArtifact::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: unparseable corpus file: {e}", path.display()));
+        let outcome = run_plan(&artifact.scenario, &artifact.plan);
+        assert!(
+            outcome.ok(),
+            "{}: invariant `{}` violated again at intensity-shrunk scale \
+             (seed {}, {} servers, {} intervals): {:?}",
+            path.display(),
+            artifact.invariant,
+            artifact.plan.seed,
+            artifact.scenario.n_servers,
+            artifact.scenario.intervals,
+            outcome.violations
+        );
+        assert!(
+            outcome.digests_checked >= 1,
+            "{}: replay checked no digests",
+            path.display()
+        );
+    }
+}

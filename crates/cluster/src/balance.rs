@@ -175,29 +175,30 @@ pub fn cluster_load_fraction(servers: &[Server]) -> f64 {
 
 /// Moves `app` from `from` to `to`, updating loads and counters; the move
 /// is applied instantaneously (the timed variant lives in the event-driven
-/// simulation layer, which replays the same records with delays).
+/// simulation layer, which replays the same records with delays). `None`
+/// if `from` no longer hosts `app` — callers treat that as "nothing to
+/// move" and the chaos invariant checker would flag any VM imbalance it
+/// caused.
 fn commit_migration(
     servers: &mut [Server],
     from: ServerId,
     to: ServerId,
     app: AppId,
     model: &MigrationCostModel,
-) -> MigrationRecord {
-    let application = servers[from.index()]
-        .take_app(app)
-        .unwrap_or_else(|| panic!("{from} does not host {app}"));
+) -> Option<MigrationRecord> {
+    let application = servers[from.index()].take_app(app)?;
     let demand = application.demand;
     let cost = model.cost_of(&application);
     servers[from.index()].migrations_out += 1;
     servers[to.index()].migrations_in += 1;
     servers[to.index()].place_app(application);
-    MigrationRecord {
+    Some(MigrationRecord {
         from,
         to,
         app,
         demand,
         cost,
-    }
+    })
 }
 
 /// Truncates a partner list to the configured negotiation budget.
@@ -338,12 +339,15 @@ fn shed_phase(
                         continue;
                     }
                     if rx_srv.load() + demand <= config.shed_fill.ceiling(rx_srv) + EPS {
-                        let rec = commit_migration(servers, donor, rx, app, migration_model);
-                        trace_migration(tracer, now, &rec);
-                        outcome.migrations.push(rec);
-                        ledger.record(DecisionKind::InClusterHorizontal);
-                        moved = true;
-                        moves += 1;
+                        if let Some(rec) =
+                            commit_migration(servers, donor, rx, app, migration_model)
+                        {
+                            trace_migration(tracer, now, &rec);
+                            outcome.migrations.push(rec);
+                            ledger.record(DecisionKind::InClusterHorizontal);
+                            moved = true;
+                            moves += 1;
+                        }
                         break 'apps;
                     }
                 }
@@ -435,9 +439,10 @@ fn drain_phase(
                     .filter(|a| cand_srv.load() + a.demand <= ceiling + EPS)
                     .max_by(|x, y| x.demand.total_cmp(&y.demand))
                     .map(|a| a.id);
-                match pick {
-                    Some(app) => {
-                        let rec = commit_migration(servers, donor, cand, app, migration_model);
+                match pick
+                    .and_then(|app| commit_migration(servers, donor, cand, app, migration_model))
+                {
+                    Some(rec) => {
                         trace_migration(tracer, now, &rec);
                         outcome.migrations.push(rec);
                         ledger.record(DecisionKind::InClusterHorizontal);
@@ -499,9 +504,10 @@ fn drain_phase(
                     }
                 }
             }
-            match placed {
-                Some((app, rx)) => {
-                    let rec = commit_migration(servers, cand, rx, app, migration_model);
+            match placed
+                .and_then(|(app, rx)| commit_migration(servers, cand, rx, app, migration_model))
+            {
+                Some(rec) => {
                     trace_migration(tracer, now, &rec);
                     outcome.migrations.push(rec);
                     ledger.record(DecisionKind::InClusterHorizontal);
@@ -574,11 +580,16 @@ fn wake_phase(
 /// Per-interval reporting sweep through the fault hooks: every server's
 /// report makes up to `retry.max_attempts` delivery attempts with
 /// exponential backoff; a report that exhausts its budget leaves the
-/// leader's previous directory entry stale until the next sweep.
+/// leader's previous directory entry stale until the next sweep. The
+/// exhaustion is no longer silent: it counts toward
+/// `RecoveryStats::reports_abandoned` (surfaced as the degradation
+/// summary's `lost_reports`) and emits a `report_retries_exhausted`
+/// trace event.
 fn report_sweep_with_hooks(
     servers: &[Server],
     leader: &mut Leader,
     retry: &RetryPolicy,
+    now: SimTime,
     hooks: &mut dyn FaultHooks,
     stats: &mut RecoveryStats,
     tracer: &mut dyn Tracer,
@@ -602,6 +613,13 @@ fn report_sweep_with_hooks(
         }
         if !delivered {
             stats.reports_abandoned += 1;
+            tracer.event(
+                now.ticks(),
+                TraceEventKind::ReportRetriesExhausted {
+                    server: s.id().0,
+                    attempts: retry.max_attempts.max(1),
+                },
+            );
         }
     }
 }
@@ -692,7 +710,7 @@ pub fn balance_round_traced(
             }
         }
     }
-    report_sweep_with_hooks(servers, leader, &config.retry, hooks, stats, tracer);
+    report_sweep_with_hooks(servers, leader, &config.retry, now, hooks, stats, tracer);
     let mut outcome = BalanceOutcome::default();
     if !config.enabled {
         tracer.span_exit(now.ticks(), SpanKind::Balance);

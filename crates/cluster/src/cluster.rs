@@ -185,6 +185,13 @@ pub struct Cluster {
     recovery: RecoveryConfig,
     /// Recovery-protocol accounting (all zero in fault-free runs).
     recovery_stats: RecoveryStats,
+    /// VM-ledger counters behind the per-interval state digest, which
+    /// the chaos invariant checker balances against the id allocator:
+    /// `created + imported == hosted + retired + orphaned + exported`.
+    vms_retired: u64,
+    vms_orphaned: u64,
+    vms_imported: u64,
+    vms_exported: u64,
 }
 
 impl Cluster {
@@ -243,6 +250,10 @@ impl Cluster {
             missed_heartbeats: 0,
             recovery: RecoveryConfig::default(),
             recovery_stats: RecoveryStats::default(),
+            vms_retired: 0,
+            vms_orphaned: 0,
+            vms_imported: 0,
+            vms_exported: 0,
         }
     }
 
@@ -332,12 +343,14 @@ impl Cluster {
     pub fn take_app_for_federation(&mut self, server: ServerId, app: AppId) -> Option<Application> {
         let app = self.servers[server.index()].take_app(app)?;
         self.servers[server.index()].migrations_out += 1;
+        self.vms_exported += 1;
         Some(app)
     }
 
     /// Places an application delivered by the federation tier.
     pub fn place_app_for_federation(&mut self, server: ServerId, app: Application) {
         self.servers[server.index()].migrations_in += 1;
+        self.vms_imported += 1;
         self.servers[server.index()].place_app(app);
     }
 
@@ -541,12 +554,22 @@ impl Cluster {
                         let slot = pool
                             .iter_mut()
                             .find(|(id, room)| *id != ServerId(i as u32) && *room >= grown);
-                        match slot {
-                            Some((rx_id, room)) => {
-                                let rx = *rx_id;
-                                *room -= grown;
-                                let mut app =
-                                    self.servers[i].take_app(app_id).expect("app present");
+                        // Take the app before reserving receiver room so a
+                        // missing app degrades to a deferred decision
+                        // instead of leaking pool capacity.
+                        let taken = match slot {
+                            Some((rx_id, room)) => match self.servers[i].take_app(app_id) {
+                                Some(app) => {
+                                    let rx = *rx_id;
+                                    *room -= grown;
+                                    Some((rx, app))
+                                }
+                                None => None,
+                            },
+                            None => None,
+                        };
+                        match taken {
+                            Some((rx, mut app)) => {
                                 app.demand = grown;
                                 let cost = self.config.migration.cost_of(&app);
                                 self.migration_energy_j += cost.energy_j;
@@ -606,9 +629,11 @@ impl Cluster {
                 }
             }
             if retire {
+                let before = self.servers[i].app_count();
                 self.servers[i]
                     .apps_mut()
                     .retain(|a| a.demand > VM_RETIRE_FLOOR);
+                self.vms_retired += (before - self.servers[i].app_count()) as u64;
                 self.servers[i].refresh_load();
             }
         }
@@ -649,6 +674,7 @@ impl Cluster {
             return Vec::new();
         }
         let orphans = self.servers[id.index()].crash(at);
+        self.vms_orphaned += orphans.len() as u64;
         self.leader.mark_offline(id);
         self.recovery_stats.servers_crashed += 1;
         orphans
@@ -886,9 +912,81 @@ impl Cluster {
                 deferred: counts.deferred,
             },
         );
+        if tracer.wants_digest() {
+            self.emit_digest(tracer);
+        }
         tracer.span_exit(self.now.ticks(), SpanKind::Interval);
         self.interval_index += 1;
         outcome
+    }
+
+    /// Emits the end-of-interval [`TraceEventKind::StateDigest`] the
+    /// chaos invariant checker validates: the VM ledger, the server
+    /// power-state census and the leader view. Only called when the
+    /// active tracer asks for digests ([`Tracer::wants_digest`]), so
+    /// golden traces and untraced runs are unaffected.
+    fn emit_digest(&self, tracer: &mut dyn Tracer) {
+        let mut hosted = 0u64;
+        let mut awake = 0u32;
+        let mut sleeping = 0u32;
+        let mut crashed = 0u32;
+        let mut sleeping_hosting = 0u32;
+        // Duplicate detection is a linear scan over an id-indexed bitmap
+        // (ids are allocated densely from 0), not a sort — the digest is
+        // emitted every interval and must stay cheap enough to leave the
+        // checker on. Ids minted by a *different* cluster's allocator
+        // (federation imports in tests) can exceed the local bound; they
+        // fall back to a sort over the normally-empty overflow list.
+        let mut seen = vec![false; self.ids.allocated() as usize];
+        let mut overflow: Vec<u64> = Vec::new();
+        let mut dup_hosted = 0u64;
+        for s in &self.servers {
+            hosted += s.app_count() as u64;
+            for app in s.apps() {
+                match seen.get_mut(app.id.0 as usize) {
+                    Some(slot) if *slot => dup_hosted += 1,
+                    Some(slot) => *slot = true,
+                    None => overflow.push(app.id.0),
+                }
+            }
+            if s.is_crashed() {
+                crashed += 1;
+            } else if s.is_awake() {
+                awake += 1;
+            } else {
+                sleeping += 1;
+            }
+            if !s.is_awake() && s.app_count() > 0 {
+                sleeping_hosting += 1;
+            }
+        }
+        if !overflow.is_empty() {
+            overflow.sort_unstable();
+            dup_hosted += overflow.windows(2).filter(|w| w[0] == w[1]).count() as u64;
+        }
+        tracer.event(
+            self.now.ticks(),
+            TraceEventKind::StateDigest {
+                interval: self.interval_index,
+                hosted,
+                dup_hosted,
+                queued: self.admission.queue_len() as u64,
+                created: self.ids.allocated(),
+                retired: self.vms_retired,
+                orphaned: self.vms_orphaned,
+                imported: self.vms_imported,
+                exported: self.vms_exported,
+                awake,
+                sleeping,
+                crashed,
+                sleeping_hosting,
+                leader: self.leader_host.0,
+                leader_crashed: self.leaderless(),
+                epoch: self.leader_epoch,
+                energy_j: self.energy().total_j() + self.migration_energy_j,
+                saturation: self.saturation_violations,
+            },
+        );
     }
 
     /// Runs `intervals` reallocation intervals and assembles the report.

@@ -187,11 +187,11 @@ impl TimedClusterSim {
                         schedule_arrival(state, sched, rec);
                     }
                     for &woken in &outcome.woken {
-                        let ready = state.cluster.servers()[woken.index()]
-                            .wake_ready_at()
-                            .expect("woken server has a pending wake");
-                        state.wake_latency_s.push((ready - now).as_secs_f64());
-                        sched.schedule_at(ready, SimEvent::WakeComplete { server: woken });
+                        if let Some(ready) = state.cluster.servers()[woken.index()].wake_ready_at()
+                        {
+                            state.wake_latency_s.push((ready - now).as_secs_f64());
+                            sched.schedule_at(ready, SimEvent::WakeComplete { server: woken });
+                        }
                     }
 
                     state.intervals_left -= 1;

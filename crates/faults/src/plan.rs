@@ -17,6 +17,7 @@
 //! comparable across plans that share a seed.
 
 use ecolb_cluster::server::ServerId;
+use ecolb_metrics::json::{ObjectWriter, ToJson};
 use ecolb_simcore::rng::{splitmix64, Rng};
 use ecolb_simcore::time::{SimDuration, SimTime};
 
@@ -241,6 +242,54 @@ impl FaultPlan {
     }
 }
 
+impl FaultEventKind {
+    /// Stable snake_case discriminant used as the JSON `"kind"` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultEventKind::ServerCrash { .. } => "server_crash",
+            FaultEventKind::ServerRecover { .. } => "server_recover",
+            FaultEventKind::LeaderCrash { .. } => "leader_crash",
+        }
+    }
+}
+
+impl ToJson for FaultEvent {
+    fn write_json(&self, out: &mut String) {
+        let w = ObjectWriter::new(out)
+            .field("at_us", &self.at.ticks())
+            .field("kind", &self.kind.name());
+        match self.kind {
+            FaultEventKind::ServerCrash {
+                server,
+                recover_after,
+            } => w
+                .field("server", &server.0)
+                .field("recover_after_us", &recover_after.map(|d| d.ticks())),
+            FaultEventKind::ServerRecover { server } => w.field("server", &server.0),
+            FaultEventKind::LeaderCrash { recover_after } => {
+                w.field("recover_after_us", &recover_after.map(|d| d.ticks()))
+            }
+        }
+        .finish();
+    }
+}
+
+/// Plans serialize to a deterministic JSON document — the chaos layer's
+/// reproducer artifacts embed exactly this shape and replay it from the
+/// embedded seed.
+impl ToJson for FaultPlan {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("seed", &self.seed)
+            .field("message_loss_prob", &self.message_loss_prob)
+            .field("message_delay_prob", &self.message_delay_prob)
+            .field("max_message_delay_us", &self.max_message_delay.ticks())
+            .field("wake_failure_prob", &self.wake_failure_prob)
+            .field("events", &self.events)
+            .finish();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +345,22 @@ mod tests {
         // A different seed reshuffles the schedule.
         let c = FaultPlan::empty(12).with_sampled_crashes(200, 0.25, horizon, None);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn plans_serialize_to_stable_json() {
+        let p = FaultPlan::empty(20140109)
+            .with_server_crash(
+                SimTime::from_secs(600),
+                ServerId(7),
+                Some(SimDuration::from_secs(300)),
+            )
+            .with_leader_crash(SimTime::from_secs(1200), None)
+            .with_message_loss(0.05);
+        assert_eq!(
+            p.to_json(),
+            r#"{"seed":20140109,"message_loss_prob":0.05,"message_delay_prob":0,"max_message_delay_us":0,"wake_failure_prob":0,"events":[{"at_us":600000000,"kind":"server_crash","server":7,"recover_after_us":300000000},{"at_us":1200000000,"kind":"leader_crash","recover_after_us":null}]}"#
+        );
     }
 
     #[test]

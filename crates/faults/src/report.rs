@@ -70,6 +70,7 @@ impl FaultyRunReport {
                 self.degradation.failed_consolidations as f64,
             )
             .scalar("wasted_energy_j", self.degradation.wasted_energy_j)
+            .scalar("lost_reports", self.degradation.lost_reports as f64)
             .scalar("crashed_server_seconds", self.crashed_server_seconds)
             .scalar("orphan_downtime_seconds", self.orphan_downtime_seconds)
             .scalar("failovers", self.recovery.failovers as f64)

@@ -279,6 +279,7 @@ impl FaultyClusterSim {
                 + state.orphan_downtime_seconds,
             failed_consolidations: recovery.failed_consolidations,
             wasted_energy_j,
+            lost_reports: recovery.reports_abandoned,
         };
 
         FaultyRunReport {

@@ -26,6 +26,10 @@ pub struct DegradationSummary {
     /// Energy burned while the cluster was degraded — leaderless
     /// intervals and aborted wake transitions — Joules.
     pub wasted_energy_j: f64,
+    /// Regime reports that exhausted their retry budget and never
+    /// reached the leader (the directory balanced that interval on a
+    /// stale entry). Previously this exhaustion was silent.
+    pub lost_reports: u64,
 }
 
 impl DegradationSummary {
@@ -43,6 +47,7 @@ impl DegradationSummary {
             || self.sla_violation_seconds > 0.0
             || self.failed_consolidations > 0
             || self.wasted_energy_j > 0.0
+            || self.lost_reports > 0
     }
 }
 
@@ -53,6 +58,7 @@ impl ToJson for DegradationSummary {
             .field("sla_violation_seconds", &self.sla_violation_seconds)
             .field("failed_consolidations", &self.failed_consolidations)
             .field("wasted_energy_j", &self.wasted_energy_j)
+            .field("lost_reports", &self.lost_reports)
             .finish();
     }
 }
@@ -82,6 +88,9 @@ mod tests {
         let mut s = DegradationSummary::fault_free();
         s.wasted_energy_j = 5.0;
         assert!(s.is_degraded());
+        let mut s = DegradationSummary::fault_free();
+        s.lost_reports = 2;
+        assert!(s.is_degraded());
     }
 
     #[test]
@@ -91,10 +100,11 @@ mod tests {
             sla_violation_seconds: 600.0,
             failed_consolidations: 4,
             wasted_energy_j: 123.5,
+            lost_reports: 2,
         };
         assert_eq!(
             s.to_json(),
-            r#"{"availability":0.875,"sla_violation_seconds":600,"failed_consolidations":4,"wasted_energy_j":123.5}"#
+            r#"{"availability":0.875,"sla_violation_seconds":600,"failed_consolidations":4,"wasted_energy_j":123.5,"lost_reports":2}"#
         );
     }
 }

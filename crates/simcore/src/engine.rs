@@ -256,6 +256,12 @@ impl<E> Engine<E> {
             if self.events_processed >= self.event_budget {
                 break RunOutcome::EventBudgetExhausted;
             }
+            // An invariant-checking tracer can stop the run as soon as a
+            // violation is detected; the default `false` lets this poll
+            // monomorphize away for `NoTrace`.
+            if tracer.abort_requested() {
+                break RunOutcome::Stopped;
+            }
             // The peek above saw an event; a racing-free single-threaded
             // queue cannot lose it, but drain gracefully rather than panic.
             let Some((at, event)) = self.queue.pop() else {

@@ -53,8 +53,7 @@ where
     }
 
     let f = &f;
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let produced = std::thread::scope(|scope| {
+    let mut produced = std::thread::scope(|scope| {
         let handles: Vec<_> = stripes
             .into_iter()
             .map(|stripe| {
@@ -68,16 +67,18 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("par worker panicked"))
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                // Re-raise the worker's own panic payload instead of
+                // replacing it with a second, less informative one.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect::<Vec<(usize, R)>>()
     });
-    for (i, r) in produced {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index produced"))
-        .collect()
+    // Every index 0..n occurs exactly once across the stripes, so sorting
+    // by index restores input order without per-slot occupancy checks.
+    produced.sort_by_key(|&(i, _)| i);
+    produced.into_iter().map(|(_, r)| r).collect()
 }
 
 /// [`map_indexed`] with [`default_threads`] workers.
@@ -126,7 +127,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "par worker panicked")]
+    #[should_panic(expected = "boom")]
     fn worker_panic_propagates() {
         map_indexed(vec![0u8, 1], 2, |_, x| {
             assert_ne!(x, 1, "boom");

@@ -35,11 +35,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod event;
 pub mod ring;
 pub mod timeline;
 pub mod tracer;
 
+pub use check::{InvariantChecker, Violation, CLUSTER_WIDE};
 pub use event::{TraceEvent, TraceEventKind};
 pub use ring::{RingTracer, SpanStat, TraceSnapshot};
 pub use timeline::{DecisionLedgerView, RegimeTimeline};

@@ -14,6 +14,7 @@ mod sealed {
     pub trait Sealed {}
     impl Sealed for super::NoTrace {}
     impl Sealed for crate::ring::RingTracer {}
+    impl Sealed for crate::check::InvariantChecker {}
 }
 
 /// A span kind — a named region of simulated time whose duration is
@@ -58,6 +59,23 @@ pub trait Tracer: sealed::Sealed {
 
     /// Adds `delta` to the named monotonic counter.
     fn counter(&mut self, name: &'static str, delta: u64);
+
+    /// `true` if the tracer wants the engine to stop the run early
+    /// (e.g. the invariant checker found a violation and further
+    /// simulation would only bury the evidence). The engine polls this
+    /// once per dispatched event; the default `false` lets the
+    /// `NoTrace` path monomorphize the poll away entirely.
+    fn abort_requested(&self) -> bool {
+        false
+    }
+
+    /// `true` if the tracer wants per-interval [`TraceEventKind::StateDigest`]
+    /// events. Digests are comparatively bulky, so emission sites skip
+    /// building them unless asked — which also keeps pre-digest golden
+    /// traces byte-identical.
+    fn wants_digest(&self) -> bool {
+        false
+    }
 }
 
 /// The disabled tracer: a zero-sized type whose inlined empty methods

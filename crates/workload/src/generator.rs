@@ -122,6 +122,12 @@ impl AppIdAllocator {
         self.next += 1;
         id
     }
+
+    /// Total ids handed out so far — the "VMs ever created" side of the
+    /// conservation identity the chaos invariant checker balances.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
 }
 
 /// Generates the initial application set for one server: applications whose
