@@ -52,6 +52,58 @@ fn perf_calendar_queue_push_pop_10k() {
     black_box(sum);
 }
 
+/// Classic "hold model": steady-state population of 1 k pending events,
+/// each operation pops the earliest and reschedules it a random offset
+/// into the future. This is the workload calendar queues are built for
+/// (and the shape `Engine::run` actually generates), unlike the bulk
+/// push-then-drain above which is cache-hostile for bucketed queues.
+#[test]
+#[ignore = "perf smoke"]
+fn perf_event_queue_hold_10k() {
+    let mut rng = Rng::new(7);
+    let mut q = EventQueue::with_capacity(1_000);
+    for i in 0..1_000u64 {
+        q.schedule(SimTime::from_ticks(rng.uniform_u64(1_000_000)), i);
+    }
+    let sum = time("event_queue/hold_10k", 20, || {
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            let Some((t, v)) = q.pop() else { break };
+            sum = sum.wrapping_add(v);
+            q.schedule(
+                SimTime::from_ticks(t.ticks() + 1 + rng.uniform_u64(2_000)),
+                v,
+            );
+        }
+        black_box(sum)
+    });
+    black_box(sum);
+}
+
+/// See [`perf_event_queue_hold_10k`]; same workload on the calendar queue.
+#[test]
+#[ignore = "perf smoke"]
+fn perf_calendar_queue_hold_10k() {
+    let mut rng = Rng::new(7);
+    let mut q = CalendarQueue::new();
+    for i in 0..1_000u64 {
+        q.schedule(SimTime::from_ticks(rng.uniform_u64(1_000_000)), i);
+    }
+    let sum = time("calendar_queue/hold_10k", 20, || {
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            let Some((t, v)) = q.pop() else { break };
+            sum = sum.wrapping_add(v);
+            q.schedule(
+                SimTime::from_ticks(t.ticks() + 1 + rng.uniform_u64(2_000)),
+                v,
+            );
+        }
+        black_box(sum)
+    });
+    black_box(sum);
+}
+
 #[test]
 #[ignore = "perf smoke"]
 fn perf_rng_next_u64_1k() {

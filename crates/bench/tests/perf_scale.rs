@@ -1,0 +1,150 @@
+//! Experiment SC: engine throughput over a cluster-size × horizon grid,
+//! with a CI-ratcheted regression gate.
+//!
+//! Each grid cell times a full `TimedClusterSim` run (best of a few
+//! repetitions) and reports **events/sec** (engine dispatch throughput)
+//! and **intervals/sec** (end-to-end simulation throughput). The numbers
+//! land in `BENCH_scale.json`, written both to `results/perf/` and
+//! mirrored at the repository root so the current throughput curve is
+//! visible without digging.
+//!
+//! The **ratchet** gates the smallest cell (400 servers × 40 intervals)
+//! in CI. Asserting on raw wall-clock would tie the budget to one host's
+//! speed, so the cell is paired (interleaved, via [`paired_overhead`])
+//! against a *fixed-work* LCG baseline: both legs scale with host speed,
+//! their ratio does not. The budget sits well above the measured clean
+//! ratio — far enough that single-core CI noise cannot trip it, close
+//! enough that a 2× throughput regression in the simulation fails the
+//! assert (verified by injecting a doubled-work candidate when tuning;
+//! see [`RATCHET_BUDGET`]).
+//!
+//! ```text
+//! cargo test -p ecolb-bench --release -- --ignored perf_scale
+//! ```
+
+use ecolb_bench::{paired_overhead, DEFAULT_SEED};
+use ecolb_cluster::cluster::ClusterConfig;
+use ecolb_cluster::sim::TimedClusterSim;
+use ecolb_cluster::sim::TimedRunReport;
+use ecolb_metrics::report::Report;
+use ecolb_workload::generator::WorkloadSpec;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The size × horizon grid: (servers, intervals, timing repetitions).
+/// Repetitions shrink as cells grow — the large cells are long enough
+/// that one run is already a stable measurement.
+const GRID: [(usize, u64, u32); 4] = [(400, 40, 5), (400, 400, 3), (4_000, 40, 2), (4_000, 400, 1)];
+
+/// Fixed-work baseline for the ratchet: this many LCG steps take roughly
+/// as long as the 400×40 cell on a contemporary core, so the paired
+/// ratio sits near 1 and host-speed changes cancel out of it.
+const LCG_ITERS: u64 = 20_000_000;
+
+/// Ratchet budget on `sim_seconds / lcg_seconds - 1` for the 400×40
+/// cell. Measured clean ratio sat between −0.52 and −0.32 across repeat
+/// runs when pinned, so +0.10 leaves ≥ 40 points of headroom against
+/// single-core noise. An injected 2× slowdown (the candidate closure
+/// running the cell twice, second run on a shifted seed so it cannot
+/// reuse warm state) measured +0.17 to +0.67 across four runs and
+/// failed the assert every time — that is the regression shape this
+/// gate exists to catch.
+const RATCHET_BUDGET: f64 = 0.10;
+
+/// Interleaved rounds for the ratchet measurement.
+const RATCHET_ROUNDS: u32 = 9;
+
+fn config(size: usize) -> ClusterConfig {
+    ClusterConfig::paper(size, WorkloadSpec::paper_low_load())
+}
+
+fn run_cell(size: usize, intervals: u64, seed: u64) -> TimedRunReport {
+    TimedClusterSim::new(config(size), seed, intervals).run()
+}
+
+/// The fixed-work leg: a multiply-add dependency chain the optimizer
+/// cannot shorten, pinned by `black_box`.
+fn lcg(iters: u64) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i | 1);
+    }
+    black_box(acc)
+}
+
+#[test]
+#[ignore = "perf smoke"]
+fn perf_scale_grid() {
+    let mut report = Report::new("BENCH_scale", DEFAULT_SEED);
+
+    // Throughput curve over the grid.
+    for (size, intervals, reps) in GRID {
+        let mut best = f64::INFINITY;
+        let mut events = 0u64;
+        for rep in 0..reps.max(1) {
+            let start = Instant::now();
+            let cell = black_box(run_cell(size, intervals, DEFAULT_SEED + u64::from(rep)));
+            best = best.min(start.elapsed().as_secs_f64());
+            events = cell.events_processed;
+        }
+        let events_per_sec = events as f64 / best;
+        let intervals_per_sec = intervals as f64 / best;
+        println!(
+            "perf scale/{size}x{intervals}: {:.3} ms best-of-{reps}, {events} events, \
+             {events_per_sec:.0} events/s, {intervals_per_sec:.1} intervals/s",
+            best * 1e3,
+        );
+        let key = format!("s{size}x{intervals}");
+        report
+            .scalar(format!("{key}_seconds"), best)
+            .scalar(format!("{key}_events"), events as f64)
+            .scalar(format!("{key}_events_per_sec"), events_per_sec)
+            .scalar(format!("{key}_intervals_per_sec"), intervals_per_sec);
+    }
+
+    // Ratchet: the smallest cell against the fixed-work baseline.
+    let measured = paired_overhead(
+        RATCHET_ROUNDS,
+        DEFAULT_SEED,
+        |_| lcg(LCG_ITERS),
+        |seed| run_cell(400, 40, seed),
+    );
+    let ratio = measured.robust_overhead();
+    println!(
+        "perf scale/ratchet: lcg {:.3} ms, sim 400x40 {:.3} ms, ratio {:+.2}% \
+         (minima {:+.2}%, median {:+.2}%; budget < {:+.0}%)",
+        measured.baseline_seconds * 1e3,
+        measured.candidate_seconds * 1e3,
+        ratio * 100.0,
+        measured.overhead * 100.0,
+        measured.median_overhead * 100.0,
+        RATCHET_BUDGET * 100.0
+    );
+    report
+        .scalar("ratchet_lcg_iters", LCG_ITERS as f64)
+        .scalar("ratchet_lcg_seconds", measured.baseline_seconds)
+        .scalar("ratchet_sim_seconds", measured.candidate_seconds)
+        .scalar("ratchet_ratio_overhead", ratio)
+        .scalar("ratchet_budget", RATCHET_BUDGET)
+        .scalar("ratchet_rounds", f64::from(RATCHET_ROUNDS));
+
+    // Integration tests run with the crate as cwd; results/ sits two up,
+    // and the repo root mirror makes the curve visible at a glance.
+    let json = report.to_json();
+    std::fs::create_dir_all("../../results/perf").expect("create results/perf");
+    for path in [
+        "../../results/perf/BENCH_scale.json",
+        "../../BENCH_scale.json",
+    ] {
+        std::fs::write(path, &json).expect("write BENCH_scale.json");
+        println!("wrote {path}");
+    }
+
+    assert!(
+        ratio < RATCHET_BUDGET,
+        "400x40 throughput ratchet: sim/lcg ratio {:.2} exceeds budget {:.2} — \
+         the engine hot path regressed",
+        ratio + 1.0,
+        RATCHET_BUDGET + 1.0
+    );
+}

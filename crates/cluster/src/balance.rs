@@ -209,6 +209,25 @@ fn cap<'a>(ids: &'a [ServerId], config: &BalanceConfig) -> &'a [ServerId] {
     }
 }
 
+/// Reusable working buffers for the balancing phases.
+///
+/// The shed and drain phases build several short-lived sorted lists *per
+/// donor / per candidate* (partner lists, app working sets); with a few
+/// hundred servers that used to mean thousands of heap allocations per
+/// reallocation interval. A round-owned scratch turns them all into
+/// clear-and-refill on buffers that reach steady-state capacity after the
+/// first interval. Contents and iteration order are identical to the
+/// fresh-`Vec` formulation, so reports and traces are byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct BalanceScratch {
+    /// Donor / drain-candidate roster of the current phase.
+    roster: Vec<ServerId>,
+    /// Partner list: the leader's reply or the fallback receiver scan.
+    partners: Vec<ServerId>,
+    /// `(app, demand)` working set of the server being relieved or drained.
+    apps: Vec<(AppId, f64)>,
+}
+
 /// Static label for a sleep state, for trace events.
 fn cstate_label(state: CState) -> &'static str {
     match state {
@@ -246,14 +265,22 @@ fn shed_phase(
     config: &BalanceConfig,
     now: SimTime,
     tracer: &mut dyn Tracer,
+    scratch: &mut BalanceScratch,
     outcome: &mut BalanceOutcome,
 ) {
+    let BalanceScratch {
+        roster: donors,
+        partners,
+        apps,
+    } = scratch;
     // Donors sorted: R5 (urgent) first, then heaviest.
-    let mut donors: Vec<ServerId> = servers
-        .iter()
-        .filter(|s| s.is_awake() && s.regime().is_overloaded())
-        .map(Server::id)
-        .collect();
+    donors.clear();
+    donors.extend(
+        servers
+            .iter()
+            .filter(|s| s.is_awake() && s.regime().is_overloaded())
+            .map(Server::id),
+    );
     donors.sort_by(|&a, &b| {
         let (sa, sb) = (&servers[a.index()], &servers[b.index()]);
         sb.regime()
@@ -263,7 +290,7 @@ fn shed_phase(
             .then(a.cmp(&b))
     });
 
-    for donor in donors {
+    for &donor in donors.iter() {
         if !servers[donor.index()].regime().is_overloaded() {
             continue; // already relieved by an earlier donor's receiver churn
         }
@@ -278,26 +305,27 @@ fn shed_phase(
         );
         // Leader proposes R1/R2 receivers; fall back to R3 servers with
         // headroom when the strict list is empty (see module docs).
-        let mut receivers = leader.find_receivers(donor);
-        if receivers.is_empty() {
-            receivers = servers
-                .iter()
-                .filter(|s| {
-                    s.is_awake()
-                        && s.id() != donor
-                        && s.regime() == OperatingRegime::Optimal
-                        && s.load() < config.shed_fill.ceiling(s)
-                })
-                .map(Server::id)
-                .collect();
-            receivers.sort_by(|&a, &b| {
+        leader.find_receivers_into(donor, partners);
+        if partners.is_empty() {
+            partners.extend(
+                servers
+                    .iter()
+                    .filter(|s| {
+                        s.is_awake()
+                            && s.id() != donor
+                            && s.regime() == OperatingRegime::Optimal
+                            && s.load() < config.shed_fill.ceiling(s)
+                    })
+                    .map(Server::id),
+            );
+            partners.sort_by(|&a, &b| {
                 servers[a.index()]
                     .load()
                     .total_cmp(&servers[b.index()].load())
                     .then(a.cmp(&b))
             });
         }
-        let receivers = cap(&receivers, config).to_vec();
+        let receivers = cap(partners, config);
 
         // Shed apps, largest first, until back inside the optimal band or
         // the per-interval negotiation budget runs out.
@@ -314,8 +342,8 @@ fn shed_phase(
             // Prefer the *smallest* app that clears the excess in one move
             // (minimal churn); apps too small to clear it come after,
             // largest first.
-            let mut apps: Vec<(AppId, f64)> =
-                donor_srv.apps().iter().map(|a| (a.id, a.demand)).collect();
+            apps.clear();
+            apps.extend(donor_srv.apps().iter().map(|a| (a.id, a.demand)));
             apps.sort_by(|a, b| {
                 let a_clears = a.1 + EPS >= excess;
                 let b_clears = b.1 + EPS >= excess;
@@ -332,8 +360,8 @@ fn shed_phase(
             });
 
             let mut moved = false;
-            'apps: for (app, demand) in apps {
-                for &rx in &receivers {
+            'apps: for &(app, demand) in apps.iter() {
+                for &rx in receivers {
                     let rx_srv = &servers[rx.index()];
                     if !rx_srv.is_awake() {
                         continue;
@@ -375,21 +403,29 @@ fn drain_phase(
     now: SimTime,
     just_woken: &[ServerId],
     tracer: &mut dyn Tracer,
+    scratch: &mut BalanceScratch,
     outcome: &mut BalanceOutcome,
 ) {
+    let BalanceScratch {
+        roster: candidates,
+        partners,
+        apps,
+    } = scratch;
     let cluster_load = cluster_load_fraction(servers);
     // R1 candidates, emptiest first (cheapest to drain). A server whose
     // wake matured this round is exempt — it was woken to absorb load and
     // must not oscillate straight back to sleep.
-    let mut candidates: Vec<ServerId> = servers
-        .iter()
-        .filter(|s| {
-            s.is_awake()
-                && s.regime() == OperatingRegime::UndesirableLow
-                && !just_woken.contains(&s.id())
-        })
-        .map(Server::id)
-        .collect();
+    candidates.clear();
+    candidates.extend(
+        servers
+            .iter()
+            .filter(|s| {
+                s.is_awake()
+                    && s.regime() == OperatingRegime::UndesirableLow
+                    && !just_woken.contains(&s.id())
+            })
+            .map(Server::id),
+    );
     candidates.sort_by(|&a, &b| {
         servers[a.index()]
             .load()
@@ -398,7 +434,7 @@ fn drain_phase(
     });
 
     let mut processed = 0usize;
-    for cand in candidates {
+    for &cand in candidates.iter() {
         if let Some(budget) = config.drain_candidates_per_interval {
             if processed >= budget {
                 break; // leader defers remaining consolidation requests
@@ -421,8 +457,8 @@ fn drain_phase(
 
         // Option A: gather from remaining overloaded donors (paper gives
         // this branch when R4/R5 servers exist).
-        let donors = leader.find_donors(cand);
-        let donors = cap(&donors, config);
+        leader.find_donors_into(cand, partners);
+        let donors = cap(partners, config);
         let mut gathered = false;
         for &donor in donors {
             loop {
@@ -467,36 +503,40 @@ fn drain_phase(
         // Option B: drain into R2 receivers filled at most to the drain
         // ceiling. The per-interval transfer budget means a loaded server
         // drains over several intervals; it sleeps only once empty.
-        let mut receivers: Vec<ServerId> = servers
-            .iter()
-            .filter(|s| {
-                s.is_awake()
-                    && s.id() != cand
-                    && s.regime() == OperatingRegime::SuboptimalLow
-                    && s.load() < config.drain_fill.ceiling(s)
-            })
-            .map(Server::id)
-            .collect();
+        partners.clear();
+        partners.extend(
+            servers
+                .iter()
+                .filter(|s| {
+                    s.is_awake()
+                        && s.id() != cand
+                        && s.regime() == OperatingRegime::SuboptimalLow
+                        && s.load() < config.drain_fill.ceiling(s)
+                })
+                .map(Server::id),
+        );
         // Most spare drain capacity first maximises placement success.
-        receivers.sort_by(|&a, &b| {
+        partners.sort_by(|&a, &b| {
             let ha = config.drain_fill.ceiling(&servers[a.index()]) - servers[a.index()].load();
             let hb = config.drain_fill.ceiling(&servers[b.index()]) - servers[b.index()].load();
             hb.total_cmp(&ha).then(a.cmp(&b))
         });
-        let receivers = cap(&receivers, config).to_vec();
+        let receivers = cap(partners, config);
 
         // Move the largest placeable apps within the interval budget.
         let mut moved = 0usize;
         while moved < config.drain_moves_per_candidate {
-            let mut apps: Vec<(AppId, f64)> = servers[cand.index()]
-                .apps()
-                .iter()
-                .map(|a| (a.id, a.demand))
-                .collect();
+            apps.clear();
+            apps.extend(
+                servers[cand.index()]
+                    .apps()
+                    .iter()
+                    .map(|a| (a.id, a.demand)),
+            );
             apps.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             let mut placed = None;
-            'search: for (app, demand) in &apps {
-                for &rx in &receivers {
+            'search: for (app, demand) in apps.iter() {
+                for &rx in receivers {
                     let s = &servers[rx.index()];
                     if s.is_awake() && s.load() + demand <= config.drain_fill.ceiling(s) + EPS {
                         placed = Some((*app, rx));
@@ -695,6 +735,39 @@ pub fn balance_round_traced(
     stats: &mut RecoveryStats,
     tracer: &mut dyn Tracer,
 ) -> BalanceOutcome {
+    balance_round_scratch(
+        servers,
+        leader,
+        ledger,
+        migration_model,
+        sleep_model,
+        config,
+        now,
+        hooks,
+        stats,
+        tracer,
+        &mut BalanceScratch::default(),
+    )
+}
+
+/// [`balance_round_traced`] with caller-owned [`BalanceScratch`] so an
+/// interval-driving loop pays the phases' working-buffer allocations once
+/// per simulation instead of once per list per interval. Same results,
+/// byte for byte.
+#[allow(clippy::too_many_arguments)] // the reusing variant adds the scratch
+pub fn balance_round_scratch(
+    servers: &mut [Server],
+    leader: &mut Leader,
+    ledger: &mut DecisionLedger,
+    migration_model: &MigrationCostModel,
+    sleep_model: &SleepModel,
+    config: &BalanceConfig,
+    now: SimTime,
+    hooks: &mut dyn FaultHooks,
+    stats: &mut RecoveryStats,
+    tracer: &mut dyn Tracer,
+    scratch: &mut BalanceScratch,
+) -> BalanceOutcome {
     tracer.span_enter(now.ticks(), SpanKind::Balance);
     // Complete wakes that have matured.
     let mut just_woken = Vec::new();
@@ -724,6 +797,7 @@ pub fn balance_round_traced(
         config,
         now,
         tracer,
+        scratch,
         &mut outcome,
     );
     drain_phase(
@@ -736,6 +810,7 @@ pub fn balance_round_traced(
         now,
         &just_woken,
         tracer,
+        scratch,
         &mut outcome,
     );
     wake_phase(
@@ -1128,6 +1203,55 @@ mod tests {
         assert_eq!(a_leader.stats(), b_leader.stats());
         for (x, y) in a_servers.iter().zip(&b_servers) {
             assert_eq!(x.load(), y.load());
+        }
+    }
+
+    /// `Server::take_app` uses `swap_remove`, so two servers hosting the
+    /// same apps can store them in different orders depending on removal
+    /// history (the cluster driver's evolve loop even breaks early over
+    /// this, `cluster.rs`). Every selection loop in the balancing phases
+    /// sorts its working set by `(demand, id)`, so in-memory order must
+    /// never leak into decisions — pinned here by running one round over
+    /// two clusters that differ *only* in app storage order and requiring
+    /// byte-identical outcomes.
+    #[test]
+    fn app_storage_order_does_not_leak_into_decisions() {
+        let mk = |shuffled: bool| {
+            // Donor at 0.9 (R5) with three apps; two receivers.
+            let (mut servers, leader) = mk_cluster(&[&[], &[0.25], &[0.25]]);
+            let app = |id: u64, demand: f64| Application::new(AppId(id), demand, 0.01, 4.0);
+            if shuffled {
+                // Place a decoy between the real apps, then take it:
+                // swap_remove leaves storage order [10, 12, 11].
+                servers[0].place_app(app(10, 0.4));
+                servers[0].place_app(app(99, 0.1));
+                servers[0].place_app(app(11, 0.3));
+                servers[0].place_app(app(12, 0.2));
+                servers[0].take_app(AppId(99));
+            } else {
+                servers[0].place_app(app(10, 0.4));
+                servers[0].place_app(app(11, 0.3));
+                servers[0].place_app(app(12, 0.2));
+            }
+            (servers, leader)
+        };
+        let (mut a_servers, mut a_leader) = mk(false);
+        let (mut b_servers, mut b_leader) = mk(true);
+        assert_ne!(
+            a_servers[0].apps().iter().map(|a| a.id).collect::<Vec<_>>(),
+            b_servers[0].apps().iter().map(|a| a.id).collect::<Vec<_>>(),
+            "precondition: storage orders actually differ"
+        );
+        let out_a = run(&mut a_servers, &mut a_leader, &BalanceConfig::default());
+        let out_b = run(&mut b_servers, &mut b_leader, &BalanceConfig::default());
+        assert!(!out_a.migrations.is_empty(), "round must do real work");
+        assert_eq!(
+            format!("{out_a:?}"),
+            format!("{out_b:?}"),
+            "outcome must be byte-identical across app storage orders"
+        );
+        for (x, y) in a_servers.iter().zip(&b_servers) {
+            assert_eq!(x.load().to_bits(), y.load().to_bits());
         }
     }
 

@@ -22,7 +22,8 @@ use crate::admission::{
     AdmissionController, AdmissionPolicy, AdmissionStats, ArrivalSpec, ServiceRequest,
 };
 use crate::balance::{
-    balance_round_traced, cluster_load_fraction, BalanceConfig, BalanceOutcome, MigrationRecord,
+    balance_round_scratch, cluster_load_fraction, BalanceConfig, BalanceOutcome, BalanceScratch,
+    MigrationRecord,
 };
 use crate::leader::Leader;
 use crate::messages::Message;
@@ -32,7 +33,7 @@ use crate::recovery::{FaultHooks, NoFaults, RecoveryConfig, RecoveryStats};
 use crate::scaling::{DecisionKind, DecisionLedger, IntervalCounts};
 use crate::server::{Server, ServerId};
 use ecolb_energy::accounting::EnergyBreakdown;
-use ecolb_energy::regimes::{RegimeBoundaries, RegimeCensus};
+use ecolb_energy::regimes::{OperatingRegime, RegimeBoundaries, RegimeCensus};
 use ecolb_energy::sleep::SleepModel;
 use ecolb_metrics::timeseries::TimeSeries;
 use ecolb_simcore::rng::Rng;
@@ -151,6 +152,29 @@ impl ClusterRunReport {
     }
 }
 
+/// Reusable per-interval working storage, struct-of-arrays style: the
+/// interval driver's hot loops (receiver pooling, regime classification,
+/// digest dup-detection, balancing-phase lists) write into these compact
+/// buffers instead of allocating fresh `Vec`s each interval. After the
+/// first interval every buffer sits at steady-state capacity, so the
+/// interval loop runs allocation-free. Purely an execution detail:
+/// contents and iteration order match the allocating formulation exactly,
+/// keeping reports and traces byte-identical.
+#[derive(Debug, Clone, Default)]
+struct IntervalScratch {
+    /// Balancing-phase working buffers (rosters, partner lists, app sets).
+    balance: BalanceScratch,
+    /// Receiver pool for horizontal scaling: `(server, remaining room)`.
+    pool: Vec<(ServerId, f64)>,
+    /// Batched per-server `(awake, regime, load)` classification feeding
+    /// the QoS census and the per-interval regime samples.
+    samples: Vec<(bool, OperatingRegime, f64)>,
+    /// Digest duplicate-detection bitmap, VM-id indexed.
+    digest_seen: Vec<bool>,
+    /// Digest overflow ids (VMs minted by a foreign allocator).
+    digest_overflow: Vec<u64>,
+}
+
 /// A simulated cluster.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -192,6 +216,8 @@ pub struct Cluster {
     vms_orphaned: u64,
     vms_imported: u64,
     vms_exported: u64,
+    /// Reusable interval working buffers (see [`IntervalScratch`]).
+    scratch: IntervalScratch,
 }
 
 impl Cluster {
@@ -254,6 +280,7 @@ impl Cluster {
             vms_orphaned: 0,
             vms_imported: 0,
             vms_exported: 0,
+            scratch: IntervalScratch::default(),
         }
     }
 
@@ -301,6 +328,20 @@ impl Cluster {
     /// Current cluster load fraction.
     pub fn load_fraction(&self) -> f64 {
         cluster_load_fraction(&self.servers)
+    }
+
+    /// Sleeping-server count and cluster load fraction in one pass over
+    /// the servers — the per-interval series sampling used to make two.
+    /// The load sum accumulates in server order, exactly like
+    /// [`cluster_load_fraction`], so the result is bit-identical.
+    pub fn interval_stats(&self) -> (usize, f64) {
+        let mut sleeping = 0usize;
+        let mut load = 0.0f64;
+        for s in &self.servers {
+            sleeping += usize::from(s.is_sleeping());
+            load += s.load();
+        }
+        (sleeping, load / self.servers.len() as f64)
     }
 
     /// Sum of all servers' energy breakdowns.
@@ -442,14 +483,17 @@ impl Cluster {
         // Receiver pool for horizontal requests: awake servers with spare
         // room below their opt_high ceiling, fullest first (best-fit keeps
         // the workload concentrated). Remaining room is tracked locally so
-        // one pool serves the whole interval.
-        let mut pool: Vec<(ServerId, f64)> = self
-            .servers
-            .iter()
-            .filter(|s| s.is_awake())
-            .map(|s| (s.id(), s.boundaries().opt_high - s.load()))
-            .filter(|&(_, room)| room > 0.0)
-            .collect();
+        // one pool serves the whole interval; the buffer itself is interval
+        // scratch, reused across intervals.
+        let pool = &mut self.scratch.pool;
+        pool.clear();
+        pool.extend(
+            self.servers
+                .iter()
+                .filter(|s| s.is_awake())
+                .map(|s| (s.id(), s.boundaries().opt_high - s.load()))
+                .filter(|&(_, room)| room > 0.0),
+        );
         pool.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         // least room first = fullest first
 
@@ -838,21 +882,33 @@ impl Cluster {
         // QoS census for the interval that just elapsed: saturated
         // servers violated response times, undesirable regimes violated
         // the energy-optimality objective (the paper's metric #2).
-        for s in &self.servers {
-            if s.is_awake() {
-                if s.load() > 1.0 + 1e-9 {
+        // Classification is batched: one pass over the (large) `Server`
+        // structs fills a compact struct-of-arrays snapshot, and the
+        // census/trace pass walks that instead — each server's regime is
+        // classified once per interval, in server order, so the emitted
+        // samples are unchanged.
+        let samples = &mut self.scratch.samples;
+        samples.clear();
+        samples.extend(
+            self.servers
+                .iter()
+                .map(|s| (s.is_awake(), s.regime(), s.load())),
+        );
+        for (i, &(awake, regime, load)) in samples.iter().enumerate() {
+            if awake {
+                if load > 1.0 + 1e-9 {
                     self.saturation_violations += 1;
                 }
-                if s.regime().is_undesirable() {
+                if regime.is_undesirable() {
                     self.undesirable_server_intervals += 1;
                 }
                 if tracer.enabled() {
                     tracer.event(
                         self.now.ticks(),
                         TraceEventKind::RegimeSample {
-                            server: s.id().0,
-                            regime: s.regime().index() as u8,
-                            load: s.load(),
+                            server: i as u32,
+                            regime: regime.index() as u8,
+                            load,
                         },
                     );
                 }
@@ -883,7 +939,7 @@ impl Cluster {
             self.recovery_stats.leaderless_intervals += 1;
             BalanceOutcome::default()
         } else {
-            balance_round_traced(
+            balance_round_scratch(
                 &mut self.servers,
                 &mut self.leader,
                 &mut self.ledger,
@@ -894,6 +950,7 @@ impl Cluster {
                 hooks,
                 &mut self.recovery_stats,
                 tracer,
+                &mut self.scratch.balance,
             )
         };
         self.migration_energy_j += outcome.migration_energy_j();
@@ -925,7 +982,7 @@ impl Cluster {
     /// power-state census and the leader view. Only called when the
     /// active tracer asks for digests ([`Tracer::wants_digest`]), so
     /// golden traces and untraced runs are unaffected.
-    fn emit_digest(&self, tracer: &mut dyn Tracer) {
+    fn emit_digest(&mut self, tracer: &mut dyn Tracer) {
         let mut hosted = 0u64;
         let mut awake = 0u32;
         let mut sleeping = 0u32;
@@ -934,11 +991,16 @@ impl Cluster {
         // Duplicate detection is a linear scan over an id-indexed bitmap
         // (ids are allocated densely from 0), not a sort — the digest is
         // emitted every interval and must stay cheap enough to leave the
-        // checker on. Ids minted by a *different* cluster's allocator
-        // (federation imports in tests) can exceed the local bound; they
-        // fall back to a sort over the normally-empty overflow list.
-        let mut seen = vec![false; self.ids.allocated() as usize];
-        let mut overflow: Vec<u64> = Vec::new();
+        // checker on. The bitmap and overflow list are interval scratch:
+        // cleared and refilled, never re-allocated at steady state. Ids
+        // minted by a *different* cluster's allocator (federation imports
+        // in tests) can exceed the local bound; they fall back to a sort
+        // over the normally-empty overflow list.
+        let seen = &mut self.scratch.digest_seen;
+        seen.clear();
+        seen.resize(self.ids.allocated() as usize, false);
+        let overflow = &mut self.scratch.digest_overflow;
+        overflow.clear();
         let mut dup_hosted = 0u64;
         for s in &self.servers {
             hosted += s.app_count() as u64;
@@ -996,8 +1058,9 @@ impl Cluster {
         let mut load = TimeSeries::new("cluster_load");
         for _ in 0..intervals {
             self.run_interval();
-            sleeping.push(self.sleeping_count() as f64);
-            load.push(self.load_fraction());
+            let (asleep, frac) = self.interval_stats();
+            sleeping.push(asleep as f64);
+            load.push(frac);
         }
         let elapsed = self.now.as_secs_f64();
         ClusterRunReport {

@@ -24,10 +24,36 @@ pub struct DirectoryEntry {
 
 /// The cluster leader: regime directory + partner search + message
 /// accounting.
+///
+/// Partner searches are on the per-candidate hot path of the balancing
+/// round, so the leader keeps two occupancy counters (awake underloaded /
+/// awake overloaded entries) in sync with the directory. When a counter is
+/// zero the search answers in O(1) instead of scanning the whole
+/// directory — at low cluster load "no donors anywhere" is the common
+/// case, which used to cost O(n) per drain candidate.
 #[derive(Debug, Clone)]
 pub struct Leader {
     directory: Vec<Option<DirectoryEntry>>,
     stats: MessageStats,
+    /// Count of directory entries with `!sleeping && regime.is_underloaded()`.
+    underloaded_awake: u32,
+    /// Count of directory entries with `!sleeping && regime.is_overloaded()`.
+    overloaded_awake: u32,
+    /// Reusable sort buffer for the partner searches.
+    scratch: Vec<(ServerId, OperatingRegime, f64)>,
+}
+
+/// This entry's contribution to the (underloaded, overloaded) occupancy
+/// counters.
+fn occupancy(e: &DirectoryEntry) -> (u32, u32) {
+    if e.sleeping {
+        (0, 0)
+    } else {
+        (
+            u32::from(e.regime.is_underloaded()),
+            u32::from(e.regime.is_overloaded()),
+        )
+    }
 }
 
 impl Leader {
@@ -36,6 +62,9 @@ impl Leader {
         Leader {
             directory: vec![None; n],
             stats: MessageStats::default(),
+            underloaded_awake: 0,
+            overloaded_awake: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -55,11 +84,21 @@ impl Leader {
     ) {
         let msg = Message::RegimeReport { from, regime, load };
         self.stats.record(&msg);
-        self.directory[from.index()] = Some(DirectoryEntry {
+        let entry = DirectoryEntry {
             regime,
             load,
             sleeping,
-        });
+        };
+        let slot = &mut self.directory[from.index()];
+        if let Some(old) = slot {
+            let (u, o) = occupancy(old);
+            self.underloaded_awake -= u;
+            self.overloaded_awake -= o;
+        }
+        let (u, o) = occupancy(&entry);
+        self.underloaded_awake += u;
+        self.overloaded_awake += o;
+        *slot = Some(entry);
     }
 
     /// Refreshes the whole directory from live server state — the
@@ -89,55 +128,73 @@ impl Leader {
     /// Searches for **receivers**: awake servers reported in R1 or R2,
     /// excluding `requester`. Sorted by *descending* load — filling the
     /// fullest underloaded server first concentrates the workload, which is
-    /// the paper's consolidation objective. Records the partner-list
+    /// the paper's consolidation objective. Accounts the partner-list
     /// message.
     pub fn find_receivers(&mut self, requester: ServerId) -> Vec<ServerId> {
-        let mut out: Vec<(ServerId, f64)> = self
-            .directory
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| {
+        let mut out = Vec::new();
+        self.find_receivers_into(requester, &mut out);
+        out
+    }
+
+    /// [`Leader::find_receivers`], writing the ids into a caller-owned
+    /// buffer so hot loops can reuse the allocation. `out` is cleared
+    /// first.
+    pub fn find_receivers_into(&mut self, requester: ServerId, out: &mut Vec<ServerId>) {
+        out.clear();
+        // The reply — possibly an empty list — always counts as one
+        // partner-list message; the variant counter is all `record` would
+        // update, so bump it directly instead of materialising a
+        // `Message::PartnerList` with a cloned candidate vec.
+        self.stats.partner_lists += 1;
+        if self.underloaded_awake == 0 {
+            return;
+        }
+        self.scratch.clear();
+        self.scratch
+            .extend(self.directory.iter().enumerate().filter_map(|(i, e)| {
                 let e = (*e)?;
                 let id = ServerId(i as u32);
                 (id != requester && !e.sleeping && e.regime.is_underloaded())
-                    .then_some((id, e.load))
-            })
-            .collect();
+                    .then_some((id, e.regime, e.load))
+            }));
         // total_cmp keeps the broker panic-free even if a load ever went
         // NaN; ordering for finite loads is identical to partial_cmp.
-        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        self.stats.record(&Message::PartnerList {
-            to: requester,
-            candidates: out.clone(),
-        });
-        out.into_iter().map(|(id, _)| id).collect()
+        self.scratch
+            .sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+        out.extend(self.scratch.iter().map(|&(id, _, _)| id));
     }
 
     /// Searches for **donors**: awake servers reported in R4 or R5,
     /// excluding `requester`. R5 (urgent) first, then by descending load.
     pub fn find_donors(&mut self, requester: ServerId) -> Vec<ServerId> {
-        let mut out: Vec<(ServerId, OperatingRegime, f64)> = self
-            .directory
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| {
+        let mut out = Vec::new();
+        self.find_donors_into(requester, &mut out);
+        out
+    }
+
+    /// [`Leader::find_donors`], writing the ids into a caller-owned buffer
+    /// so hot loops can reuse the allocation. `out` is cleared first.
+    pub fn find_donors_into(&mut self, requester: ServerId, out: &mut Vec<ServerId>) {
+        out.clear();
+        self.stats.partner_lists += 1;
+        if self.overloaded_awake == 0 {
+            return;
+        }
+        self.scratch.clear();
+        self.scratch
+            .extend(self.directory.iter().enumerate().filter_map(|(i, e)| {
                 let e = (*e)?;
                 let id = ServerId(i as u32);
                 (id != requester && !e.sleeping && e.regime.is_overloaded())
                     .then_some((id, e.regime, e.load))
-            })
-            .collect();
-        out.sort_by(|a, b| {
+            }));
+        self.scratch.sort_by(|a, b| {
             b.1.index()
                 .cmp(&a.1.index())
                 .then(b.2.total_cmp(&a.2))
                 .then(a.0.cmp(&b.0))
         });
-        self.stats.record(&Message::PartnerList {
-            to: requester,
-            candidates: out.iter().map(|&(id, _, l)| (id, l)).collect(),
-        });
-        out.into_iter().map(|(id, _, _)| id).collect()
+        out.extend(self.scratch.iter().map(|&(id, _, _)| id));
     }
 
     /// Sleeping servers eligible for a wake order (§4 action 5), shallowest
@@ -156,7 +213,13 @@ impl Leader {
     pub fn issue_wake_order(&mut self, to: ServerId) {
         self.stats.record(&Message::WakeOrder { to });
         if let Some(e) = &mut self.directory[to.index()] {
+            let (u, o) = occupancy(e);
+            self.underloaded_awake -= u;
+            self.overloaded_awake -= o;
             e.sleeping = false; // optimistic: the server is now waking
+            let (u, o) = occupancy(e);
+            self.underloaded_awake += u;
+            self.overloaded_awake += o;
         }
     }
 
@@ -164,7 +227,11 @@ impl Leader {
     /// to have crashed, so the broker stops offering it as a partner until
     /// it reports again after recovery.
     pub fn mark_offline(&mut self, id: ServerId) {
-        self.directory[id.index()] = None;
+        if let Some(e) = self.directory[id.index()].take() {
+            let (u, o) = occupancy(&e);
+            self.underloaded_awake -= u;
+            self.overloaded_awake -= o;
+        }
     }
 
     /// Forgets every directory entry while keeping message statistics.
@@ -174,6 +241,8 @@ impl Leader {
         for e in &mut self.directory {
             *e = None;
         }
+        self.underloaded_awake = 0;
+        self.overloaded_awake = 0;
     }
 
     /// Records an assistance request from a server.
@@ -351,6 +420,48 @@ mod tests {
             vec![ServerId(0)],
             "a dead host cannot honour a wake order"
         );
+    }
+
+    /// The occupancy counters used for the O(1) "no partners" early exit
+    /// must track every directory mutation path (report, wake order,
+    /// offline, reset) — drift would make searches silently return empty.
+    #[test]
+    fn occupancy_counters_track_directory_mutations() {
+        let sm = SleepModel::default();
+        let mut servers = vec![
+            mk_server(0, 0.1),
+            mk_server(1, 0.9),
+            mk_server(2, 0.25),
+            mk_server(3, 0.0),
+        ];
+        servers[3].enter_sleep(SimTime::ZERO, CState::C3, &sm);
+        let mut leader = Leader::new(4);
+        leader.full_report_sweep(&servers);
+        // Re-reporting the same server must not double count.
+        leader.full_report_sweep(&servers);
+        assert_eq!(
+            leader.find_receivers(ServerId(1)),
+            vec![ServerId(2), ServerId(0)]
+        );
+        assert_eq!(leader.find_donors(ServerId(0)), vec![ServerId(1)]);
+        // Waking server 3 makes its (unloaded ⇒ R1) entry visible.
+        leader.issue_wake_order(ServerId(3));
+        assert_eq!(
+            leader.find_receivers(ServerId(1)),
+            vec![ServerId(2), ServerId(0), ServerId(3)]
+        );
+        // Knocking out the only donor must drop the search to empty (and
+        // the empty reply still counts as a partner-list message).
+        leader.mark_offline(ServerId(1));
+        let lists_before = leader.stats().partner_lists;
+        assert!(leader.find_donors(ServerId(0)).is_empty());
+        assert_eq!(leader.stats().partner_lists, lists_before + 1);
+        leader.reset_directory();
+        assert!(leader.find_receivers(ServerId(1)).is_empty());
+        assert!(leader.find_donors(ServerId(0)).is_empty());
+        // A fresh sweep rebuilds counters from scratch.
+        leader.full_report_sweep(&servers);
+        assert_eq!(leader.find_donors(ServerId(0)), vec![ServerId(1)]);
     }
 
     #[test]

@@ -188,22 +188,12 @@ impl Server {
 
     /// Advances this server's energy meter to `now` under its current
     /// state. Must be called *before* any state change that alters power
-    /// draw.
+    /// draw. This runs once per server per interval — no clones, no
+    /// allocation: `ServerPowerSpec` itself is the [`PowerModel`] and the
+    /// meter/power fields borrow disjointly.
     pub fn meter_advance(&mut self, now: SimTime) {
-        // Borrow dance: copy out the small power spec values we need.
         let u = self.normalized_performance();
-        let cstate = self.cstate;
-        match &self.power {
-            ServerPowerSpec::Linear(m) => self.meter.advance(now, m, cstate, u),
-            ServerPowerSpec::Piecewise(m) => {
-                let m = m.clone();
-                self.meter.advance(now, &m, cstate, u)
-            }
-            ServerPowerSpec::Subsystem(m) => {
-                let m = *m;
-                self.meter.advance(now, &m, cstate, u)
-            }
-        }
+        self.meter.advance(now, &self.power, self.cstate, u);
     }
 
     /// Places an application on this server (it must be awake).
@@ -289,17 +279,7 @@ impl Server {
         }
         self.meter_advance(now);
         let latency = sleep_model.wake_latency(self.cstate);
-        match &self.power {
-            ServerPowerSpec::Linear(m) => self.meter.record_setup(m, latency),
-            ServerPowerSpec::Piecewise(m) => {
-                let m = m.clone();
-                self.meter.record_setup(&m, latency)
-            }
-            ServerPowerSpec::Subsystem(m) => {
-                let m = *m;
-                self.meter.record_setup(&m, latency)
-            }
-        }
+        self.meter.record_setup(&self.power, latency);
         let ready = now + latency;
         self.wake_ready_at = Some(ready);
         ready

@@ -147,7 +147,10 @@ impl TimedClusterSim {
     /// same clock, byte-identical [`TimedRunReport`].
     pub fn run_traced<T: Tracer>(self, tracer: &mut T) -> TimedRunReport {
         let realloc_interval = self.cluster.config().realloc_interval;
-        let mut engine: Engine<SimEvent> = Engine::new();
+        // Pre-size the queue for the tick plus a typical interval's burst
+        // of in-flight migration/wake events; the dispatch loop then never
+        // reallocates it.
+        let mut engine: Engine<SimEvent> = Engine::with_capacity(64);
         engine.schedule_at(SimTime::ZERO + realloc_interval, SimEvent::ReallocationTick);
 
         let mut state = SimState {
@@ -175,16 +178,18 @@ impl TimedClusterSim {
                     let outcome = state
                         .cluster
                         .run_interval_traced(&mut NoFaults, sched.tracer());
-                    sleeping.push(state.cluster.sleeping_count() as f64);
-                    load.push(state.cluster.load_fraction());
+                    let (asleep, frac) = state.cluster.interval_stats();
+                    sleeping.push(asleep as f64);
+                    load.push(frac);
 
                     // Timed effects of this interval's decisions: every VM
                     // transfer (scaling + protocol) becomes an arrival
-                    // event. Sleep entries are immediate.
-                    let records: Vec<MigrationRecord> =
-                        state.cluster.interval_migrations().to_vec();
-                    for rec in &records {
-                        schedule_arrival(state, sched, rec);
+                    // event. `MigrationRecord` is `Copy`, so an index loop
+                    // sidesteps both the borrow conflict and the clone of
+                    // the whole record list.
+                    for r in 0..state.cluster.interval_migrations().len() {
+                        let rec = state.cluster.interval_migrations()[r];
+                        schedule_arrival(state, sched, &rec);
                     }
                     for &woken in &outcome.woken {
                         if let Some(ready) = state.cluster.servers()[woken.index()].wake_ready_at()

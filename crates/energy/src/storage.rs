@@ -70,10 +70,14 @@ impl DiskPower {
 
 /// A window of recent block accesses used to decide what to replicate —
 /// the sliding-window policy of [25].
+///
+/// The window is a ring: once full, each new access evicts the oldest in
+/// O(1) (`VecDeque::pop_front`), not the O(window) front-shift a `Vec`
+/// would pay on every record.
 #[derive(Debug, Clone)]
 pub struct SlidingWindow {
     window: usize,
-    recent: Vec<u64>,
+    recent: std::collections::VecDeque<u64>,
 }
 
 impl SlidingWindow {
@@ -82,15 +86,16 @@ impl SlidingWindow {
         assert!(window > 0, "window must be positive");
         SlidingWindow {
             window,
-            recent: Vec::new(),
+            recent: std::collections::VecDeque::with_capacity(window + 1),
         }
     }
 
-    /// Records one access to `block`.
+    /// Records one access to `block`, evicting the oldest access once the
+    /// window is full.
     pub fn record(&mut self, block: u64) {
-        self.recent.push(block);
+        self.recent.push_back(block);
         if self.recent.len() > self.window {
-            self.recent.remove(0);
+            self.recent.pop_front();
         }
     }
 
@@ -359,6 +364,27 @@ mod tests {
         }
         assert!(!w.contains(1));
         assert_eq!(w.hot_blocks()[0], (9, 6));
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest_first_exactly() {
+        // Pins the ring-buffer semantics: the window holds the *last* N
+        // records in arrival order, evicting exactly one — the oldest —
+        // per record once full.
+        let mut w = SlidingWindow::new(3);
+        w.record(10);
+        w.record(20);
+        w.record(30);
+        assert!(w.contains(10) && w.contains(20) && w.contains(30));
+        w.record(40); // evicts 10, keeps {20, 30, 40}
+        assert!(!w.contains(10), "oldest record evicted first");
+        assert!(w.contains(20) && w.contains(30) && w.contains(40));
+        w.record(50); // evicts 20
+        assert!(!w.contains(20));
+        assert!(w.contains(30));
+        // Counts reflect only in-window occurrences, ties ordered by block.
+        w.record(30); // evicts 30 (the older copy), window {40, 50, 30}
+        assert_eq!(w.hot_blocks(), vec![(30, 1), (40, 1), (50, 1)]);
     }
 
     #[test]

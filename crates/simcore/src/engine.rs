@@ -160,6 +160,17 @@ impl<E> Engine<E> {
         }
     }
 
+    /// [`Engine::new`] with the event queue pre-sized for `capacity`
+    /// pending events. With enough headroom for the simulation's peak
+    /// event population, the dispatch loop performs no heap allocation at
+    /// all: popping, handling, and rescheduling reuse the queue's storage.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Engine {
+            queue: EventQueue::with_capacity(capacity),
+            ..Self::new()
+        }
+    }
+
     /// Sets the time horizon: events strictly after `horizon` are not
     /// processed (they stay pending).
     pub fn with_horizon(mut self, horizon: SimTime) -> Self {
