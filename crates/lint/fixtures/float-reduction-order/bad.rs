@@ -1,0 +1,19 @@
+// Fixture: order-sensitive float folds inside parallel map closures.
+// Float addition is not associative, so these change output bytes when
+// the shard count changes — exactly what the 1/2/8-thread identity tests
+// exist to catch.
+pub fn total_energy(shards: &[Shard], threads: usize) -> Vec<f64> {
+    par::map(shards, threads, |shard| {
+        let mut acc = 0.0f64;
+        for r in shard.reports() {
+            acc += r.energy_wh;
+        }
+        acc
+    })
+}
+
+pub fn mean_load(shards: &[Shard], threads: usize) -> Vec<f64> {
+    par::map(shards, threads, |shard| {
+        shard.samples().iter().sum::<f64>() / shard.len() as f64
+    })
+}

@@ -1,0 +1,24 @@
+// Fixture: the deterministic counterpart — closures return per-item
+// values; all float reduction happens sequentially over the collected
+// Vec, whose order is the item order at any thread count. Integer folds
+// inside the closure are fine (addition is associative).
+pub fn total_energy(shards: &[Shard], threads: usize) -> f64 {
+    let per_shard: Vec<Vec<f64>> = par::map(shards, threads, |shard| shard.energy_vec());
+    let mut total = 0.0f64;
+    for shard in &per_shard {
+        for e in shard {
+            total += e;
+        }
+    }
+    total
+}
+
+pub fn event_counts(shards: &[Shard], threads: usize) -> Vec<u64> {
+    par::map(shards, threads, |shard| {
+        let mut n = 0u64;
+        for r in shard.reports() {
+            n += r.events;
+        }
+        n
+    })
+}

@@ -1,0 +1,23 @@
+// Fixture: RNG streams on the sim path seeded from literals. Every
+// construction reachable from a sim entry point must derive from a seed
+// the caller passed in; a constant seed hands every run (and every
+// shard) the same stream.
+pub fn balance_round(seed: u64, servers: &mut [Server]) {
+    // The parameter is right there — and ignored.
+    let mut jitter = Rng::new(42);
+    for s in servers.iter_mut() {
+        s.nudge(jitter.next_u64());
+    }
+    let _ = seed;
+}
+
+fn evolve_load(profile: &Profile) -> f64 {
+    // Reachable via balance_round in real code; ambient constant seed.
+    let mut rng = Rng::new(0xDEAD_BEEF);
+    profile.sample(rng.next_u64())
+}
+
+pub fn balance_round_evolved(seed: u64, profile: &Profile) -> f64 {
+    let _ = seed;
+    evolve_load(profile)
+}

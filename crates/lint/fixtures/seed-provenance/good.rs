@@ -1,0 +1,21 @@
+// Fixture: the deterministic counterpart — every stream derives from the
+// seed parameter, directly or through a let-bound local the taint pass
+// follows.
+pub fn balance_round(seed: u64, servers: &mut [Server]) {
+    let mut jitter = Rng::new(seed ^ 0x9E37_79B9);
+    for s in servers.iter_mut() {
+        s.nudge(jitter.next_u64());
+    }
+}
+
+fn evolve_load(seed: u64, profile: &Profile) -> f64 {
+    // Derivation through locals is fine: `mixed` is tainted by `seed`.
+    let mut state = seed;
+    let mixed = splitmix64(&mut state);
+    let mut rng = Rng::new(mixed);
+    profile.sample(rng.next_u64())
+}
+
+pub fn balance_round_evolved(seed: u64, profile: &Profile) -> f64 {
+    evolve_load(seed, profile)
+}

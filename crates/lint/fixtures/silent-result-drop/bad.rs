@@ -1,0 +1,13 @@
+// Fixture: `let _ =` throwing away a Result in library code. The error
+// path vanishes without a trace — in a simulator that accounts for
+// failures, a dropped Result is usually an accounting bug.
+pub fn deliver_report(leader: &mut Leader, report: Report) -> Result<(), SendError> {
+    leader.enqueue(report)
+}
+
+pub fn sweep_reports(leader: &mut Leader, reports: Vec<Report>) {
+    for report in reports {
+        // Delivery failure silently discarded.
+        let _ = deliver_report(leader, report);
+    }
+}

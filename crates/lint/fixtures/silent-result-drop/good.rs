@@ -1,0 +1,24 @@
+// Fixture: the honest counterparts — handle the error, count it, or
+// propagate it. Discarding a non-Result value stays legal, as does the
+// write!/writeln! macro idiom.
+pub fn deliver_report(leader: &mut Leader, report: Report) -> Result<(), SendError> {
+    leader.enqueue(report)
+}
+
+pub fn sweep_reports(leader: &mut Leader, reports: Vec<Report>, stats: &mut Stats) {
+    for report in reports {
+        if deliver_report(leader, report).is_err() {
+            stats.lost_reports += 1;
+        }
+    }
+}
+
+pub fn forward(leader: &mut Leader, report: Report) -> Result<(), SendError> {
+    deliver_report(leader, report)?;
+    Ok(())
+}
+
+pub fn note_attempt(attempt: u32) {
+    // Discarding a plain value is not a finding.
+    let _ = attempt;
+}

@@ -1,4 +1,10 @@
 //! Per-file analysis driver: lex, run rules, honour suppressions.
+//!
+//! The engine is split into composable pieces — directive policing,
+//! suppression application with usage accounting, stale detection — so the
+//! workspace pipeline in [`crate::report`] can thread *graph-layer*
+//! findings (which exist only across files) through the same suppression
+//! machinery before deciding which directives are stale.
 
 use crate::lexer::{lex, Suppression};
 use crate::rules::{check_tokens, panic_sites, FileContext, Finding, ALL_RULES};
@@ -7,7 +13,7 @@ use crate::rules::{check_tokens, panic_sites, FileContext, Finding, ALL_RULES};
 #[derive(Debug, Default)]
 pub struct FileReport {
     /// Rule violations (after suppression filtering), including findings
-    /// about malformed suppression directives themselves.
+    /// about malformed or stale suppression directives themselves.
     pub findings: Vec<Finding>,
     /// Library-code panic sites (after suppression filtering); aggregated
     /// into the per-crate ratchet by the caller.
@@ -18,21 +24,16 @@ pub struct FileReport {
 ///
 /// A directive covers its own line (trailing comment) and the next line
 /// (directive on the line above the flagged code).
-fn covers(s: &Suppression, rule: &str, line: u32) -> bool {
+pub fn covers(s: &Suppression, rule: &str, line: u32) -> bool {
     s.rule == rule && (line == s.line || line == s.line + 1)
 }
 
-/// Analyses one file: lexes, runs every rule, then applies (and polices)
-/// the inline allow directives, e.g.
-/// `// ecolb-lint: allow(no-wallclock, "perf harness measures real time")`.
-pub fn check_file(ctx: &FileContext, src: &str) -> FileReport {
-    let lexed = lex(src);
-    let mut findings: Vec<Finding> = Vec::new();
-
-    // Police the directives first: a suppression without a reason, or for
-    // a rule that does not exist, is itself a finding — and is not
-    // suppressible.
-    for s in &lexed.suppressions {
+/// Polices the directives themselves: a suppression without a reason, or
+/// for a rule that does not exist, is a `suppression` finding — and is
+/// not suppressible.
+pub fn police_directives(ctx: &FileContext, suppressions: &[Suppression]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for s in suppressions {
         if !ALL_RULES.contains(&s.rule.as_str()) {
             findings.push(Finding {
                 rule: "suppression",
@@ -44,6 +45,7 @@ pub fn check_file(ctx: &FileContext, src: &str) -> FileReport {
                     s.rule,
                     ALL_RULES.join(", ")
                 ),
+                witness: Vec::new(),
             });
         } else if s.reason.is_none() {
             findings.push(Finding {
@@ -55,32 +57,124 @@ pub fn check_file(ctx: &FileContext, src: &str) -> FileReport {
                     "allow({}) without a reason; write `// ecolb-lint: allow({}, \"why\")`",
                     s.rule, s.rule
                 ),
+                witness: Vec::new(),
             });
         }
     }
+    findings
+}
 
-    let suppressed = |f: &Finding| {
-        lexed
-            .suppressions
-            .iter()
-            .any(|s| s.reason.is_some() && covers(s, f.rule, f.line))
-    };
-
-    findings.extend(
-        check_tokens(ctx, &lexed.tokens)
-            .into_iter()
-            .filter(|f| !suppressed(f)),
-    );
-    let sites = panic_sites(ctx, &lexed.tokens)
+/// Filters `findings` through the reasoned suppressions, marking which
+/// directives earned their keep in `used` (parallel to `suppressions`).
+///
+/// `base_of` maps a finding to the token-layer rule it shadows, if any —
+/// a graph finding like `sim-path-purity` over a wall-clock read is
+/// suppressible under either name, so one `allow(no-wallclock, …)` keeps
+/// working when the purity layer takes over reporting the site.
+pub fn apply_suppressions<F>(
+    suppressions: &[Suppression],
+    findings: Vec<Finding>,
+    used: &mut [bool],
+    base_of: F,
+) -> Vec<Finding>
+where
+    F: Fn(&Finding) -> Option<&'static str>,
+{
+    findings
         .into_iter()
-        .filter(|f| !suppressed(f))
-        .collect();
+        .filter(|f| {
+            let mut hit = false;
+            for (i, s) in suppressions.iter().enumerate() {
+                if s.reason.is_none() {
+                    continue;
+                }
+                let matches = covers(s, f.rule, f.line)
+                    || base_of(f).map(|b| covers(s, b, f.line)).unwrap_or(false);
+                if matches {
+                    used[i] = true;
+                    hit = true;
+                }
+            }
+            !hit
+        })
+        .collect()
+}
+
+/// **stale-suppression** — a well-formed, reasoned directive that
+/// suppressed nothing. Code moves; an allow that outlives its violation
+/// is a hole in the fence, so it becomes an error (non-suppressible, like
+/// the other directive-policing findings). Malformed directives are
+/// excluded — they are already reported by [`police_directives`].
+pub fn stale_findings(
+    ctx: &FileContext,
+    suppressions: &[Suppression],
+    used: &[bool],
+) -> Vec<Finding> {
+    suppressions
+        .iter()
+        .zip(used)
+        .filter(|(s, &u)| !u && s.reason.is_some() && ALL_RULES.contains(&s.rule.as_str()))
+        .map(|(s, _)| Finding {
+            rule: "stale-suppression",
+            path: ctx.path.clone(),
+            line: s.line,
+            col: 1,
+            message: format!(
+                "allow({}, …) suppresses nothing; the violation it covered is gone — delete the \
+                 directive",
+                s.rule
+            ),
+            witness: Vec::new(),
+        })
+        .collect()
+}
+
+/// Analyses one file in isolation: lexes, runs every token rule, then
+/// applies (and polices) the inline allow directives, e.g.
+/// `// ecolb-lint: allow(no-wallclock, "perf harness measures real time")`.
+///
+/// Graph-layer rules (`sim-path-purity`, `seed-provenance`,
+/// `silent-result-drop`) need the whole workspace and are run by
+/// [`crate::report::run_workspace`]; a directive for one of those rules is
+/// *not* reported stale here, since this view cannot see the finding it
+/// suppresses.
+pub fn check_file(ctx: &FileContext, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let mut findings = police_directives(ctx, &lexed.suppressions);
+    let mut used = vec![false; lexed.suppressions.len()];
+
+    let kept = apply_suppressions(
+        &lexed.suppressions,
+        check_tokens(ctx, &lexed.tokens),
+        &mut used,
+        |_| None,
+    );
+    findings.extend(kept);
+    let sites = apply_suppressions(
+        &lexed.suppressions,
+        panic_sites(ctx, &lexed.tokens),
+        &mut used,
+        |_| None,
+    );
+
+    // Directives naming a graph rule are credited unconditionally in this
+    // single-file view.
+    for (i, s) in lexed.suppressions.iter().enumerate() {
+        if GRAPH_RULES.contains(&s.rule.as_str()) {
+            used[i] = true;
+        }
+    }
+    findings.extend(stale_findings(ctx, &lexed.suppressions, &used));
 
     FileReport {
         findings,
         panic_sites: sites,
     }
 }
+
+/// Rules computed by the workspace graph layer, invisible to the
+/// single-file view.
+pub const GRAPH_RULES: &[&str] = &["sim-path-purity", "seed-provenance", "silent-result-drop"];
 
 #[cfg(test)]
 mod tests {
@@ -121,11 +215,27 @@ mod tests {
     }
 
     #[test]
-    fn allow_for_a_different_rule_does_not_suppress() {
+    fn allow_for_a_different_rule_is_stale_and_does_not_suppress() {
         let src = "let m = HashMap::new(); // ecolb-lint: allow(no-wallclock, \"wrong rule\")";
         let r = check_file(&ctx(), src);
+        let rules: Vec<_> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"no-unordered-collections"), "{:?}", rules);
+        assert!(rules.contains(&"stale-suppression"), "{:?}", rules);
+    }
+
+    #[test]
+    fn stale_allow_on_clean_code_is_flagged() {
+        let src = "// ecolb-lint: allow(no-wallclock, \"was needed once\")\nlet x = 1;";
+        let r = check_file(&ctx(), src);
         assert_eq!(r.findings.len(), 1);
-        assert_eq!(r.findings[0].rule, "no-unordered-collections");
+        assert_eq!(r.findings[0].rule, "stale-suppression");
+    }
+
+    #[test]
+    fn graph_rule_allows_are_not_stale_in_the_single_file_view() {
+        let src = "// ecolb-lint: allow(sim-path-purity, \"graph layer decides\")\nlet x = 1;";
+        let r = check_file(&ctx(), src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
     #[test]

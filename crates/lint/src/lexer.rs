@@ -493,9 +493,15 @@ fn lex_number(cur: &mut Cursor<'_>) -> (TokenKind, String) {
 
 /// Parses an allow directive — with or without its mandatory reason —
 /// out of a line comment's text.
+///
+/// The directive must *start* the comment (after any doc-comment markers
+/// `/`/`!` and whitespace): `// ecolb-lint: allow(rule, "reason")`. A
+/// mention embedded in prose — documentation that *talks about*
+/// directives — is inert, so it neither suppresses anything nor shows up
+/// as a stale suppression.
 fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
-    let idx = comment.find("ecolb-lint:")?;
-    let rest = comment[idx + "ecolb-lint:".len()..].trim_start();
+    let head = comment.trim_start_matches(['/', '!', ' ', '\t']);
+    let rest = head.strip_prefix("ecolb-lint:")?.trim_start();
     let rest = rest.strip_prefix("allow")?.trim_start();
     let rest = rest.strip_prefix('(')?;
     // The directive ends at the first `)` outside the quoted reason, so
@@ -660,16 +666,20 @@ mod tests {
     }
 
     #[test]
-    fn directive_followed_by_prose_still_parses() {
+    fn directive_embedded_in_prose_is_inert() {
+        // Documentation that *mentions* the directive syntax must not
+        // create a live (and instantly stale) suppression.
         let out = lex("// see `ecolb-lint: allow(no-wallclock, \"why\")` — reason is mandatory\n");
-        assert_eq!(
-            out.suppressions,
-            vec![Suppression {
-                rule: "no-wallclock".into(),
-                reason: Some("why".into()),
-                line: 1,
-            }]
-        );
+        assert!(out.suppressions.is_empty());
+    }
+
+    #[test]
+    fn directive_at_doc_comment_start_parses() {
+        let out = lex("/// ecolb-lint: allow(no-wallclock, \"doc'd\")\nfn f() {}");
+        assert_eq!(out.suppressions.len(), 1);
+        assert_eq!(out.suppressions[0].rule, "no-wallclock");
+        let trailing = lex("x(); // ecolb-lint: allow(no-wallclock, \"trailing\")\n");
+        assert_eq!(trailing.suppressions.len(), 1);
     }
 
     #[test]

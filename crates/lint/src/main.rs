@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! cargo run -p ecolb-lint --offline -- --workspace [--root DIR] [--json PATH] [--budget PATH]
+//! cargo run -p ecolb-lint --offline -- --explain <rule>
+//! cargo run -p ecolb-lint --offline -- --list-allows [--root DIR]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
 use ecolb_lint::budget::parse_budget;
+use ecolb_lint::explain::{explain, CARDS};
 use ecolb_lint::report::run_workspace;
 use ecolb_metrics::json::ToJson;
 use std::path::PathBuf;
@@ -17,17 +20,49 @@ struct Options {
     budget_path: Option<PathBuf>,
     json_path: Option<PathBuf>,
     quiet: bool,
+    list_allows: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ecolb-lint --workspace [--root DIR] [--budget PATH] [--json PATH] [--quiet]\n\
+         \x20      ecolb-lint --explain <rule>\n\
+         \x20      ecolb-lint --list-allows [--root DIR] [--budget PATH]\n\
          \n\
          Lints every .rs source of the workspace for determinism/robustness\n\
          violations. See crates/lint/src/lib.rs for the rule table; suppress a\n\
-         finding with `// ecolb-lint: allow(<rule>, \"<reason>\")`."
+         finding with `// ecolb-lint: allow(<rule>, \"<reason>\")`.\n\
+         `--explain <rule>` prints a rule's rationale with a bad/good example;\n\
+         `--list-allows` dumps the workspace suppression inventory with file:line."
     );
     std::process::exit(2);
+}
+
+fn explain_rule(rule: &str) -> i32 {
+    match explain(rule) {
+        Some(card) => {
+            println!("{}\n", card.rule);
+            println!("{}\n", card.doc);
+            println!("bad:\n{}\n", indent(card.bad));
+            println!("good:\n{}", indent(card.good));
+            0
+        }
+        None => {
+            let known: Vec<&str> = CARDS.iter().map(|c| c.rule).collect();
+            eprintln!(
+                "ecolb-lint: no rule named `{rule}`; known rules: {}",
+                known.join(", ")
+            );
+            2
+        }
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn parse_args() -> Options {
@@ -36,12 +71,18 @@ fn parse_args() -> Options {
         budget_path: None,
         json_path: None,
         quiet: false,
+        list_allows: false,
     };
     let mut saw_workspace = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => saw_workspace = true,
+            "--list-allows" => opts.list_allows = true,
+            "--explain" => {
+                let rule = args.next().unwrap_or_else(|| usage());
+                std::process::exit(explain_rule(&rule));
+            }
             "--root" => opts.root = args.next().map(PathBuf::from).unwrap_or_else(|| usage()),
             "--budget" => {
                 opts.budget_path = Some(args.next().map(PathBuf::from).unwrap_or_else(|| usage()))
@@ -54,7 +95,7 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
-    if !saw_workspace {
+    if !saw_workspace && !opts.list_allows {
         usage();
     }
     // `cargo run -p ecolb-lint` starts in the workspace root; when invoked
@@ -100,6 +141,21 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.list_allows {
+        if report.allows.is_empty() {
+            println!("no allow directives in the workspace");
+        }
+        for a in &report.allows {
+            let reason = if a.reason.is_empty() {
+                "(no reason — lint error)".to_string()
+            } else {
+                format!("\"{}\"", a.reason)
+            };
+            println!("{}:{}: allow({}) {}", a.path, a.line, a.rule, reason);
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if let Some(path) = &opts.json_path {
         if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("ecolb-lint: cannot write {}: {e}", path.display());
@@ -112,6 +168,9 @@ fn main() -> ExitCode {
             "{}:{}:{}: [{}] {}",
             f.path, f.line, f.col, f.rule, f.message
         );
+        if !f.witness.is_empty() {
+            println!("    call path: {}", f.witness.join(" -> "));
+        }
     }
     if !opts.quiet {
         for note in &report.notes {

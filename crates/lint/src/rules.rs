@@ -18,14 +18,21 @@ pub const SIM_PATH_CRATES: &[&str] = &[
     "simcore", "cluster", "energy", "workload", "policies", "trace", "chaos",
 ];
 
-/// All rule identifiers, in reporting order.
+/// All rule identifiers, in reporting order. The first six are token
+/// rules from this module; the last four come from the call-graph layer
+/// ([`crate::reach`]) and the suppression engine ([`crate::engine`]).
 pub const ALL_RULES: &[&str] = &[
     "no-wallclock",
     "no-unordered-collections",
     "no-ambient-rng",
     "no-env-reads",
     "float-truncating-cast",
+    "float-reduction-order",
     "panic-budget",
+    "sim-path-purity",
+    "seed-provenance",
+    "silent-result-drop",
+    "stale-suppression",
 ];
 
 /// Where a source file sits in the workspace — determines which rules
@@ -79,6 +86,9 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Call-path witness for reachability findings (entry point first,
+    /// violating function last); empty for token-level findings.
+    pub witness: Vec<String>,
 }
 
 fn finding(rule: &'static str, ctx: &FileContext, tok: &Token, message: String) -> Finding {
@@ -88,6 +98,7 @@ fn finding(rule: &'static str, ctx: &FileContext, tok: &Token, message: String) 
         line: tok.line,
         col: tok.col,
         message,
+        witness: Vec::new(),
     }
 }
 
@@ -115,7 +126,7 @@ pub fn matching_close(tokens: &[Token], open: usize) -> usize {
 }
 
 /// Index of the matching opening delimiter for the closer at `close`, or 0.
-fn matching_open(tokens: &[Token], close: usize) -> usize {
+pub fn matching_open(tokens: &[Token], close: usize) -> usize {
     let (o, c) = match tokens[close].text.as_str() {
         ")" => ('(', ')'),
         "]" => ('[', ']'),
@@ -139,6 +150,25 @@ fn matching_open(tokens: &[Token], close: usize) -> usize {
 /// True when tokens `i-2..i` are `::` (two consecutive `:` puncts).
 fn path_sep_before(tokens: &[Token], i: usize) -> bool {
     i >= 2 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':')
+}
+
+/// Token spans `(open, close)` of every `par::map(…)` /
+/// `par::map_indexed(…)` argument list (`open` is the index of the `(`,
+/// `close` its matching `)`). Shared by the RNG-reseed check and the
+/// float-reduction-order rule.
+pub fn par_map_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..tokens.len() {
+        let is_par_map = tokens[i].kind == TokenKind::Ident
+            && (tokens[i].text == "map" || tokens[i].text == "map_indexed")
+            && path_sep_before(tokens, i)
+            && i >= 3
+            && tokens[i - 3].is_ident("par");
+        if is_par_map && i + 1 < tokens.len() && tokens[i + 1].is_punct('(') {
+            spans.push((i + 1, matching_close(tokens, i + 1)));
+        }
+    }
+    spans
 }
 
 /// **no-wallclock** — `Instant` / `SystemTime` / `UNIX_EPOCH` are banned
@@ -228,17 +258,8 @@ pub fn no_ambient_rng(ctx: &FileContext, tokens: &[Token]) -> Vec<Finding> {
         }
     }
     // par::map / par::map_indexed call spans.
-    for i in 0..tokens.len() {
-        let is_par_map = tokens[i].kind == TokenKind::Ident
-            && (tokens[i].text == "map" || tokens[i].text == "map_indexed")
-            && path_sep_before(tokens, i)
-            && i >= 3
-            && tokens[i - 3].is_ident("par");
-        if !is_par_map || i + 1 >= tokens.len() || !tokens[i + 1].is_punct('(') {
-            continue;
-        }
-        let close = matching_close(tokens, i + 1);
-        let span = &tokens[i + 1..close.min(tokens.len())];
+    for (open, close) in par_map_spans(tokens) {
+        let span = &tokens[open..close.min(tokens.len())];
         // Find Rng::new( … ) with literal-only arguments inside the span.
         for j in 0..span.len() {
             if span[j].is_ident("Rng")
@@ -384,6 +405,118 @@ pub fn float_truncating_cast(ctx: &FileContext, tokens: &[Token]) -> Vec<Finding
     out
 }
 
+/// **float-reduction-order** — inside a `par::map(…)` /
+/// `par::map_indexed(…)` call span in sim-path crates, float accumulation
+/// is order-sensitive: resharding the map reassociates the reduction, so
+/// an `f64` `+=` or `.sum()` fold silently changes bytes at a different
+/// thread count. Flagged: `+=` in a statement with float evidence (a
+/// float literal, `f64`/`f32`, or an identifier `let`-bound to one inside
+/// the span), and `.sum()` / `.product()` with a float turbofish or float
+/// evidence in the same statement. The fix is structural: return per-item
+/// values from the closure and reduce *sequentially* over the collected
+/// `Vec`, where the order is the item order.
+pub fn float_reduction_order(ctx: &FileContext, tokens: &[Token]) -> Vec<Finding> {
+    if !SIM_PATH_CRATES.contains(&ctx.krate.as_str()) {
+        return Vec::new();
+    }
+    let is_float_evidence = |t: &Token| {
+        t.kind == TokenKind::Float
+            || (t.kind == TokenKind::Ident && matches!(t.text.as_str(), "f64" | "f32"))
+    };
+    let mut out = Vec::new();
+    for (open, close) in par_map_spans(tokens) {
+        let close = close.min(tokens.len());
+        let span = &tokens[open..close];
+        // Identifiers `let`-bound to a float inside the span: `let mut
+        // acc = 0.0;` makes every later `acc += …` a float fold even when
+        // that statement shows no literal.
+        let mut float_idents: Vec<&str> = Vec::new();
+        for j in 0..span.len() {
+            if !span[j].is_ident("let") {
+                continue;
+            }
+            let stmt_end = span[j..]
+                .iter()
+                .position(|t| t.is_punct(';'))
+                .map(|p| j + p)
+                .unwrap_or(span.len());
+            if span[j..stmt_end].iter().any(|t| is_float_evidence(t)) {
+                let mut k = j + 1;
+                while k < stmt_end && matches!(span[k].text.as_str(), "mut" | "ref") {
+                    k += 1;
+                }
+                if k < stmt_end && span[k].kind == TokenKind::Ident {
+                    float_idents.push(span[k].text.as_str());
+                }
+            }
+        }
+        // Statement bounds around index `j` within the span.
+        let stmt_around = |j: usize| {
+            let start = span[..j]
+                .iter()
+                .rposition(|t| t.is_punct(';') || t.is_punct('{') || t.is_punct('}'))
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let end = span[j..]
+                .iter()
+                .position(|t| t.is_punct(';') || t.is_punct('}'))
+                .map(|p| j + p)
+                .unwrap_or(span.len());
+            (start, end)
+        };
+        let stmt_is_float = |a: usize, b: usize| {
+            span[a..b].iter().any(|t| {
+                is_float_evidence(t)
+                    || (t.kind == TokenKind::Ident && float_idents.contains(&t.text.as_str()))
+            })
+        };
+        for j in 0..span.len() {
+            let plus_eq = span[j].is_punct('+')
+                && span.get(j + 1).map(|t| t.is_punct('=')).unwrap_or(false)
+                && span.get(j + 2).map(|t| !t.is_punct('=')).unwrap_or(true);
+            if plus_eq {
+                let (a, b) = stmt_around(j);
+                if stmt_is_float(a, b) {
+                    out.push(finding(
+                        "float-reduction-order",
+                        ctx,
+                        &span[j],
+                        "float `+=` inside a parallel map closure: the reduction order changes \
+                         with the shard count; collect per-item values and reduce sequentially"
+                            .to_string(),
+                    ));
+                }
+                continue;
+            }
+            let is_sum = span[j].kind == TokenKind::Ident
+                && matches!(span[j].text.as_str(), "sum" | "product")
+                && j >= 1
+                && span[j - 1].is_punct('.');
+            if is_sum {
+                let turbofish_float = j + 4 < span.len()
+                    && span[j + 1].is_punct(':')
+                    && span[j + 2].is_punct(':')
+                    && span[j + 3].is_punct('<')
+                    && matches!(span[j + 4].text.as_str(), "f64" | "f32");
+                let (a, b) = stmt_around(j);
+                if turbofish_float || stmt_is_float(a, b) {
+                    out.push(finding(
+                        "float-reduction-order",
+                        ctx,
+                        &span[j],
+                        format!(
+                            "float `.{}()` inside a parallel map closure: the fold order depends \
+                             on sharding; reduce sequentially over the collected results",
+                            span[j].text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// A panic site found in library code (counted against the ratchet, not
 /// reported individually unless a crate exceeds its budget).
 pub type PanicSite = Finding;
@@ -478,6 +611,7 @@ pub fn check_tokens(ctx: &FileContext, tokens: &[Token]) -> Vec<Finding> {
     out.extend(no_ambient_rng(ctx, tokens));
     out.extend(no_env_reads(ctx, tokens));
     out.extend(float_truncating_cast(ctx, tokens));
+    out.extend(float_reduction_order(ctx, tokens));
     out
 }
 
@@ -562,6 +696,21 @@ mod tests {
         assert!(float_truncating_cast(&c, &lex(int_ok).tokens).is_empty());
         let other_crate = ctx("crates/cluster/src/balance.rs");
         assert!(float_truncating_cast(&other_crate, &lex(flagged).tokens).is_empty());
+    }
+
+    #[test]
+    fn float_accumulation_in_par_map_flagged() {
+        let c = ctx("crates/cluster/src/balance.rs");
+        let direct = "par::map(items, 4, |x| { let mut acc = 0.0f64; acc += x.load; acc })";
+        assert_eq!(float_reduction_order(&c, &lex(direct).tokens).len(), 1);
+        let turbo = "par::map(items, 4, |x| x.samples.iter().sum::<f64>())";
+        assert_eq!(float_reduction_order(&c, &lex(turbo).tokens).len(), 1);
+        let int_fold = "par::map(items, 4, |x| { let mut n = 0u64; n += x.count; n })";
+        assert!(float_reduction_order(&c, &lex(int_fold).tokens).is_empty());
+        let outside = "let total: f64 = results.iter().sum();";
+        assert!(float_reduction_order(&c, &lex(outside).tokens).is_empty());
+        let off_path = ctx("crates/metrics/src/histogram.rs");
+        assert!(float_reduction_order(&off_path, &lex(direct).tokens).is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! are excluded from the workspace walk — they are fed to the engine
 //! directly here, under a synthetic path inside the rule's scope.
 
-use ecolb_lint::lint_source;
+use ecolb_lint::{lint_files, lint_source};
 
 /// (rule, synthetic path placing the fixture in the rule's scope, bad, good)
 const CASES: &[(&str, &str, &str, &str)] = &[
@@ -37,6 +37,29 @@ const CASES: &[(&str, &str, &str, &str)] = &[
         include_str!("../fixtures/float-truncating-cast/bad.rs"),
         include_str!("../fixtures/float-truncating-cast/good.rs"),
     ),
+    (
+        "float-reduction-order",
+        "crates/cluster/src/fixture.rs",
+        include_str!("../fixtures/float-reduction-order/bad.rs"),
+        include_str!("../fixtures/float-reduction-order/good.rs"),
+    ),
+];
+
+/// Graph-layer rules need the full workspace pipeline (`lint_files`), not
+/// the token-only `lint_source` — the fixture is a one-file workspace.
+const GRAPH_CASES: &[(&str, &str, &str, &str)] = &[
+    (
+        "seed-provenance",
+        "crates/cluster/src/fixture.rs",
+        include_str!("../fixtures/seed-provenance/bad.rs"),
+        include_str!("../fixtures/seed-provenance/good.rs"),
+    ),
+    (
+        "silent-result-drop",
+        "crates/cluster/src/fixture.rs",
+        include_str!("../fixtures/silent-result-drop/bad.rs"),
+        include_str!("../fixtures/silent-result-drop/good.rs"),
+    ),
 ];
 
 #[test]
@@ -63,6 +86,58 @@ fn good_fixtures_are_clean_under_all_rules() {
         assert!(
             findings.is_empty(),
             "good fixture of {rule} has findings under other rules: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_graph_rule_fires_on_bad_and_passes_good() {
+    for (rule, path, bad, good) in GRAPH_CASES {
+        let report = lint_files(&[(path.to_string(), bad.to_string())]);
+        let hits: Vec<_> = report.findings.iter().filter(|f| f.rule == *rule).collect();
+        assert!(
+            !hits.is_empty(),
+            "rule {rule} did not fire on its bad fixture; findings: {:?}",
+            report.findings
+        );
+        let report = lint_files(&[(path.to_string(), good.to_string())]);
+        let leaked: Vec<_> = report.findings.iter().filter(|f| f.rule == *rule).collect();
+        assert!(
+            leaked.is_empty(),
+            "rule {rule} fired on its good fixture: {leaked:?}"
+        );
+    }
+}
+
+#[test]
+fn graph_good_fixtures_are_clean_under_the_full_pipeline() {
+    for (rule, path, _, good) in GRAPH_CASES {
+        let report = lint_files(&[(path.to_string(), good.to_string())]);
+        assert!(
+            report.findings.is_empty(),
+            "good fixture of {rule} has findings under other rules: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn seed_provenance_findings_carry_witnesses() {
+    let (_, path, bad, _) = GRAPH_CASES[0];
+    let report = lint_files(&[(path.to_string(), bad.to_string())]);
+    for f in report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "seed-provenance")
+    {
+        assert!(
+            !f.witness.is_empty(),
+            "seed-provenance finding without a call-path witness: {f:?}"
+        );
+        assert!(
+            f.witness[0].contains("balance_round"),
+            "witness should start at the entry point: {:?}",
+            f.witness
         );
     }
 }

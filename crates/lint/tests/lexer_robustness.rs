@@ -125,3 +125,89 @@ fn kinds_roundtrip_on_a_mixed_snippet() {
     assert!(toks.iter().any(|t| t.kind == TokenKind::Char));
     assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime));
 }
+
+// ---- item-parser robustness (v2: the parser feeds the call graph, so a
+// ---- parse derailment would silently empty the reachable set) ----
+
+use ecolb_lint::parse::parse_items;
+
+#[test]
+fn parser_survives_nested_generics_in_signatures() {
+    let src = "\
+pub fn fold<K: Ord, V, F: FnMut(BTreeMap<K, Vec<V>>, (K, V)) -> BTreeMap<K, Vec<V>>>(
+    init: BTreeMap<K, Vec<V>>,
+    items: Vec<(K, V)>,
+    f: F,
+) -> BTreeMap<K, Vec<V>> {
+    items.into_iter().fold(init, f)
+}
+pub fn after(x: u64) -> u64 { x }
+";
+    let parsed = parse_items(&lex(src).tokens);
+    let names: Vec<&str> = parsed.fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["fold", "after"],
+        "nested generics derailed the item scan"
+    );
+    let fold = &parsed.fns[0];
+    assert!(
+        fold.params.contains(&"init".to_string()),
+        "{:?}",
+        fold.params
+    );
+    assert!(fold.params.contains(&"f".to_string()), "{:?}", fold.params);
+    assert!(fold.body.is_some());
+}
+
+#[test]
+fn parser_survives_raw_and_byte_strings_inside_items() {
+    let src = r####"
+pub fn emit() -> String {
+    let header = r#"{"fn": "not a real item", "impl Engine {": 1}"#;
+    let bytes = b"fn also_not_real() {";
+    format!("{}{:?}", header, bytes)
+}
+pub fn next_item(n: u64) -> u64 { n + 1 }
+"####;
+    let parsed = parse_items(&lex(src).tokens);
+    let names: Vec<&str> = parsed.fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["emit", "next_item"],
+        "string contents leaked into the item scan"
+    );
+}
+
+#[test]
+fn parser_keeps_impl_owner_across_where_clauses_and_arrows() {
+    let src = "\
+impl<T> Scheduler<T> where T: Tracer {
+    pub fn run(&mut self) -> RunOutcome { self.step() }
+    fn step(&mut self) -> RunOutcome { RunOutcome::Done }
+}
+";
+    let parsed = parse_items(&lex(src).tokens);
+    let owners: Vec<Option<&str>> = parsed.fns.iter().map(|f| f.owner.as_deref()).collect();
+    assert_eq!(owners, [Some("Scheduler"), Some("Scheduler")], "{parsed:?}");
+}
+
+#[test]
+fn parser_marks_cfg_test_functions() {
+    let src = "\
+pub fn library_fn() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a_test() { library_fn(); }
+}
+";
+    let parsed = parse_items(&lex(src).tokens);
+    let by_name: Vec<(&str, bool)> = parsed
+        .fns
+        .iter()
+        .map(|f| (f.name.as_str(), f.is_test))
+        .collect();
+    assert!(by_name.contains(&("library_fn", false)), "{by_name:?}");
+    assert!(by_name.contains(&("a_test", true)), "{by_name:?}");
+}
