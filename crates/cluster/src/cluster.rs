@@ -335,6 +335,9 @@ impl Cluster {
     /// The load sum accumulates in server order, exactly like
     /// [`cluster_load_fraction`], so the result is bit-identical.
     pub fn interval_stats(&self) -> (usize, f64) {
+        if self.servers.is_empty() {
+            return (0, 0.0);
+        }
         let mut sleeping = 0usize;
         let mut load = 0.0f64;
         for s in &self.servers {
@@ -342,6 +345,32 @@ impl Cluster {
             load += s.load();
         }
         (sleeping, load / self.servers.len() as f64)
+    }
+
+    /// Mean load fraction over the *awake* servers only — the per-
+    /// instance load the serving layer balances against. A defined 0.0
+    /// (never NaN) when every server is asleep or crashed.
+    pub fn awake_load_fraction(&self) -> f64 {
+        let mut awake = 0usize;
+        let mut load = 0.0f64;
+        for s in &self.servers {
+            if s.is_awake() {
+                awake += 1;
+                load += s.load();
+            }
+        }
+        if awake == 0 {
+            0.0
+        } else {
+            load / awake as f64
+        }
+    }
+
+    /// Fills `out` with the serving layer's instance snapshot: one
+    /// [`crate::instances::InstanceInfo`] per server, in server-id
+    /// order. See [`crate::instances`].
+    pub fn instance_snapshot(&self, out: &mut Vec<crate::instances::InstanceInfo>) {
+        crate::instances::snapshot_into(&self.servers, out);
     }
 
     /// Sum of all servers' energy breakdowns.

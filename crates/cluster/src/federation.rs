@@ -112,6 +112,16 @@ impl Federation {
         self.clusters.iter().map(Cluster::load_fraction).collect()
     }
 
+    /// Mean load fraction across member clusters — a defined 0.0
+    /// (never NaN) for an empty federation, matching the guard style of
+    /// [`Cluster::interval_stats`].
+    pub fn mean_load(&self) -> f64 {
+        if self.clusters.is_empty() {
+            return 0.0;
+        }
+        self.loads().iter().sum::<f64>() / self.clusters.len() as f64
+    }
+
     /// One federation interval: every cluster runs its own reallocation
     /// interval, then the inter-cluster tier moves applications from hot
     /// clusters to cold ones.

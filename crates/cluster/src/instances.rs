@@ -1,0 +1,87 @@
+//! Instance snapshots: the cluster's server set as the serving layer
+//! sees it.
+//!
+//! The serving seam (`ecolb-serve`) routes user requests to *instances*
+//! — awake servers hosting VMs. It must not reach into [`Server`]
+//! internals (that would couple request routing to the balancing
+//! implementation), so the cluster exports a flat, canonically ordered
+//! snapshot: one [`InstanceInfo`] per server, in server-id order. The
+//! serving layer diffs successive snapshots into discovery change
+//! events (wake/sleep/crash/load drift) — the sans-io analogue of a
+//! service-discovery push channel.
+
+use crate::server::{Server, ServerId};
+use ecolb_energy::regimes::OperatingRegime;
+
+/// One server as seen by the serving layer at a snapshot instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceInfo {
+    /// The server's identity (stable across the run).
+    pub id: ServerId,
+    /// Whether the server is awake (C0) and can serve requests.
+    pub awake: bool,
+    /// Operating regime at snapshot time (paper §4 classification).
+    pub regime: OperatingRegime,
+    /// Normalized load fraction at snapshot time.
+    pub load: f64,
+    /// VMs hosted (0 for sleeping/crashed servers).
+    pub vms: usize,
+}
+
+/// Fills `out` with one entry per server, in server-id order (cleared
+/// first). Taking the buffer keeps the per-interval snapshot
+/// allocation-free after the first call.
+pub fn snapshot_into(servers: &[Server], out: &mut Vec<InstanceInfo>) {
+    out.clear();
+    out.reserve(servers.len());
+    for (i, s) in servers.iter().enumerate() {
+        out.push(InstanceInfo {
+            id: ServerId(i as u32),
+            awake: s.is_awake(),
+            regime: s.regime(),
+            load: s.load(),
+            vms: s.app_count(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use ecolb_workload::generator::WorkloadSpec;
+
+    #[test]
+    fn snapshot_is_ordered_and_complete() {
+        let cluster = Cluster::new(ClusterConfig::paper(30, WorkloadSpec::paper_low_load()), 11);
+        let mut out = Vec::new();
+        cluster.instance_snapshot(&mut out);
+        assert_eq!(out.len(), 30);
+        for (i, inst) in out.iter().enumerate() {
+            assert_eq!(inst.id, ServerId(i as u32));
+            assert!(inst.awake, "fresh clusters start awake");
+            assert!(inst.load >= 0.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_crashes() {
+        let mut cluster = Cluster::new(ClusterConfig::paper(10, WorkloadSpec::paper_low_load()), 3);
+        let at = cluster.now();
+        cluster.crash_server(ServerId(4), at);
+        let mut out = Vec::new();
+        cluster.instance_snapshot(&mut out);
+        assert!(!out[4].awake);
+        assert_eq!(out[4].vms, 0);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn snapshot_reuses_the_buffer() {
+        let cluster = Cluster::new(ClusterConfig::paper(5, WorkloadSpec::paper_low_load()), 3);
+        let mut out = Vec::with_capacity(64);
+        cluster.instance_snapshot(&mut out);
+        cluster.instance_snapshot(&mut out);
+        assert_eq!(out.len(), 5);
+    }
+}

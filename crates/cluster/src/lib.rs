@@ -16,6 +16,8 @@
 //! * [`cluster`] — the reallocation-interval driver tying it together;
 //! * [`sim`] — the event-driven timed variant (migration/wake latencies);
 //! * [`admission`] — §3/§6 admission control with arrival streams;
+//! * [`instances`] — the flat instance snapshot the serving layer
+//!   (`ecolb-serve`) diffs into discovery change events;
 //! * [`federation`] — the multi-cluster tier (§4 scalability);
 //! * [`mix`] — heterogeneous Table 1 server-class populations;
 //! * [`recovery`] — the failure-recovery protocol: fault hooks,
@@ -40,6 +42,7 @@ pub mod admission;
 pub mod balance;
 pub mod cluster;
 pub mod federation;
+pub mod instances;
 pub mod leader;
 pub mod messages;
 pub mod migration;
@@ -58,6 +61,7 @@ pub use balance::{
 };
 pub use cluster::{Cluster, ClusterConfig, ClusterRunReport};
 pub use federation::{Federation, FederationConfig, FederationReport};
+pub use instances::InstanceInfo;
 pub use leader::Leader;
 pub use messages::{CommLedger, Message, MessageStats, RetryPolicy};
 pub use migration::{MigrationCost, MigrationCostModel};

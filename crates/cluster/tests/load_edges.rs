@@ -1,0 +1,104 @@
+//! Edge tests for the load-fraction guards: every ratio over an
+//! awake/instance count must degrade to a defined 0.0 — never NaN,
+//! never a divide-by-zero panic — when a whole cluster crashes or
+//! drains to sleep.
+
+use ecolb_cluster::cluster::{Cluster, ClusterConfig};
+use ecolb_cluster::federation::{Federation, FederationConfig};
+use ecolb_cluster::server::ServerId;
+use ecolb_workload::generator::WorkloadSpec;
+
+fn config(n: usize) -> ClusterConfig {
+    ClusterConfig::paper(n, WorkloadSpec::paper_low_load())
+}
+
+fn crash_everything(cluster: &mut Cluster) {
+    let at = cluster.now();
+    for i in 0..cluster.servers().len() {
+        cluster.crash_server(ServerId(i as u32), at);
+    }
+}
+
+#[test]
+fn all_crashed_cluster_reports_defined_zeros() {
+    let mut cluster = Cluster::new(config(12), 5);
+    crash_everything(&mut cluster);
+
+    let (sleeping, load) = cluster.interval_stats();
+    assert_eq!(sleeping, 12, "crashed servers count as not-awake");
+    assert!(load.is_finite());
+    assert_eq!(load, 0.0);
+
+    assert_eq!(cluster.load_fraction(), 0.0);
+    assert_eq!(cluster.awake_load_fraction(), 0.0);
+    assert!(cluster.leaderless(), "every host is down");
+
+    let census = cluster.census();
+    assert_eq!(census.total(), 0);
+    assert!(census.undesirable_fraction().is_finite());
+    assert_eq!(census.undesirable_fraction(), 0.0);
+    assert_eq!(census.acceptable_fraction(), 0.0);
+}
+
+#[test]
+fn awake_load_fraction_averages_only_awake_servers() {
+    let mut cluster = Cluster::new(config(8), 9);
+    let whole = cluster.load_fraction();
+    assert!(whole > 0.0);
+    // With every server awake the two means agree.
+    assert!((cluster.awake_load_fraction() - whole).abs() < 1e-12);
+
+    // Crash all but server 0: the awake mean collapses to server 0's
+    // load while the whole-cluster mean keeps the dead capacity in the
+    // denominator.
+    let at = cluster.now();
+    for i in 1..8 {
+        cluster.crash_server(ServerId(i), at);
+    }
+    let s0 = cluster.servers()[0].load();
+    assert!((cluster.awake_load_fraction() - s0).abs() < 1e-12);
+    assert!(cluster.load_fraction() <= s0 / 8.0 + 1e-12);
+}
+
+#[test]
+fn instance_snapshot_of_a_dead_cluster_is_complete_and_inert() {
+    let mut cluster = Cluster::new(config(6), 3);
+    crash_everything(&mut cluster);
+    let mut out = Vec::new();
+    cluster.instance_snapshot(&mut out);
+    assert_eq!(out.len(), 6);
+    for inst in &out {
+        assert!(!inst.awake);
+        assert_eq!(inst.vms, 0);
+        assert!(inst.load.is_finite());
+    }
+}
+
+#[test]
+fn interval_stats_after_consolidation_sleeps_servers_stays_finite() {
+    // A low-load cluster consolidates aggressively; after a few
+    // intervals a good fraction of servers sleep. The load fraction must
+    // stay finite and within [0, 1] throughout.
+    let mut cluster = Cluster::new(config(40), 7);
+    for _ in 0..12 {
+        cluster.run_interval();
+        let (sleeping, load) = cluster.interval_stats();
+        assert!(sleeping <= 40);
+        assert!(load.is_finite());
+        assert!((0.0..=1.0).contains(&load), "load {load}");
+        assert!(cluster.awake_load_fraction().is_finite());
+    }
+}
+
+#[test]
+fn federation_mean_load_is_defined_and_matches_loads() {
+    let fed = Federation::new(
+        vec![config(10), config(10)],
+        FederationConfig::default(),
+        21,
+    );
+    let loads = fed.loads();
+    let expect = loads.iter().sum::<f64>() / loads.len() as f64;
+    assert!((fed.mean_load() - expect).abs() < 1e-12);
+    assert!(fed.mean_load().is_finite());
+}

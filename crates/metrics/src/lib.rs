@@ -33,6 +33,7 @@ pub mod convert;
 pub mod degradation;
 pub mod histogram;
 pub mod json;
+pub mod latency;
 pub mod plot;
 pub mod quantile;
 pub mod report;
@@ -42,6 +43,7 @@ pub mod timeseries;
 
 pub use degradation::DegradationSummary;
 pub use histogram::Histogram;
+pub use latency::{LatencyRecorder, SlaClassCounters};
 pub use quantile::P2Quantile;
 pub use report::Report;
 pub use summary::OnlineStats;

@@ -1,0 +1,58 @@
+//! # ecolb-serve
+//!
+//! The request-level serving seam: the paper's energy-aware cluster
+//! behind a sans-io `Discover`/`LoadBalance` front end.
+//!
+//! The §4 protocol decides *migrations and sleeps*; what a user of the
+//! cloud sees is *request latency*. This crate closes that gap with
+//! four pieces, shaped like the loadbalance module of a production RPC
+//! stack but fully deterministic and I/O-free:
+//!
+//! * [`discover`] — [`Discover`](discover::Discover): the live instance
+//!   set as canonical snapshots plus [`Change`](discover::Change)
+//!   notifications diffed from cluster events (wake/sleep/crash/
+//!   migration);
+//! * [`picker`] — [`Picker`](picker::Picker): deterministic routing
+//!   strategies — round-robin, least-loaded, power-of-two-choices
+//!   (keyed per request id) and the paper-native
+//!   [`RegimeAware`](picker::RegimeAware) router;
+//! * [`queue`] — per-instance FIFO service queues in integer tick
+//!   arithmetic;
+//! * [`sim`] — [`ServeSim`](sim::ServeSim): one engine co-simulating
+//!   open-loop request traffic with the reallocation protocol, so
+//!   energy decisions and routing decisions interact and a picker
+//!   comparison yields an energy-vs-p99 frontier (EXPERIMENTS.md "RQ").
+//!
+//! Everything is a pure function of `(config, seed)`: replaying a run
+//! byte-identically reproduces its [`ServeReport`](sim::ServeReport).
+//! A future live backend replaces the discovery source and the clock —
+//! the pickers, queues and reports are backend-agnostic.
+//!
+//! ```
+//! use ecolb_cluster::cluster::ClusterConfig;
+//! use ecolb_serve::picker::PickerKind;
+//! use ecolb_serve::sim::{ServeConfig, ServeSim};
+//! use ecolb_workload::generator::WorkloadSpec;
+//!
+//! let cluster = ClusterConfig::paper(20, WorkloadSpec::paper_low_load());
+//! let config = ServeConfig::paper(cluster, PickerKind::RegimeAware, 3);
+//! let report = ServeSim::new(config, 7).run();
+//! assert_eq!(report.picker, "regime_aware");
+//! assert_eq!(
+//!     report.requests_admitted,
+//!     report.requests_completed + report.requests_rejected
+//! );
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod discover;
+pub mod picker;
+pub mod queue;
+pub mod sim;
+
+pub use discover::{diff_into, Change, ClusterDiscover, Discover, InstanceSet};
+pub use picker::{LeastLoaded, Picker, PickerKind, PowerOfTwo, RegimeAware, RoundRobin};
+pub use queue::{QueueModel, QueueView};
+pub use sim::{regime_energy_multiplier, ServeConfig, ServeEvent, ServeReport, ServeSim};

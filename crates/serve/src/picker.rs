@@ -1,0 +1,418 @@
+//! Deterministic request pickers — the `LoadBalance` seam.
+//!
+//! A [`Picker`] maps one request to one awake instance given the current
+//! [`InstanceSet`] and a read-only [`QueueView`]. All four shipped
+//! pickers are pure functions of `(instance set, queue state, request
+//! id, seed)`:
+//!
+//! * [`RoundRobin`] — cyclic over the awake instances;
+//! * [`LeastLoaded`] — global argmin of queued work;
+//! * [`PowerOfTwo`] — two keyed-random candidates, less-loaded wins
+//!   (the classic two-choices result: near-least-loaded quality at O(1)
+//!   cost). The candidate draws come from the `(seed, request id)`
+//!   stream, so the choice is independent of call order — seed
+//!   provenance the lint can follow;
+//! * [`RegimeAware`] — the paper's §4 regime classification re-exposed
+//!   as a router: requests steer *off* the underloaded servers the
+//!   consolidation policy wants to drain and sleep (R1/R2) and off the
+//!   overloaded ones (R5), concentrating traffic where the policy wants
+//!   it — so the serving layer stops fighting the energy layer.
+//!
+//! Ties always break toward the lower server id, and candidates only
+//! ever come from [`InstanceSet::awake_indices`] — no picker can route
+//! to a sleeping or crashed instance.
+
+use crate::discover::{Change, InstanceSet};
+use crate::queue::QueueView;
+use ecolb_cluster::server::ServerId;
+use ecolb_energy::regimes::OperatingRegime;
+use ecolb_workload::requests::{request_stream, RequestId, RequestStreamDomain};
+
+/// A routing strategy: picks an awake instance for each request.
+pub trait Picker {
+    /// Stable strategy label for reports and traces.
+    fn name(&self) -> &'static str;
+
+    /// Picks the serving instance for `request`, or `None` when no
+    /// awake instance exists.
+    fn pick(
+        &mut self,
+        set: &InstanceSet,
+        queues: &QueueView<'_>,
+        request: RequestId,
+    ) -> Option<ServerId>;
+
+    /// Discovery notification: the instance set changed (wake, sleep,
+    /// crash, migration). Default: no internal state to fix up.
+    fn on_change(&mut self, _set: &InstanceSet, _changes: &[Change]) {}
+}
+
+/// The four shipped strategies, as config vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PickerKind {
+    /// Cyclic over the awake instances.
+    RoundRobin,
+    /// Global argmin of queued work.
+    LeastLoaded,
+    /// Two keyed-random candidates, less-loaded wins.
+    PowerOfTwo,
+    /// Regime-scored routing (paper §4 classification).
+    RegimeAware,
+}
+
+impl PickerKind {
+    /// Every shipped strategy, in report order.
+    pub fn all() -> [PickerKind; 4] {
+        [
+            PickerKind::RoundRobin,
+            PickerKind::LeastLoaded,
+            PickerKind::PowerOfTwo,
+            PickerKind::RegimeAware,
+        ]
+    }
+
+    /// Stable label matching [`Picker::name`].
+    pub fn label(self) -> &'static str {
+        match self {
+            PickerKind::RoundRobin => "round_robin",
+            PickerKind::LeastLoaded => "least_loaded",
+            PickerKind::PowerOfTwo => "power_of_two",
+            PickerKind::RegimeAware => "regime_aware",
+        }
+    }
+
+    /// Instantiates the picker. `seed` feeds the keyed choice stream of
+    /// [`PowerOfTwo`]; the other strategies ignore it.
+    pub fn build(self, seed: u64) -> Box<dyn Picker> {
+        match self {
+            PickerKind::RoundRobin => Box::new(RoundRobin::new()),
+            PickerKind::LeastLoaded => Box::new(LeastLoaded),
+            PickerKind::PowerOfTwo => Box::new(PowerOfTwo::new(seed)),
+            PickerKind::RegimeAware => Box::new(RegimeAware),
+        }
+    }
+}
+
+/// Cyclic picker over the awake instances.
+///
+/// The cursor indexes the *awake list*, so over any window in which the
+/// awake set is stable every awake instance receives either ⌊w/n⌋ or
+/// ⌈w/n⌉ of the w requests — the fairness property in the property
+/// tests. Membership changes reset the cursor (a deterministic function
+/// of the new set, not of which server happened to change).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A fresh picker with the cursor at the first awake instance.
+    pub fn new() -> Self {
+        RoundRobin { cursor: 0 }
+    }
+}
+
+impl Picker for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn pick(
+        &mut self,
+        set: &InstanceSet,
+        _queues: &QueueView<'_>,
+        _request: RequestId,
+    ) -> Option<ServerId> {
+        let awake = set.awake_indices();
+        if awake.is_empty() {
+            return None;
+        }
+        let slot = self.cursor % awake.len();
+        self.cursor = slot + 1;
+        set.get(awake[slot]).map(|i| i.id)
+    }
+
+    fn on_change(&mut self, _set: &InstanceSet, changes: &[Change]) {
+        if !changes.is_empty() {
+            self.cursor = 0;
+        }
+    }
+}
+
+/// Global argmin of queued work; ties break to the lower server id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeastLoaded;
+
+impl Picker for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least_loaded"
+    }
+
+    fn pick(
+        &mut self,
+        set: &InstanceSet,
+        queues: &QueueView<'_>,
+        _request: RequestId,
+    ) -> Option<ServerId> {
+        let mut best: Option<(u64, ServerId)> = None;
+        for &idx in set.awake_indices() {
+            if let Some(inst) = set.get(idx) {
+                let key = (queues.backlog_ticks(inst.id), inst.id);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+/// Two keyed-random candidates; the one with less queued work wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerOfTwo {
+    seed: u64,
+}
+
+impl PowerOfTwo {
+    /// A picker whose candidate draws are keyed on `(seed, request)`.
+    pub fn new(seed: u64) -> Self {
+        PowerOfTwo { seed }
+    }
+}
+
+impl Picker for PowerOfTwo {
+    fn name(&self) -> &'static str {
+        "power_of_two"
+    }
+
+    fn pick(
+        &mut self,
+        set: &InstanceSet,
+        queues: &QueueView<'_>,
+        request: RequestId,
+    ) -> Option<ServerId> {
+        let awake = set.awake_indices();
+        let n = awake.len();
+        if n == 0 {
+            return None;
+        }
+        // Candidates come from the per-request stream, so the draw is a
+        // pure function of (seed, request id, awake count) — replaying
+        // the same request against the same set always picks the same
+        // pair, regardless of how many requests ran before it.
+        let mut rng = request_stream(self.seed, RequestStreamDomain::Choice, request.0);
+        let first_slot = rng.index(n);
+        if n == 1 {
+            return set.get(awake[first_slot]).map(|i| i.id);
+        }
+        // Second candidate distinct from the first: draw from the n−1
+        // remaining slots and skip over the first pick.
+        let mut second_slot = rng.index(n - 1);
+        if second_slot >= first_slot {
+            second_slot += 1;
+        }
+        let a = set.get(awake[first_slot])?;
+        let b = set.get(awake[second_slot])?;
+        let ka = (queues.backlog_ticks(a.id), a.id);
+        let kb = (queues.backlog_ticks(b.id), b.id);
+        Some(if ka <= kb { a.id } else { b.id })
+    }
+}
+
+/// Regime-scored router: keep traffic on optimally loaded servers,
+/// off drain candidates and off overloaded ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegimeAware;
+
+/// Routing penalty of a regime, as virtual backlog ticks added to the
+/// instance's real queue before comparison. Zero for the optimal band
+/// (R3); small for the high suboptimal band (R4, still has headroom);
+/// larger for the low band (R2) and especially R1 — the consolidation
+/// policy's drain candidates, where every routed request keeps a server
+/// the energy layer wants asleep busy; largest for saturated R5, which
+/// serves slowest. A *penalty* rather than a strict tier: preferred
+/// regimes absorb traffic first, but once their queues grow past the
+/// penalty gap the load spills over instead of piling up.
+pub fn regime_penalty_ticks(regime: OperatingRegime) -> u64 {
+    match regime {
+        OperatingRegime::Optimal => 0,
+        OperatingRegime::SuboptimalHigh => 100_000,
+        OperatingRegime::SuboptimalLow => 250_000,
+        OperatingRegime::UndesirableLow => 500_000,
+        OperatingRegime::UndesirableHigh => 1_500_000,
+    }
+}
+
+impl Picker for RegimeAware {
+    fn name(&self) -> &'static str {
+        "regime_aware"
+    }
+
+    fn pick(
+        &mut self,
+        set: &InstanceSet,
+        queues: &QueueView<'_>,
+        _request: RequestId,
+    ) -> Option<ServerId> {
+        let mut best: Option<(u64, ServerId)> = None;
+        for &idx in set.awake_indices() {
+            if let Some(inst) = set.get(idx) {
+                let key = (
+                    queues
+                        .backlog_ticks(inst.id)
+                        .saturating_add(regime_penalty_ticks(inst.regime)),
+                    inst.id,
+                );
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueModel;
+    use ecolb_cluster::instances::InstanceInfo;
+    use ecolb_simcore::time::{SimDuration, SimTime};
+
+    fn inst(id: u32, awake: bool, regime: OperatingRegime, load: f64) -> InstanceInfo {
+        InstanceInfo {
+            id: ServerId(id),
+            awake,
+            regime,
+            load,
+            vms: 1,
+        }
+    }
+
+    fn set(instances: Vec<InstanceInfo>) -> InstanceSet {
+        InstanceSet::from_instances(instances)
+    }
+
+    #[test]
+    fn round_robin_cycles_over_awake_only() {
+        let s = set(vec![
+            inst(0, true, OperatingRegime::Optimal, 0.5),
+            inst(1, false, OperatingRegime::UndesirableLow, 0.0),
+            inst(2, true, OperatingRegime::Optimal, 0.5),
+        ]);
+        let q = QueueModel::new(3);
+        let view = q.view(SimTime::ZERO);
+        let mut rr = RoundRobin::new();
+        let picks: Vec<u32> = (0..4)
+            .filter_map(|i| rr.pick(&s, &view, RequestId(i)))
+            .map(|id| id.0)
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_loaded_follows_backlog() {
+        let s = set(vec![
+            inst(0, true, OperatingRegime::Optimal, 0.5),
+            inst(1, true, OperatingRegime::Optimal, 0.5),
+        ]);
+        let mut q = QueueModel::new(2);
+        q.enqueue(SimTime::ZERO, ServerId(0), SimDuration::from_secs(5));
+        let view = q.view(SimTime::ZERO);
+        let mut ll = LeastLoaded;
+        assert_eq!(ll.pick(&s, &view, RequestId(0)), Some(ServerId(1)));
+    }
+
+    #[test]
+    fn power_of_two_is_keyed_per_request() {
+        let s = set((0..8)
+            .map(|i| inst(i, true, OperatingRegime::Optimal, 0.5))
+            .collect());
+        let q = QueueModel::new(8);
+        let view = q.view(SimTime::ZERO);
+        let mut a = PowerOfTwo::new(42);
+        let mut b = PowerOfTwo::new(42);
+        // Same request id → same pick, regardless of call history.
+        for _ in 0..5 {
+            let _ = a.pick(&s, &view, RequestId(0));
+        }
+        assert_eq!(
+            a.pick(&s, &view, RequestId(7)),
+            b.pick(&s, &view, RequestId(7))
+        );
+    }
+
+    #[test]
+    fn power_of_two_single_instance() {
+        let s = set(vec![inst(3, true, OperatingRegime::Optimal, 0.5)]);
+        let q = QueueModel::new(4);
+        let view = q.view(SimTime::ZERO);
+        let mut p = PowerOfTwo::new(1);
+        assert_eq!(p.pick(&s, &view, RequestId(0)), Some(ServerId(3)));
+    }
+
+    #[test]
+    fn regime_aware_prefers_optimal_band() {
+        let s = set(vec![
+            inst(0, true, OperatingRegime::UndesirableLow, 0.05),
+            inst(1, true, OperatingRegime::Optimal, 0.6),
+            inst(2, true, OperatingRegime::UndesirableHigh, 0.95),
+        ]);
+        let q = QueueModel::new(3);
+        let view = q.view(SimTime::ZERO);
+        let mut ra = RegimeAware;
+        assert_eq!(ra.pick(&s, &view, RequestId(0)), Some(ServerId(1)));
+    }
+
+    #[test]
+    fn empty_awake_set_yields_none() {
+        let s = set(vec![inst(0, false, OperatingRegime::UndesirableLow, 0.0)]);
+        let q = QueueModel::new(1);
+        let view = q.view(SimTime::ZERO);
+        for kind in PickerKind::all() {
+            let mut p = kind.build(9);
+            assert_eq!(p.pick(&s, &view, RequestId(0)), None, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn kind_labels_match_picker_names() {
+        for kind in PickerKind::all() {
+            assert_eq!(kind.label(), kind.build(1).name());
+        }
+    }
+
+    #[test]
+    fn regime_penalties_are_a_strict_preference_order() {
+        let penalties: Vec<u64> = [
+            OperatingRegime::Optimal,
+            OperatingRegime::SuboptimalHigh,
+            OperatingRegime::SuboptimalLow,
+            OperatingRegime::UndesirableLow,
+            OperatingRegime::UndesirableHigh,
+        ]
+        .into_iter()
+        .map(regime_penalty_ticks)
+        .collect();
+        assert!(
+            penalties.windows(2).all(|w| w[0] < w[1]),
+            "penalties must strictly increase with routing undesirability: {penalties:?}"
+        );
+    }
+
+    #[test]
+    fn regime_penalty_spills_over_under_load() {
+        // An optimal server with a queue deeper than the drain-candidate
+        // penalty gap loses to the idle drain candidate: steering, not
+        // strict tiering.
+        let s = set(vec![
+            inst(0, true, OperatingRegime::UndesirableLow, 0.05),
+            inst(1, true, OperatingRegime::Optimal, 0.6),
+        ]);
+        let mut q = QueueModel::new(2);
+        q.enqueue(SimTime::ZERO, ServerId(1), SimDuration::from_secs(5));
+        let view = q.view(SimTime::ZERO);
+        let mut ra = RegimeAware;
+        assert_eq!(ra.pick(&s, &view, RequestId(0)), Some(ServerId(0)));
+    }
+}

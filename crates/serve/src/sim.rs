@@ -1,0 +1,627 @@
+//! `ServeSim`: co-simulation of request routing and the energy policy.
+//!
+//! One discrete-event engine drives two coupled layers. The *cluster*
+//! layer is the unmodified §4 reallocation protocol — demand evolution,
+//! regime classification, migrations, drain-and-sleep — ticking every
+//! reallocation interval, exactly as in `TimedClusterSim`. The *serving*
+//! layer rides on the same clock: open-loop request arrivals (one
+//! Poisson source per initial application), a picked instance per
+//! request, FIFO queueing per server, and a latency sample per
+//! completion.
+//!
+//! The two layers interact in both directions:
+//!
+//! * **policy → routing** — every reallocation boundary refreshes the
+//!   [`ClusterDiscover`] snapshot, so wake/sleep/crash decisions change
+//!   the routable set the pickers see (and the `RegimeAware` picker
+//!   additionally reads the regime classification itself);
+//! * **routing → energy** — a request's *effective* service time
+//!   stretches with the chosen server's load (`1/(1−load)` processor-
+//!   sharing slowdown), and each effective-service-second draws
+//!   [`ServeConfig::request_power_w`] scaled by the serving regime's
+//!   energy-proportionality factor ([`regime_energy_multiplier`]): work
+//!   done on a nearly idle server amortizes its fixed power draw over
+//!   almost nothing, so a request served in R1/R2 costs more joules than
+//!   the same request served in the optimal band — the §3 argument,
+//!   applied per request. When the consolidation policy puts a server to sleep while
+//!   it still holds queued requests, the remaining backlog is charged at
+//!   [`ServeConfig::sleep_deferral_power_w`] — the server must stay up
+//!   to drain before it can actually power down. A picker that keeps
+//!   routing to drain candidates therefore pays for it in joules, and a
+//!   picker that routes into overloaded servers pays in both joules and
+//!   tail latency.
+//!
+//! The cluster's own decision stream is *identical* across pickers (the
+//! serving layer never mutates cluster state or consumes its RNG), so a
+//! picker comparison isolates the routing policy: same migrations, same
+//! sleeps — different latency and different serve-side energy.
+
+use crate::discover::{Change, ClusterDiscover, Discover};
+use crate::picker::{Picker, PickerKind};
+use crate::queue::QueueModel;
+use ecolb_cluster::cluster::{Cluster, ClusterConfig, ClusterRunReport};
+use ecolb_cluster::recovery::NoFaults;
+use ecolb_cluster::server::ServerId;
+use ecolb_energy::regimes::OperatingRegime;
+use ecolb_metrics::latency::{LatencyRecorder, SlaClassCounters};
+use ecolb_simcore::engine::{Control, Engine, RunOutcome};
+use ecolb_simcore::time::{SimDuration, SimTime};
+use ecolb_trace::{NoTrace, TraceEventKind, Tracer};
+use ecolb_workload::requests::{service_time_s, OpenLoopSource, RequestId, RequestLoadSpec};
+
+/// Serving-layer configuration on top of a cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// The cluster the requests are served by.
+    pub cluster: ClusterConfig,
+    /// Request traffic shape (per-app rates, service-time mean, SLA mix).
+    pub load: RequestLoadSpec,
+    /// The routing strategy under test.
+    pub picker: PickerKind,
+    /// Reallocation intervals to simulate.
+    pub intervals: u64,
+    /// Admission bound: a request is rejected when the chosen server
+    /// already queues more than this many seconds of work.
+    pub reject_backlog_s: f64,
+    /// Gold-class latency objective, seconds.
+    pub gold_objective_s: f64,
+    /// Bronze-class latency objective, seconds.
+    pub bronze_objective_s: f64,
+    /// Marginal power drawn per effective-service-second, watts.
+    pub request_power_w: f64,
+    /// Power charged while a sleeping-ordered server drains its request
+    /// backlog, watts.
+    pub sleep_deferral_power_w: f64,
+    /// Load cap in the `1/(1−load)` slowdown (keeps the stretch finite
+    /// on saturated servers).
+    pub slowdown_load_cap: f64,
+    /// Latency histogram range `[0, hi)`, seconds.
+    pub latency_hi_s: f64,
+    /// Latency histogram bins.
+    pub latency_bins: usize,
+}
+
+/// Energy-proportionality factor of serving one request in a given
+/// regime: joules per effective-service-second relative to the optimal
+/// band. Real servers are far from energy-proportional (§3): a nearly
+/// idle server amortizes its fixed power draw over very little work, so
+/// work placed in R1 costs about twice what the same work costs in R3;
+/// the saturated band pays a smaller premium (contention, not idle
+/// waste). The multiplier applies to [`ServeConfig::request_power_w`].
+pub fn regime_energy_multiplier(regime: OperatingRegime) -> f64 {
+    match regime {
+        OperatingRegime::UndesirableLow => 2.0,
+        OperatingRegime::SuboptimalLow => 1.5,
+        OperatingRegime::Optimal => 1.0,
+        OperatingRegime::SuboptimalHigh => 1.05,
+        OperatingRegime::UndesirableHigh => 1.25,
+    }
+}
+
+impl ServeConfig {
+    /// Paper-shaped defaults around a given cluster config: moderate
+    /// open-loop traffic, a 2 s admission bound, 500 ms gold / 2 s
+    /// bronze objectives, and serve-side power small relative to a
+    /// server's idle draw.
+    pub fn paper(cluster: ClusterConfig, picker: PickerKind, intervals: u64) -> Self {
+        ServeConfig {
+            cluster,
+            load: RequestLoadSpec::moderate(),
+            picker,
+            intervals,
+            reject_backlog_s: 2.0,
+            gold_objective_s: 0.5,
+            bronze_objective_s: 2.0,
+            request_power_w: 40.0,
+            sleep_deferral_power_w: 120.0,
+            slowdown_load_cap: 0.9,
+            latency_hi_s: 8.0,
+            latency_bins: 64,
+        }
+    }
+}
+
+/// Events of the serving co-simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// End of a reallocation interval: demand evolution + balancing +
+    /// discovery refresh.
+    ReallocationTick,
+    /// The next request of an open-loop source arrives.
+    Arrival {
+        /// Index into the source table.
+        source: u32,
+    },
+    /// A routed request finishes service.
+    Completion {
+        /// The request id.
+        request: u64,
+        /// The server that served it.
+        server: ServerId,
+        /// Admission instant, integer ticks, for exact latency.
+        admitted_ticks: u64,
+        /// SLA class index of the request.
+        class: u8,
+    },
+}
+
+/// Everything a `ServeSim` run measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The routing strategy that produced this report.
+    pub picker: &'static str,
+    /// The capacity-level cluster report (identical across pickers for
+    /// the same cluster config and seed).
+    pub base: ClusterRunReport,
+    /// Requests admitted into the serving layer.
+    pub requests_admitted: u64,
+    /// Requests that completed service.
+    pub requests_completed: u64,
+    /// Requests rejected (no awake instance, or admission bound).
+    pub requests_rejected: u64,
+    /// End-to-end latency profile (queueing + service).
+    pub latency: LatencyRecorder,
+    /// Per-SLA-class served/violated/rejected counters.
+    pub sla: SlaClassCounters,
+    /// Requests served per server (server-id index).
+    pub per_instance_served: Vec<u64>,
+    /// Serve-side energy: Σ effective service × request power, joules.
+    pub serve_energy_j: f64,
+    /// Energy charged to draining backlogged servers the policy slept,
+    /// joules.
+    pub sleep_deferral_energy_j: f64,
+    /// Sleep decisions that found a non-empty request queue.
+    pub deferred_sleeps: u64,
+    /// Total events the engine processed.
+    pub events_processed: u64,
+}
+
+impl ServeReport {
+    /// Cluster energy plus both serve-side charges, joules — the energy
+    /// axis of the energy-vs-p99 frontier.
+    pub fn total_energy_j(&self) -> f64 {
+        self.base.energy.total_j() + self.serve_energy_j + self.sleep_deferral_energy_j
+    }
+
+    /// P² estimate of the 99th-percentile latency, seconds.
+    pub fn p99_s(&self) -> f64 {
+        self.latency.p99()
+    }
+
+    /// Rejected fraction of admitted requests; defined 0.0 when no
+    /// request ever arrived.
+    pub fn reject_fraction(&self) -> f64 {
+        if self.requests_admitted == 0 {
+            0.0
+        } else {
+            self.requests_rejected as f64 / self.requests_admitted as f64
+        }
+    }
+}
+
+/// The request/energy co-simulation. See the module docs.
+#[derive(Debug)]
+pub struct ServeSim {
+    config: ServeConfig,
+    seed: u64,
+}
+
+struct ServeState {
+    cluster: Cluster,
+    discover: ClusterDiscover,
+    picker: Box<dyn Picker>,
+    queues: QueueModel,
+    sources: Vec<OpenLoopSource>,
+    changes: Vec<Change>,
+    horizon: SimTime,
+    realloc_interval: SimDuration,
+    intervals_left: u64,
+    seed: u64,
+    // Measurement.
+    next_request: u64,
+    completed: u64,
+    rejected: u64,
+    latency: LatencyRecorder,
+    sla: SlaClassCounters,
+    per_instance_served: Vec<u64>,
+    serve_energy_j: f64,
+    sleep_deferral_energy_j: f64,
+    deferred_sleeps: u64,
+    sleeping_series: ecolb_metrics::timeseries::TimeSeries,
+    load_series: ecolb_metrics::timeseries::TimeSeries,
+}
+
+impl ServeSim {
+    /// Creates the co-simulation for the given config and seed. The
+    /// seed feeds the cluster exactly as in `TimedClusterSim` plus the
+    /// keyed request streams (arrivals, service times, picker choices).
+    pub fn new(config: ServeConfig, seed: u64) -> Self {
+        ServeSim { config, seed }
+    }
+
+    /// Runs to completion and returns the serving report.
+    pub fn run(self) -> ServeReport {
+        self.run_traced(&mut NoTrace)
+    }
+
+    /// [`ServeSim::run`] with a tracer observing engine dispatch, the
+    /// cluster protocol *and* the request path (`request_admit`,
+    /// `request_route`, `request_complete`, `request_reject`).
+    pub fn run_traced<T: Tracer>(self, tracer: &mut T) -> ServeReport {
+        let seed = self.seed;
+        let cfg = self.config;
+        let cluster = Cluster::new(cfg.cluster.clone(), seed);
+        let realloc_interval = cluster.config().realloc_interval;
+        let n_servers = cluster.servers().len();
+        let horizon = SimTime::ZERO
+            + SimDuration::from_ticks(realloc_interval.ticks().saturating_mul(cfg.intervals));
+
+        // One open-loop source per initial application, in (server, app)
+        // placement order — the source index keys its arrival stream.
+        let mut sources = Vec::new();
+        for server in cluster.servers() {
+            for app in server.apps() {
+                let idx = sources.len() as u64;
+                sources.push(cfg.load.source_for(seed, idx, app));
+            }
+        }
+
+        let discover = ClusterDiscover::new(&cluster);
+        let mut state = ServeState {
+            discover,
+            picker: cfg.picker.build(seed),
+            queues: QueueModel::new(n_servers),
+            sources,
+            changes: Vec::new(),
+            horizon,
+            realloc_interval,
+            intervals_left: cfg.intervals,
+            seed,
+            next_request: 0,
+            completed: 0,
+            rejected: 0,
+            latency: LatencyRecorder::new(cfg.latency_hi_s, cfg.latency_bins),
+            sla: SlaClassCounters::new(),
+            per_instance_served: vec![0; n_servers],
+            serve_energy_j: 0.0,
+            sleep_deferral_energy_j: 0.0,
+            deferred_sleeps: 0,
+            sleeping_series: ecolb_metrics::timeseries::TimeSeries::new("sleeping_servers"),
+            load_series: ecolb_metrics::timeseries::TimeSeries::new("cluster_load"),
+            cluster,
+        };
+        let initial_census = state.cluster.census();
+
+        let mut engine: Engine<ServeEvent> = Engine::with_capacity(256);
+        engine.schedule_at(
+            SimTime::ZERO + realloc_interval,
+            ServeEvent::ReallocationTick,
+        );
+        for (i, source) in state.sources.iter_mut().enumerate() {
+            if let Some(gap) = source.next_gap_s() {
+                let at = SimTime::ZERO + SimDuration::from_secs_f64(gap);
+                if at < horizon {
+                    engine.schedule_at(at, ServeEvent::Arrival { source: i as u32 });
+                }
+            }
+        }
+
+        let outcome = engine.run_traced(&mut state, tracer, |state, sched, event| match event {
+            ServeEvent::ReallocationTick => on_tick(state, sched, &cfg),
+            ServeEvent::Arrival { source } => on_arrival(state, sched, &cfg, source),
+            ServeEvent::Completion {
+                request,
+                server,
+                admitted_ticks,
+                class,
+            } => on_completion(state, sched, &cfg, request, server, admitted_ticks, class),
+        });
+        debug_assert!(matches!(outcome, RunOutcome::Stopped | RunOutcome::Drained));
+
+        let elapsed = state.cluster.now().as_secs_f64();
+        let base = ClusterRunReport {
+            initial_census,
+            final_census: state.cluster.census(),
+            ratio_series: state.cluster.ledger().ratio_series(),
+            sleeping_series: state.sleeping_series,
+            load_series: state.load_series,
+            decision_totals: state.cluster.ledger().totals(),
+            migrations: state.cluster.migrations(),
+            energy: state.cluster.energy(),
+            migration_energy_j: state.cluster.migration_energy_j(),
+            reference_energy_j: state.cluster.reference_power_w() * elapsed,
+            admission: state.cluster.admission_stats(),
+            saturation_violations: state.cluster.saturation_violations(),
+            undesirable_server_intervals: state.cluster.undesirable_server_intervals(),
+        };
+        ServeReport {
+            picker: cfg.picker.label(),
+            base,
+            requests_admitted: state.next_request,
+            requests_completed: state.completed,
+            requests_rejected: state.rejected,
+            latency: state.latency,
+            sla: state.sla,
+            per_instance_served: state.per_instance_served,
+            serve_energy_j: state.serve_energy_j,
+            sleep_deferral_energy_j: state.sleep_deferral_energy_j,
+            deferred_sleeps: state.deferred_sleeps,
+            events_processed: engine.events_processed(),
+        }
+    }
+}
+
+type Sched<'a, T> = ecolb_simcore::engine::Scheduler<'a, ServeEvent, T>;
+
+fn on_tick<T: Tracer>(
+    state: &mut ServeState,
+    sched: &mut Sched<'_, T>,
+    cfg: &ServeConfig,
+) -> Control {
+    let now = sched.now();
+    state
+        .cluster
+        .run_interval_traced(&mut NoFaults, sched.tracer());
+    let (asleep, frac) = state.cluster.interval_stats();
+    state.sleeping_series.push(asleep as f64);
+    state.load_series.push(frac);
+
+    // Discovery refresh: surface this interval's wake/sleep/crash and
+    // migration effects to the picker, and charge sleep deferral for
+    // servers the policy put down while they still queue work.
+    state.discover.refresh(&state.cluster);
+    let mut changes = std::mem::take(&mut state.changes);
+    state.discover.poll_changes(&mut changes);
+    for change in &changes {
+        if let Change::Left(server) = change {
+            let backlog = state.queues.backlog(now, *server);
+            if !backlog.is_zero() {
+                state.deferred_sleeps += 1;
+                state.sleep_deferral_energy_j += backlog.as_secs_f64() * cfg.sleep_deferral_power_w;
+            }
+        }
+    }
+    state.picker.on_change(state.discover.instances(), &changes);
+    state.changes = changes;
+
+    state.intervals_left -= 1;
+    if state.intervals_left > 0 {
+        sched.schedule_in(state.realloc_interval, ServeEvent::ReallocationTick);
+        Control::Continue
+    } else if sched.pending() == 0 {
+        Control::Stop
+    } else {
+        Control::Continue // drain in-flight completions
+    }
+}
+
+fn on_arrival<T: Tracer>(
+    state: &mut ServeState,
+    sched: &mut Sched<'_, T>,
+    cfg: &ServeConfig,
+    source: u32,
+) -> Control {
+    let now = sched.now();
+    let now_ticks = now.ticks();
+    let src_idx = source as usize;
+    let (app, class) = match state.sources.get(src_idx) {
+        Some(s) => (s.app, s.class),
+        None => return Control::Continue,
+    };
+    let request = state.next_request;
+    state.next_request += 1;
+    if sched.tracer().enabled() {
+        sched.tracer().event(
+            now_ticks,
+            TraceEventKind::RequestAdmitted {
+                request,
+                app: app.0,
+                class: class.index() as u8,
+            },
+        );
+    }
+
+    let view = state.queues.view(now);
+    let choice = state
+        .picker
+        .pick(state.discover.instances(), &view, RequestId(request));
+    match choice {
+        None => {
+            state.rejected += 1;
+            state.sla.record_rejected(class.index());
+            if sched.tracer().enabled() {
+                sched.tracer().event(
+                    now_ticks,
+                    TraceEventKind::RequestRejected {
+                        request,
+                        reason: "no_instance",
+                    },
+                );
+            }
+        }
+        Some(server) => {
+            let backlog_s = state.queues.backlog(now, server).as_secs_f64();
+            if backlog_s > cfg.reject_backlog_s {
+                state.rejected += 1;
+                state.sla.record_rejected(class.index());
+                if sched.tracer().enabled() {
+                    sched.tracer().event(
+                        now_ticks,
+                        TraceEventKind::RequestRejected {
+                            request,
+                            reason: "backlog",
+                        },
+                    );
+                }
+            } else {
+                // Effective service stretches with the chosen server's
+                // snapshot load: processor sharing under the background
+                // VM demand.
+                let (load, regime) = state
+                    .discover
+                    .instances()
+                    .get(server.index())
+                    .map(|i| (i.load, i.regime))
+                    .unwrap_or((0.0, OperatingRegime::Optimal));
+                let service =
+                    service_time_s(state.seed, RequestId(request), cfg.load.mean_service_s);
+                let eff = service / (1.0 - load.min(cfg.slowdown_load_cap)).max(1e-6);
+                let (_start, done) =
+                    state
+                        .queues
+                        .enqueue(now, server, SimDuration::from_secs_f64(eff));
+                state.serve_energy_j +=
+                    eff * cfg.request_power_w * regime_energy_multiplier(regime);
+                state.per_instance_served[server.index()] += 1;
+                if sched.tracer().enabled() {
+                    sched.tracer().event(
+                        now_ticks,
+                        TraceEventKind::RequestRouted {
+                            request,
+                            server: server.0,
+                        },
+                    );
+                }
+                sched.schedule_at(
+                    done,
+                    ServeEvent::Completion {
+                        request,
+                        server,
+                        admitted_ticks: now_ticks,
+                        class: class.index() as u8,
+                    },
+                );
+            }
+        }
+    }
+
+    // Open loop: the next arrival of this source is independent of how
+    // this request fared.
+    if let Some(gap) = state.sources[src_idx].next_gap_s() {
+        if let Some(at) = now.checked_add(SimDuration::from_secs_f64(gap)) {
+            if at < state.horizon {
+                sched.schedule_at(at, ServeEvent::Arrival { source });
+            }
+        }
+    }
+    Control::Continue
+}
+
+#[allow(clippy::too_many_arguments)]
+fn on_completion<T: Tracer>(
+    state: &mut ServeState,
+    sched: &mut Sched<'_, T>,
+    cfg: &ServeConfig,
+    request: u64,
+    server: ServerId,
+    admitted_ticks: u64,
+    class: u8,
+) -> Control {
+    let now_ticks = sched.now().ticks();
+    let latency_ticks = now_ticks.saturating_sub(admitted_ticks);
+    let latency_s = latency_ticks as f64 / 1e6;
+    state.latency.record(latency_s);
+    let objective = if class == 0 {
+        cfg.gold_objective_s
+    } else {
+        cfg.bronze_objective_s
+    };
+    state.sla.record(class as usize, latency_s > objective);
+    state.completed += 1;
+    if sched.tracer().enabled() {
+        sched.tracer().event(
+            now_ticks,
+            TraceEventKind::RequestCompleted {
+                request,
+                server: server.0,
+                latency_us: latency_ticks,
+            },
+        );
+    }
+    if state.intervals_left == 0 && sched.pending() == 0 {
+        Control::Stop
+    } else {
+        Control::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecolb_workload::generator::WorkloadSpec;
+
+    fn config(n: usize, picker: PickerKind, intervals: u64) -> ServeConfig {
+        ServeConfig::paper(
+            ClusterConfig::paper(n, WorkloadSpec::paper_low_load()),
+            picker,
+            intervals,
+        )
+    }
+
+    #[test]
+    fn serve_run_is_deterministic() {
+        for kind in PickerKind::all() {
+            let a = ServeSim::new(config(20, kind, 4), 11).run();
+            let b = ServeSim::new(config(20, kind, 4), 11).run();
+            assert_eq!(a, b, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn admitted_splits_into_completed_plus_rejected() {
+        for kind in PickerKind::all() {
+            let r = ServeSim::new(config(20, kind, 4), 7).run();
+            assert!(r.requests_admitted > 0, "{}", kind.label());
+            assert_eq!(
+                r.requests_admitted,
+                r.requests_completed + r.requests_rejected,
+                "{}",
+                kind.label()
+            );
+            assert_eq!(r.latency.count(), r.requests_completed);
+            assert_eq!(r.sla.total_served(), r.requests_completed);
+            assert_eq!(r.sla.total_rejected(), r.requests_rejected);
+            assert_eq!(
+                r.per_instance_served.iter().sum::<u64>(),
+                r.requests_completed
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_decisions_are_picker_independent() {
+        let reports: Vec<ServeReport> = PickerKind::all()
+            .into_iter()
+            .map(|k| ServeSim::new(config(24, k, 5), 13).run())
+            .collect();
+        for r in &reports[1..] {
+            assert_eq!(
+                r.base, reports[0].base,
+                "{} vs {}",
+                r.picker, reports[0].picker
+            );
+        }
+    }
+
+    #[test]
+    fn serve_report_matches_plain_cluster_run() {
+        let r = ServeSim::new(config(30, PickerKind::RoundRobin, 6), 5).run();
+        let mut sync = Cluster::new(ClusterConfig::paper(30, WorkloadSpec::paper_low_load()), 5);
+        let sync_report = sync.run(6);
+        assert_eq!(r.base.ratio_series, sync_report.ratio_series);
+        assert_eq!(r.base.decision_totals, sync_report.decision_totals);
+        assert_eq!(r.base.final_census, sync_report.final_census);
+        assert_eq!(r.base.migrations, sync_report.migrations);
+    }
+
+    #[test]
+    fn latency_samples_are_positive_and_energy_accrues() {
+        let r = ServeSim::new(config(16, PickerKind::LeastLoaded, 4), 3).run();
+        assert!(r.requests_completed > 0);
+        assert!(r.latency.mean() > 0.0);
+        assert!(r.p99_s() >= r.latency.p50());
+        assert!(r.serve_energy_j > 0.0);
+        assert!(r.total_energy_j() > r.base.energy.total_j());
+        assert!(r.reject_fraction() >= 0.0 && r.reject_fraction() <= 1.0);
+    }
+}

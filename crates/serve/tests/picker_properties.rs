@@ -1,0 +1,172 @@
+//! `proptest_lite` properties for the pickers (ISSUE 8 satellite):
+//!
+//! 1. round-robin fairness: over any window with a stable awake set,
+//!    the max–min gap of per-instance pick counts is ≤ 1;
+//! 2. power-of-two-choices never picks a sleeping instance;
+//! 3. every picker is deterministic under instance-set reordering —
+//!    the pick is a function of the *set*, not the discovery order.
+
+use ecolb_cluster::instances::InstanceInfo;
+use ecolb_cluster::server::ServerId;
+use ecolb_energy::regimes::OperatingRegime;
+use ecolb_serve::picker::{Picker, PickerKind, PowerOfTwo, RoundRobin};
+use ecolb_serve::queue::QueueModel;
+use ecolb_serve::InstanceSet;
+use ecolb_simcore::proptest_lite::{check, Gen};
+use ecolb_simcore::time::{SimDuration, SimTime};
+use ecolb_workload::requests::RequestId;
+
+fn regime_of(idx: usize) -> OperatingRegime {
+    OperatingRegime::ALL[idx % 5]
+}
+
+/// Draws a random instance population: ids are a shuffled subset, each
+/// instance awake with probability ~0.7, random regimes and loads.
+fn gen_instances(gen: &mut Gen) -> Vec<InstanceInfo> {
+    let n = gen.usize_in(1, 12);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let awake = gen.f64_in(0.0, 1.0) < 0.7;
+        out.push(InstanceInfo {
+            id: ServerId(i as u32),
+            awake,
+            regime: regime_of(gen.usize_in(0, 5)),
+            load: gen.f64_in(0.0, 1.0),
+            vms: gen.usize_in(0, 6),
+        });
+    }
+    out
+}
+
+/// A queue model with random backlogs for the instance count.
+fn gen_queues(gen: &mut Gen, n: usize) -> QueueModel {
+    let mut q = QueueModel::new(n);
+    for i in 0..n {
+        let backlog_ms = gen.u64_in(0, 5_000);
+        if backlog_ms > 0 {
+            q.enqueue(
+                SimTime::ZERO,
+                ServerId(i as u32),
+                SimDuration::from_millis(backlog_ms),
+            );
+        }
+    }
+    q
+}
+
+#[test]
+fn round_robin_fairness_gap_at_most_one() {
+    check("round_robin_fairness", |gen| {
+        let instances = gen_instances(gen);
+        let set = InstanceSet::from_instances(instances);
+        if set.awake_len() == 0 {
+            return;
+        }
+        let q = QueueModel::new(set.len());
+        let view = q.view(SimTime::ZERO);
+        let mut rr = RoundRobin::new();
+        let window = gen.usize_in(1, 64);
+        let mut counts = vec![0u64; set.len()];
+        for r in 0..window {
+            let id = rr
+                .pick(&set, &view, RequestId(r as u64))
+                .expect("awake set is non-empty");
+            counts[id.index()] += 1;
+        }
+        // Fairness over the awake instances only.
+        let awake_counts: Vec<u64> = set
+            .awake_indices()
+            .iter()
+            .map(|&i| counts[set.instances()[i].id.index()])
+            .collect();
+        let max = awake_counts.iter().copied().max().unwrap_or(0);
+        let min = awake_counts.iter().copied().min().unwrap_or(0);
+        assert!(
+            max - min <= 1,
+            "round-robin gap {max}-{min} over window {window} with {} awake",
+            set.awake_len()
+        );
+        // And nothing lands on a non-awake instance.
+        for (i, inst) in set.instances().iter().enumerate() {
+            if !inst.awake {
+                assert_eq!(counts[set.instances()[i].id.index()], 0);
+            }
+        }
+    });
+}
+
+#[test]
+fn power_of_two_never_picks_a_sleeping_instance() {
+    check("p2c_awake_only", |gen| {
+        let instances = gen_instances(gen);
+        let set = InstanceSet::from_instances(instances);
+        let queues = gen_queues(gen, set.len());
+        let view = queues.view(SimTime::ZERO);
+        let seed = gen.u64();
+        let mut p2c = PowerOfTwo::new(seed);
+        for r in 0..128u64 {
+            match p2c.pick(&set, &view, RequestId(r)) {
+                None => assert_eq!(set.awake_len(), 0, "None only when nothing is awake"),
+                Some(id) => {
+                    let inst = set
+                        .instances()
+                        .iter()
+                        .find(|i| i.id == id)
+                        .expect("picked id exists");
+                    assert!(inst.awake, "picked sleeping server {id:?}");
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn pickers_are_deterministic_under_instance_reordering() {
+    check("picker_reorder_determinism", |gen| {
+        let instances = gen_instances(gen);
+        let mut shuffled = instances.clone();
+        gen.rng().shuffle(&mut shuffled);
+        let a = InstanceSet::from_instances(instances);
+        let b = InstanceSet::from_instances(shuffled);
+        assert_eq!(a, b, "canonicalization must erase discovery order");
+
+        let queues = gen_queues(gen, a.len());
+        let view = queues.view(SimTime::ZERO);
+        let seed = gen.u64();
+        for kind in PickerKind::all() {
+            let mut pa = kind.build(seed);
+            let mut pb = kind.build(seed);
+            for r in 0..32u64 {
+                assert_eq!(
+                    pa.pick(&a, &view, RequestId(r)),
+                    pb.pick(&b, &view, RequestId(r)),
+                    "{} diverged under reordering on request {r}",
+                    kind.label()
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn least_loaded_and_regime_aware_route_awake_only() {
+    check("scored_pickers_awake_only", |gen| {
+        let instances = gen_instances(gen);
+        let set = InstanceSet::from_instances(instances);
+        let queues = gen_queues(gen, set.len());
+        let view = queues.view(SimTime::ZERO);
+        for kind in [PickerKind::LeastLoaded, PickerKind::RegimeAware] {
+            let mut p = kind.build(1);
+            for r in 0..16u64 {
+                if let Some(id) = p.pick(&set, &view, RequestId(r)) {
+                    let inst = set
+                        .instances()
+                        .iter()
+                        .find(|i| i.id == id)
+                        .expect("picked id exists");
+                    assert!(inst.awake, "{} picked sleeping {id:?}", kind.label());
+                }
+            }
+        }
+    });
+}

@@ -202,6 +202,40 @@ pub enum TraceEventKind {
         /// Delivery attempts made before giving up.
         attempts: u32,
     },
+    /// A synthetic user request entered the serving layer (open-loop
+    /// arrival, before any routing decision).
+    RequestAdmitted {
+        /// Request id, gap-free in admission order.
+        request: u64,
+        /// Application (traffic source) the request belongs to.
+        app: u64,
+        /// SLA class index (0 = gold, 1 = bronze).
+        class: u8,
+    },
+    /// The load balancer routed a request to an instance.
+    RequestRouted {
+        /// The routed request.
+        request: u64,
+        /// The chosen server instance.
+        server: u32,
+    },
+    /// A request finished service and its latency sample was recorded.
+    RequestCompleted {
+        /// The completed request.
+        request: u64,
+        /// The server that served it.
+        server: u32,
+        /// End-to-end latency (queueing + service), microseconds.
+        latency_us: u64,
+    },
+    /// The serving layer rejected a request (no awake instance, or the
+    /// least-bad backlog exceeded the admission bound).
+    RequestRejected {
+        /// The rejected request.
+        request: u64,
+        /// Rejection cause label (`"no_instance"`, `"backlog"`).
+        reason: &'static str,
+    },
     /// A span opened (also aggregated; kept in the log so event order
     /// alone reconstructs the span tree).
     SpanEnter {
@@ -242,6 +276,10 @@ impl TraceEventKind {
             TraceEventKind::StateDigest { .. } => "state_digest",
             TraceEventKind::InvariantViolated { .. } => "invariant_violated",
             TraceEventKind::ReportRetriesExhausted { .. } => "report_retries_exhausted",
+            TraceEventKind::RequestAdmitted { .. } => "request_admit",
+            TraceEventKind::RequestRouted { .. } => "request_route",
+            TraceEventKind::RequestCompleted { .. } => "request_complete",
+            TraceEventKind::RequestRejected { .. } => "request_reject",
             TraceEventKind::SpanEnter { .. } => "span_enter",
             TraceEventKind::SpanExit { .. } => "span_exit",
         }
@@ -347,6 +385,28 @@ impl TraceEventKind {
             }
             TraceEventKind::ReportRetriesExhausted { server, attempts } => {
                 w.field("server", &server).field("attempts", &attempts)
+            }
+            TraceEventKind::RequestAdmitted {
+                request,
+                app,
+                class,
+            } => w
+                .field("request", &request)
+                .field("app", &app)
+                .field("class", &class),
+            TraceEventKind::RequestRouted { request, server } => {
+                w.field("request", &request).field("server", &server)
+            }
+            TraceEventKind::RequestCompleted {
+                request,
+                server,
+                latency_us,
+            } => w
+                .field("request", &request)
+                .field("server", &server)
+                .field("latency_us", &latency_us),
+            TraceEventKind::RequestRejected { request, reason } => {
+                w.field("request", &request).field("reason", &reason)
             }
             TraceEventKind::SpanEnter { span } | TraceEventKind::SpanExit { span } => {
                 w.field("span", &span)
@@ -492,6 +552,28 @@ mod tests {
             TraceEventKind::ReportRetriesExhausted {
                 server: 0,
                 attempts: 3,
+            }
+            .name(),
+            TraceEventKind::RequestAdmitted {
+                request: 0,
+                app: 0,
+                class: 0,
+            }
+            .name(),
+            TraceEventKind::RequestRouted {
+                request: 0,
+                server: 0,
+            }
+            .name(),
+            TraceEventKind::RequestCompleted {
+                request: 0,
+                server: 0,
+                latency_us: 0,
+            }
+            .name(),
+            TraceEventKind::RequestRejected {
+                request: 0,
+                reason: "backlog",
             }
             .name(),
             TraceEventKind::SpanEnter { span: "interval" }.name(),

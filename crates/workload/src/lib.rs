@@ -10,6 +10,9 @@
 //! * [`traces`] — the §3 request-rate taxonomy (flat, diurnal, step, spiky,
 //!   random-walk) for the baseline-policy evaluations;
 //! * [`arrival`] — Poisson arrival sampling over a rate trace;
+//! * [`requests`] — open-loop user-request sources (exponential gaps by
+//!   inversion, keyed per source) and per-request service-time draws for
+//!   the serving layer;
 //! * [`slo`] — M/M/1-PS response-time model and SLA violation counting.
 //!
 //! ```
@@ -30,11 +33,16 @@
 pub mod application;
 pub mod arrival;
 pub mod generator;
+pub mod requests;
 pub mod slo;
 pub mod traces;
 
 pub use application::{AppId, Application, GrowthModel};
 pub use arrival::ArrivalProcess;
 pub use generator::{generate_server_apps, total_demand, AppIdAllocator, WorkloadSpec};
+pub use requests::{
+    request_stream, service_time_s, OpenLoopSource, RequestId, RequestLoadSpec,
+    RequestStreamDomain, SlaClass,
+};
 pub use slo::{Sla, ViolationCounter};
 pub use traces::{TraceGenerator, TraceShape};

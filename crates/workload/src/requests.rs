@@ -1,0 +1,296 @@
+//! Open-loop request generation for the serving layer.
+//!
+//! The serving seam (`ecolb-serve`) routes synthetic *user requests* to
+//! VM instances; this module generates those requests. Each application
+//! is one open-loop traffic source: exponential inter-arrival gaps drawn
+//! by inversion from a dedicated keyed RNG stream, so the arrival
+//! process of source `i` is independent of every other source, of the
+//! cluster's demand-evolution stream, and of how many requests any other
+//! source has emitted. Service times are keyed *per request id*, so a
+//! request's cost does not depend on which instance serves it or in
+//! which order completions are processed.
+//!
+//! Every stream derives from the single run seed through
+//! [`request_stream`] (the `fault_stream` idiom of `ecolb-faults`): fold
+//! seed, domain tag and key through SplitMix64 and combine. No ambient
+//! RNG, no shared mutable stream — the ecolb-lint seed-provenance rule
+//! can follow the seed from the run entry point into every draw.
+
+use crate::application::{AppId, Application};
+use ecolb_simcore::rng::{splitmix64, Rng};
+
+/// Globally unique request identifier, gap-free in admission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// SLA class of a traffic source: latency objectives differ per class,
+/// and the serving report counts violations per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SlaClass {
+    /// Latency-sensitive traffic with a tight objective.
+    Gold,
+    /// Throughput traffic with a relaxed objective.
+    Bronze,
+}
+
+impl SlaClass {
+    /// Stable index used by per-class counters (0 = gold, 1 = bronze).
+    pub fn index(self) -> usize {
+        match self {
+            SlaClass::Gold => 0,
+            SlaClass::Bronze => 1,
+        }
+    }
+
+    /// Stable label for tables and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            SlaClass::Gold => "gold",
+            SlaClass::Bronze => "bronze",
+        }
+    }
+
+    /// Deterministically assigns a class to an application: a keyed draw
+    /// on `(seed, app)` makes the split independent of app ordering.
+    pub fn assign(seed: u64, app: AppId, gold_fraction: f64) -> SlaClass {
+        let mut rng = request_stream(seed, RequestStreamDomain::Class, app.0);
+        if rng.chance(gold_fraction.clamp(0.0, 1.0)) {
+            SlaClass::Gold
+        } else {
+            SlaClass::Bronze
+        }
+    }
+}
+
+/// Independent-stream domains hanging off the run seed. Each domain tag
+/// keys a family of streams so, e.g., the arrival stream of source 3 and
+/// the service stream of request 3 never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStreamDomain {
+    /// Per-source inter-arrival gaps (key = source index).
+    Arrival,
+    /// Per-request service-time draw (key = request id).
+    Service,
+    /// Per-app SLA class assignment (key = app id).
+    Class,
+    /// Per-request picker choices, e.g. power-of-two sampling
+    /// (key = request id).
+    Choice,
+}
+
+impl RequestStreamDomain {
+    /// Stable stream tag folded into the seed derivation.
+    pub fn stream_tag(self) -> u64 {
+        match self {
+            RequestStreamDomain::Arrival => 0x5E1E_0001,
+            RequestStreamDomain::Service => 0x5E1E_0002,
+            RequestStreamDomain::Class => 0x5E1E_0003,
+            RequestStreamDomain::Choice => 0x5E1E_0004,
+        }
+    }
+}
+
+/// Derives the independent RNG stream for `(seed, domain, key)`.
+///
+/// Each component is folded through SplitMix64 before seeding the
+/// xoshiro state, so adjacent keys produce uncorrelated streams.
+pub fn request_stream(seed: u64, domain: RequestStreamDomain, key: u64) -> Rng {
+    let mut state = seed;
+    let a = splitmix64(&mut state);
+    state ^= domain.stream_tag();
+    let b = splitmix64(&mut state);
+    state ^= key;
+    let c = splitmix64(&mut state);
+    Rng::new(a ^ b.rotate_left(21) ^ c.rotate_left(42))
+}
+
+/// How much request traffic a cluster's applications generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestLoadSpec {
+    /// Request arrival rate per unit of application demand, requests/s.
+    /// An app with demand 0.3 emits `0.3 × requests_per_demand` req/s,
+    /// so heavier apps attract proportionally more traffic.
+    pub requests_per_demand: f64,
+    /// Mean service time of one request, seconds (exponential draws).
+    pub mean_service_s: f64,
+    /// Fraction of applications assigned the gold SLA class.
+    pub gold_fraction: f64,
+}
+
+impl RequestLoadSpec {
+    /// A moderate default: a demand-0.3 app emits ~1.2 req/s of
+    /// ~250 ms-mean requests; a quarter of the apps are gold class.
+    pub fn moderate() -> Self {
+        RequestLoadSpec {
+            requests_per_demand: 4.0,
+            mean_service_s: 0.25,
+            gold_fraction: 0.25,
+        }
+    }
+
+    /// Builds the open-loop source for one application. `source` is the
+    /// source index keying the arrival stream (the caller enumerates its
+    /// app census).
+    pub fn source_for(&self, seed: u64, source: u64, app: &Application) -> OpenLoopSource {
+        OpenLoopSource::new(
+            seed,
+            source,
+            app.id,
+            app.demand * self.requests_per_demand,
+            SlaClass::assign(seed, app.id, self.gold_fraction),
+        )
+    }
+}
+
+/// One open-loop Poisson traffic source (one application).
+///
+/// Holds its own keyed arrival stream; [`OpenLoopSource::next_gap_s`]
+/// draws the next exponential inter-arrival gap by inversion. A source
+/// with a non-positive rate never fires (`next_gap_s` returns `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopSource {
+    /// The application this source models traffic for.
+    pub app: AppId,
+    /// SLA class of every request from this source.
+    pub class: SlaClass,
+    /// Arrival rate, requests/second.
+    pub rate_per_s: f64,
+    arrivals: Rng,
+}
+
+impl OpenLoopSource {
+    /// Creates a source with its arrival stream keyed on
+    /// `(seed, Arrival, source)`.
+    pub fn new(seed: u64, source: u64, app: AppId, rate_per_s: f64, class: SlaClass) -> Self {
+        OpenLoopSource {
+            app,
+            class,
+            rate_per_s,
+            arrivals: request_stream(seed, RequestStreamDomain::Arrival, source),
+        }
+    }
+
+    /// Draws the next inter-arrival gap, seconds, by inversion:
+    /// `−ln(1 − U) / λ`. `None` when the source is silent (rate ≤ 0).
+    pub fn next_gap_s(&mut self) -> Option<f64> {
+        if self.rate_per_s <= 0.0 {
+            return None;
+        }
+        let u = self.arrivals.next_f64();
+        Some(-(1.0 - u).ln() / self.rate_per_s)
+    }
+}
+
+/// Draws the service time of request `id`, seconds: an exponential of
+/// the given mean, keyed on `(seed, Service, id)` so the draw is a pure
+/// function of the request identity.
+pub fn service_time_s(seed: u64, id: RequestId, mean_service_s: f64) -> f64 {
+    if mean_service_s <= 0.0 {
+        return 0.0;
+    }
+    let mut rng = request_stream(seed, RequestStreamDomain::Service, id.0);
+    let u = rng.next_f64();
+    -(1.0 - u).ln() * mean_service_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(id: u64, demand: f64) -> Application {
+        Application::new(AppId(id), demand, 0.05, 4.0)
+    }
+
+    #[test]
+    fn streams_are_keyed_and_reproducible() {
+        let mut a = request_stream(9, RequestStreamDomain::Arrival, 3);
+        let mut b = request_stream(9, RequestStreamDomain::Arrival, 3);
+        let mut c = request_stream(9, RequestStreamDomain::Arrival, 4);
+        let mut d = request_stream(9, RequestStreamDomain::Service, 3);
+        let (xa, xb, xc, xd) = (a.next_u64(), b.next_u64(), c.next_u64(), d.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+        assert_ne!(xa, xd);
+    }
+
+    #[test]
+    fn domain_tags_are_distinct() {
+        let tags = [
+            RequestStreamDomain::Arrival.stream_tag(),
+            RequestStreamDomain::Service.stream_tag(),
+            RequestStreamDomain::Class.stream_tag(),
+            RequestStreamDomain::Choice.stream_tag(),
+        ];
+        let unique: std::collections::BTreeSet<u64> = tags.iter().copied().collect();
+        assert_eq!(unique.len(), tags.len());
+    }
+
+    #[test]
+    fn open_loop_gaps_match_rate() {
+        let mut s = OpenLoopSource::new(7, 0, AppId(1), 2.0, SlaClass::Gold);
+        let n = 20_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let g = s.next_gap_s().expect("positive rate");
+            assert!(g >= 0.0);
+            total += g;
+        }
+        let mean = total / n as f64;
+        // Exponential(λ=2) has mean 0.5.
+        assert!((mean - 0.5).abs() < 0.02, "mean gap {mean}");
+    }
+
+    #[test]
+    fn silent_source_never_fires() {
+        let mut s = OpenLoopSource::new(7, 0, AppId(1), 0.0, SlaClass::Bronze);
+        assert_eq!(s.next_gap_s(), None);
+    }
+
+    #[test]
+    fn service_time_is_a_pure_function_of_request_identity() {
+        let a = service_time_s(5, RequestId(42), 0.25);
+        let b = service_time_s(5, RequestId(42), 0.25);
+        let c = service_time_s(5, RequestId(43), 0.25);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a >= 0.0);
+        assert_eq!(service_time_s(5, RequestId(42), 0.0), 0.0);
+    }
+
+    #[test]
+    fn service_time_mean_matches_spec() {
+        let n = 20_000;
+        let mean = (0..n)
+            .map(|i| service_time_s(11, RequestId(i), 0.25))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean service {mean}");
+    }
+
+    #[test]
+    fn class_assignment_is_order_independent_and_splits() {
+        let gold = (0..2000)
+            .filter(|&i| SlaClass::assign(3, AppId(i), 0.25) == SlaClass::Gold)
+            .count();
+        assert!((400..600).contains(&gold), "gold count {gold}");
+        assert_eq!(
+            SlaClass::assign(3, AppId(7), 0.25),
+            SlaClass::assign(3, AppId(7), 0.25)
+        );
+    }
+
+    #[test]
+    fn spec_scales_rate_with_demand() {
+        let spec = RequestLoadSpec::moderate();
+        let light = spec.source_for(1, 0, &app(1, 0.1));
+        let heavy = spec.source_for(1, 1, &app(2, 0.4));
+        assert!((light.rate_per_s - 0.4).abs() < 1e-12);
+        assert!((heavy.rate_per_s - 1.6).abs() < 1e-12);
+    }
+}
