@@ -13,9 +13,15 @@
 //!     [--seed N]... [--plans N] [--servers N] [--intervals N] [--threads N]
 //! ```
 
-use ecolb_chaos::{generate_plan, intensity_grid, run_plan, ChaosScenario, SweepSummary};
+use ecolb_chaos::{
+    generate_plan, intensity_grid, run_plan, ChaosScenario, FleetKind, SweepSummary,
+};
 use ecolb_metrics::table::{fmt_f, Table};
 use ecolb_simcore::par::{default_threads, map_indexed};
+
+/// Both plan families: the paper's homogeneous fleet, and the
+/// Koomey-mixed fleet with scheduled spot reclaims on top.
+const FLEETS: [FleetKind; 2] = [FleetKind::Uniform, FleetKind::MixedSpot];
 
 /// Documented CI seed set; override with repeated `--seed N`.
 const CI_SEEDS: [u64; 3] = [20140109, 7, 42];
@@ -55,8 +61,9 @@ fn main() {
     }
 
     let grid = intensity_grid(GRID_STEPS);
-    let total_plans = grid.len() as u64 * seeds.len() as u64 * plans_per_cell;
+    let total_plans = grid.len() as u64 * seeds.len() as u64 * plans_per_cell * FLEETS.len() as u64;
     let mut table = Table::new([
+        "Fleet",
         "Intensity",
         "Plans",
         "Fault events",
@@ -71,48 +78,55 @@ fn main() {
 
     let mut grand_total = SweepSummary::default();
     let mut failures: Vec<(u64, f64, u64)> = Vec::new();
-    for &intensity in &grid {
-        let scenario = ChaosScenario::new(servers, intervals, intensity);
-        let mut row_summary = SweepSummary::default();
-        for &seed in &seeds {
-            let indices: Vec<u64> = (0..plans_per_cell).collect();
-            let outcomes = map_indexed(indices, threads, |_, index| {
-                let plan = generate_plan(seed, index, &scenario);
-                (index, run_plan(&scenario, &plan))
-            });
-            for (index, outcome) in &outcomes {
-                if !outcome.ok() {
-                    failures.push((seed, intensity, *index));
-                    for v in &outcome.violations {
-                        eprintln!(
-                            "VIOLATION seed {seed} intensity {intensity} plan {index}: \
-                             `{}` at {} µs (server {}): {}",
-                            v.invariant, v.at_us, v.server, v.detail
-                        );
+    for fleet in FLEETS {
+        for &intensity in &grid {
+            let scenario = ChaosScenario::new(servers, intervals, intensity).with_fleet(fleet);
+            let mut row_summary = SweepSummary::default();
+            for &seed in &seeds {
+                let indices: Vec<u64> = (0..plans_per_cell).collect();
+                let outcomes = map_indexed(indices, threads, |_, index| {
+                    let plan = generate_plan(seed, index, &scenario);
+                    (index, run_plan(&scenario, &plan))
+                });
+                for (index, outcome) in &outcomes {
+                    if !outcome.ok() {
+                        failures.push((seed, intensity, *index));
+                        for v in &outcome.violations {
+                            eprintln!(
+                                "VIOLATION fleet {} seed {seed} intensity {intensity} plan \
+                                 {index}: `{}` at {} µs (server {}): {}",
+                                fleet.label(),
+                                v.invariant,
+                                v.at_us,
+                                v.server,
+                                v.detail
+                            );
+                        }
                     }
                 }
+                let flat: Vec<_> = outcomes.into_iter().map(|(_, o)| o).collect();
+                let s = SweepSummary::of(&flat);
+                row_summary.plans += s.plans;
+                row_summary.violating_plans += s.violating_plans;
+                row_summary.violations += s.violations;
+                row_summary.events_injected += s.events_injected;
+                row_summary.digests_checked += s.digests_checked;
             }
-            let flat: Vec<_> = outcomes.into_iter().map(|(_, o)| o).collect();
-            let s = SweepSummary::of(&flat);
-            row_summary.plans += s.plans;
-            row_summary.violating_plans += s.violating_plans;
-            row_summary.violations += s.violations;
-            row_summary.events_injected += s.events_injected;
-            row_summary.digests_checked += s.digests_checked;
+            table.row([
+                fleet.label().to_string(),
+                fmt_f(intensity, 2),
+                row_summary.plans.to_string(),
+                row_summary.events_injected.to_string(),
+                row_summary.digests_checked.to_string(),
+                row_summary.violating_plans.to_string(),
+                row_summary.violations.to_string(),
+            ]);
+            grand_total.plans += row_summary.plans;
+            grand_total.violating_plans += row_summary.violating_plans;
+            grand_total.violations += row_summary.violations;
+            grand_total.events_injected += row_summary.events_injected;
+            grand_total.digests_checked += row_summary.digests_checked;
         }
-        table.row([
-            fmt_f(intensity, 2),
-            row_summary.plans.to_string(),
-            row_summary.events_injected.to_string(),
-            row_summary.digests_checked.to_string(),
-            row_summary.violating_plans.to_string(),
-            row_summary.violations.to_string(),
-        ]);
-        grand_total.plans += row_summary.plans;
-        grand_total.violating_plans += row_summary.violating_plans;
-        grand_total.violations += row_summary.violations;
-        grand_total.events_injected += row_summary.events_injected;
-        grand_total.digests_checked += row_summary.digests_checked;
     }
     print!("{table}");
     eprintln!(

@@ -11,7 +11,7 @@
 //! are full-range `u64`s and would silently lose precision above 2⁵³ if
 //! squeezed through `f64` like a generic JSON reader would.
 
-use crate::gen::ChaosScenario;
+use crate::gen::{ChaosScenario, FleetKind};
 use ecolb_cluster::server::ServerId;
 use ecolb_faults::plan::{FaultEvent, FaultEventKind, FaultPlan};
 use ecolb_metrics::json::{ObjectWriter, ToJson};
@@ -84,10 +84,21 @@ impl ToJson for ReproArtifact {
 }
 
 fn scenario_from(v: &JsonValue) -> Result<ChaosScenario, ParseError> {
+    // Artifacts written before the fleet axis existed carry no `fleet`
+    // field; they all ran the homogeneous volume fleet.
+    let fleet = match v.get("fleet") {
+        None => FleetKind::Uniform,
+        Some(val) => match val.as_str() {
+            Some("uniform") => FleetKind::Uniform,
+            Some("mixed_spot") => FleetKind::MixedSpot,
+            _ => return Err(ParseError::schema("fleet", "unknown fleet kind")),
+        },
+    };
     Ok(ChaosScenario {
         n_servers: v.u64_field("n_servers")? as usize,
         intervals: v.u64_field("intervals")?,
         intensity: v.f64_field("intensity")?,
+        fleet,
     })
 }
 
@@ -540,6 +551,43 @@ mod tests {
         let back = ReproArtifact::parse(&a.to_json()).expect("round trip");
         assert_eq!(back.plan, plan);
         assert_eq!(back.scenario, scenario);
+    }
+
+    #[test]
+    fn pre_fleet_artifacts_parse_as_the_uniform_fleet() {
+        // A document written before the fleet axis existed: no `fleet`
+        // field anywhere. It must keep parsing, as the uniform fleet.
+        let a = sample_artifact();
+        let legacy = a.to_json().replace(r#","fleet":"uniform""#, "");
+        assert!(!legacy.contains("fleet"), "test setup: field removed");
+        let back = ReproArtifact::parse(&legacy).expect("legacy parse");
+        assert_eq!(back.scenario.fleet, FleetKind::Uniform);
+        assert_eq!(back.plan, a.plan);
+    }
+
+    #[test]
+    fn mixed_spot_artifacts_round_trip_with_their_fleet() {
+        let mut a = sample_artifact();
+        a.scenario = a.scenario.with_fleet(FleetKind::MixedSpot);
+        let text = a.to_json();
+        assert!(text.contains(r#""fleet":"mixed_spot""#));
+        let back = ReproArtifact::parse(&text).expect("round trip");
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn unknown_fleet_kinds_are_rejected() {
+        let text = sample_artifact()
+            .to_json()
+            .replace(r#""fleet":"uniform""#, r#""fleet":"quantum""#);
+        let err = ReproArtifact::parse(&text).expect_err("schema error");
+        assert_eq!(
+            err,
+            ParseError::Schema {
+                field: "fleet",
+                msg: "unknown fleet kind"
+            }
+        );
     }
 
     #[test]

@@ -29,6 +29,27 @@ const MESSAGE_DELAY_SCALE: f64 = 0.3;
 /// Per-unit-intensity wake-transition failure probability.
 const WAKE_FAILURE_SCALE: f64 = 0.2;
 
+/// Which fleet the chaos cluster is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetKind {
+    /// Homogeneous volume-class fleet — the original chaos world.
+    Uniform,
+    /// Koomey-mixed enterprise fleet whose highest-id servers are spot
+    /// capacity: on top of the sampled fault families, the provider
+    /// reclaims them at *scheduled* (never sampled) instants.
+    MixedSpot,
+}
+
+impl FleetKind {
+    /// Stable snake_case label (JSON field, table column).
+    pub fn label(self) -> &'static str {
+        match self {
+            FleetKind::Uniform => "uniform",
+            FleetKind::MixedSpot => "mixed_spot",
+        }
+    }
+}
+
 /// The shape of one chaos experiment: cluster size, run length and how
 /// hard the fuzzer leans on it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,24 +62,39 @@ pub struct ChaosScenario {
     /// [`FaultPlan::empty`] and generation makes **zero** RNG draws — the
     /// run must be byte-identical to the fault-free simulation.
     pub intensity: f64,
+    /// Fleet composition (and with it, the spot-reclaim plan family).
+    pub fleet: FleetKind,
 }
 
 impl ChaosScenario {
-    /// A scenario over the paper's low-load cluster configuration.
+    /// A scenario over the paper's low-load cluster configuration with
+    /// the homogeneous volume fleet.
     pub fn new(n_servers: usize, intervals: u64, intensity: f64) -> Self {
         ChaosScenario {
             n_servers,
             intervals,
             intensity,
+            fleet: FleetKind::Uniform,
         }
     }
 
+    /// The same scenario over a different fleet.
+    pub fn with_fleet(mut self, fleet: FleetKind) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
     /// The cluster configuration every chaos run uses: the paper's
-    /// parameters with the low-load workload. Deriving it from the
-    /// scenario (rather than storing it) keeps reproducer artifacts
-    /// self-contained — `(seed, scenario)` rebuilds the exact run.
+    /// parameters with the low-load workload, over the scenario's fleet.
+    /// Deriving it from the scenario (rather than storing it) keeps
+    /// reproducer artifacts self-contained — `(seed, scenario)` rebuilds
+    /// the exact run.
     pub fn config(&self) -> ClusterConfig {
-        ClusterConfig::paper(self.n_servers, WorkloadSpec::paper_low_load())
+        let mut config = ClusterConfig::paper(self.n_servers, WorkloadSpec::paper_low_load());
+        if self.fleet == FleetKind::MixedSpot {
+            config.server_mix = ecolb_cluster::mix::ServerMix::typical_enterprise();
+        }
+        config
     }
 
     /// The reallocation interval τ of [`ChaosScenario::config`].
@@ -82,6 +118,7 @@ impl ToJson for ChaosScenario {
             .field("n_servers", &(self.n_servers as u64))
             .field("intervals", &self.intervals)
             .field("intensity", &self.intensity)
+            .field("fleet", &self.fleet.label())
             .finish();
     }
 }
@@ -171,6 +208,27 @@ pub fn generate_plan(seed: u64, index: u64, scenario: &ChaosScenario) -> FaultPl
             None
         };
         plan = plan.with_leader_crash(at, recover);
+    }
+
+    // Spot reclaims on the mixed fleet are scheduled, never sampled:
+    // pure arithmetic over the scenario, so the family adds zero RNG
+    // streams and composes with the stochastic families above. The
+    // provider takes back `ceil(intensity·n/8)` highest-id servers,
+    // one per τ starting a quarter into the horizon, and hands each
+    // back after 2τ.
+    if scenario.fleet == FleetKind::MixedSpot {
+        let count = ((intensity * scenario.n_servers as f64) / 8.0).ceil() as usize;
+        let first = horizon / 4;
+        for i in 0..count.min(scenario.n_servers) {
+            let at =
+                SimTime::from_ticks(first.saturating_add(tau.ticks().saturating_mul(i as u64)));
+            let victim = ServerId((scenario.n_servers - 1 - i) as u32);
+            plan = plan.with_server_crash(
+                at,
+                victim,
+                Some(SimDuration::from_ticks(tau.ticks().saturating_mul(2))),
+            );
+        }
     }
     plan
 }
@@ -263,7 +321,58 @@ mod tests {
         let s = ChaosScenario::new(30, 8, 0.75);
         assert_eq!(
             s.to_json(),
-            r#"{"n_servers":30,"intervals":8,"intensity":0.75}"#
+            r#"{"n_servers":30,"intervals":8,"intensity":0.75,"fleet":"uniform"}"#
         );
+        let mixed = s.with_fleet(FleetKind::MixedSpot);
+        assert_eq!(
+            mixed.to_json(),
+            r#"{"n_servers":30,"intervals":8,"intensity":0.75,"fleet":"mixed_spot"}"#
+        );
+    }
+
+    #[test]
+    fn mixed_spot_fleet_adds_scheduled_reclaims_without_new_streams() {
+        let uniform = ChaosScenario::new(32, 8, 0.5);
+        let mixed = uniform.with_fleet(FleetKind::MixedSpot);
+        let a = generate_plan(13, 2, &uniform);
+        let b = generate_plan(13, 2, &mixed);
+        // Same seed, same sampled families: the spot reclaims are the
+        // only difference, appended deterministically.
+        let reclaims: Vec<_> = b
+            .events
+            .iter()
+            .filter(|ev| !a.events.contains(ev))
+            .collect();
+        let expected = ((0.5f64 * 32.0) / 8.0).ceil() as usize;
+        assert_eq!(reclaims.len(), expected);
+        for (i, ev) in reclaims.iter().enumerate() {
+            match ev.kind {
+                FaultEventKind::ServerCrash {
+                    server,
+                    recover_after,
+                } => {
+                    assert_eq!(server, ServerId((31 - i) as u32), "highest ids first");
+                    assert!(recover_after.is_some(), "spot capacity is handed back");
+                }
+                other => panic!("unexpected spot event {other:?}"),
+            }
+        }
+        assert_eq!(b, generate_plan(13, 2, &mixed), "deterministic");
+    }
+
+    #[test]
+    fn zero_intensity_mixed_spot_is_still_structurally_empty() {
+        let scenario = ChaosScenario::new(40, 10, 0.0).with_fleet(FleetKind::MixedSpot);
+        let plan = generate_plan(7, 3, &scenario);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn mixed_spot_config_uses_the_enterprise_mix() {
+        use ecolb_cluster::mix::ServerMix;
+        let uniform = ChaosScenario::new(10, 2, 0.5);
+        assert_eq!(uniform.config().server_mix, ServerMix::all_volume());
+        let mixed = uniform.with_fleet(FleetKind::MixedSpot);
+        assert_eq!(mixed.config().server_mix, ServerMix::typical_enterprise());
     }
 }

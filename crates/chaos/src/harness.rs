@@ -155,6 +155,20 @@ mod tests {
     }
 
     #[test]
+    fn mixed_spot_sweeps_run_clean_at_the_same_bar() {
+        use crate::gen::FleetKind;
+        let scenario = ChaosScenario::new(16, 4, 0.75).with_fleet(FleetKind::MixedSpot);
+        let outcomes = sweep(&scenario, 20140109, 4, 2);
+        let summary = SweepSummary::of(&outcomes);
+        assert!(summary.clean(), "summary: {summary:?}");
+        assert!(
+            summary.events_injected >= 4 * 2,
+            "every plan carries at least its scheduled spot reclaims: {summary:?}"
+        );
+        assert_eq!(summary.digests_checked, 4 * scenario.intervals);
+    }
+
+    #[test]
     fn sweep_summary_counts_violating_plans() {
         // Hand-build outcomes: summarisation is pure bookkeeping.
         let scenario = ChaosScenario::new(10, 2, 0.0);

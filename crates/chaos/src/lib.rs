@@ -40,6 +40,6 @@ pub mod shrink;
 
 pub use artifact::ReproArtifact;
 pub use ecolb_trace::{InvariantChecker, Violation, CLUSTER_WIDE};
-pub use gen::{generate_plan, intensity_grid, ChaosScenario};
+pub use gen::{generate_plan, intensity_grid, ChaosScenario, FleetKind};
 pub use harness::{run_plan, sweep, ChaosOutcome, SweepSummary};
 pub use shrink::{shrink, ShrinkOutcome};

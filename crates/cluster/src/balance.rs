@@ -426,10 +426,23 @@ fn drain_phase(
             })
             .map(Server::id),
     );
+    // Heterogeneous fleets drain the least energy-proportional machines
+    // first: idle wattage is exactly the draw a sleep removes, so a
+    // high-end server asleep buys more joules than a volume server
+    // asleep. Within a wattage tier, emptiest first (cheapest to drain).
+    // Homogeneous fleets tie on idle wattage, preserving the paper's
+    // original emptiest-first order byte-for-byte.
     candidates.sort_by(|&a, &b| {
-        servers[a.index()]
-            .load()
-            .total_cmp(&servers[b.index()].load())
+        use ecolb_energy::power::PowerModel;
+        servers[b.index()]
+            .power()
+            .idle_power_w()
+            .total_cmp(&servers[a.index()].power().idle_power_w())
+            .then(
+                servers[a.index()]
+                    .load()
+                    .total_cmp(&servers[b.index()].load()),
+            )
             .then(a.cmp(&b))
     });
 
@@ -952,6 +965,65 @@ mod tests {
         let out2 = run(&mut servers, &mut leader, &BalanceConfig::default());
         assert_eq!(out2.slept.len(), 1);
         assert!(servers[0].is_sleeping());
+    }
+
+    #[test]
+    fn mixed_fleet_drains_high_idle_wattage_servers_first() {
+        // Two fully drainable R1 idlers — server 0 a volume-class machine,
+        // server 1 a high-end machine whose idle draw is several times
+        // larger — plus two receivers with drain room. A candidate budget
+        // of 1 forces a choice: sleeping the high-end idler removes the
+        // most wattage, so the leader must spend the budget there.
+        use crate::mix::ServerMix;
+        use ecolb_energy::server_class::ServerClass;
+        let mix = ServerMix::typical_enterprise();
+        let classes = [
+            ServerClass::Volume,
+            ServerClass::HighEnd,
+            ServerClass::Volume,
+            ServerClass::Volume,
+        ];
+        let loads: [&[f64]; 4] = [&[0.05], &[0.05], &[0.25], &[0.25]];
+        let mut next_app = 0u64;
+        let mut servers: Vec<Server> = classes
+            .iter()
+            .zip(loads)
+            .enumerate()
+            .map(|(i, (&class, apps))| {
+                let mut s = Server::new(
+                    ServerId(i as u32),
+                    boundaries(),
+                    mix.power_spec(class),
+                    SimTime::ZERO,
+                );
+                for &d in apps {
+                    s.place_app(Application::new(AppId(next_app), d, 0.01, 4.0));
+                    next_app += 1;
+                }
+                s
+            })
+            .collect();
+        {
+            use ecolb_energy::power::PowerModel;
+            assert!(
+                servers[1].power().idle_power_w() > servers[0].power().idle_power_w(),
+                "the high-end machine idles hotter than the volume one"
+            );
+        }
+        let mut leader = Leader::new(servers.len());
+        let config = BalanceConfig {
+            drain_candidates_per_interval: Some(1),
+            ..Default::default()
+        };
+        let out = run(&mut servers, &mut leader, &config);
+        assert_eq!(out.slept.len(), 1);
+        assert_eq!(
+            out.slept[0].0,
+            ServerId(1),
+            "the high-end idler sleeps first"
+        );
+        assert!(servers[1].is_sleeping());
+        assert!(servers[0].is_awake(), "the volume idler waits its turn");
     }
 
     #[test]

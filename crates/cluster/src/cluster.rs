@@ -1031,7 +1031,13 @@ impl Cluster {
         let overflow = &mut self.scratch.digest_overflow;
         overflow.clear();
         let mut dup_hosted = 0u64;
-        for s in &self.servers {
+        // Per-Koomey-class cumulative energy (volume, mid-range,
+        // high-end): the checker cross-foots these against the fleet
+        // total, so a server drawing joules under the wrong class meter
+        // is caught at the next digest.
+        let mut class_energy = [0.0f64; 3];
+        for (s, &class) in self.servers.iter().zip(&self.classes) {
+            class_energy[class as usize] += s.energy().total_j();
             hosted += s.app_count() as u64;
             for app in s.apps() {
                 match seen.get_mut(app.id.0 as usize) {
@@ -1075,6 +1081,10 @@ impl Cluster {
                 leader_crashed: self.leaderless(),
                 epoch: self.leader_epoch,
                 energy_j: self.energy().total_j() + self.migration_energy_j,
+                energy_volume_j: class_energy[0],
+                energy_midrange_j: class_energy[1],
+                energy_highend_j: class_energy[2],
+                energy_migration_j: self.migration_energy_j,
                 saturation: self.saturation_violations,
             },
         );

@@ -15,7 +15,15 @@ use crate::lexer::{Token, TokenKind};
 /// Crates whose code is on the simulation path: anything here must be
 /// bit-reproducible, so unordered collections and ambient state are banned.
 pub const SIM_PATH_CRATES: &[&str] = &[
-    "simcore", "cluster", "energy", "workload", "policies", "trace", "chaos", "serve",
+    "simcore",
+    "cluster",
+    "energy",
+    "workload",
+    "policies",
+    "trace",
+    "chaos",
+    "serve",
+    "scenarios",
 ];
 
 /// All rule identifiers, in reporting order. The first six are token

@@ -1,0 +1,196 @@
+//! The standard scenario catalog the tournament sweeps.
+//!
+//! Seven worlds spanning the model's axes: homogeneous vs heterogeneous
+//! fleets, flat vs flash-crowd vs diurnal arrivals, moderate vs
+//! gold-heavy SLA mixes, and spot reclaims. Sizes are chosen so the
+//! full roster × catalog sweep stays cheap enough for CI while each
+//! scenario still stresses the axis it is named after.
+
+use crate::spec::{FleetSpec, ScenarioSpec, SlaSpec, SpotSpec};
+use ecolb_workload::generator::WorkloadSpec;
+use ecolb_workload::processes::{DiurnalSpec, FlashCrowdSpec, RateModulation};
+use ecolb_workload::requests::RequestLoadSpec;
+
+/// The reference flash crowd of the catalog: 80 % of sources ramp to
+/// 6× over two minutes starting at t = 300 s, decaying with a ~7-minute
+/// time constant.
+fn reference_crowd() -> FlashCrowdSpec {
+    FlashCrowdSpec {
+        intensity: 1.0,
+        onset_s: 300.0,
+        ramp_s: 120.0,
+        decay_s: 400.0,
+        peak_multiplier: 6.0,
+        participation: 0.8,
+    }
+}
+
+/// The standard catalog: every tournament cell is one of these crossed
+/// with a [`PolicySpec`](crate::tournament::PolicySpec).
+pub fn catalog() -> Vec<ScenarioSpec> {
+    let base_load = RequestLoadSpec::moderate();
+    vec![
+        // Axis baseline: the paper's implicit world — homogeneous
+        // volume fleet, stationary Poisson traffic.
+        ScenarioSpec {
+            name: "steady_uniform",
+            fleet: FleetSpec::uniform(24),
+            workload: WorkloadSpec::paper_low_load(),
+            load: base_load,
+            sla: SlaSpec::moderate(),
+            modulation: RateModulation::Flat,
+            spot: None,
+            intervals: 6,
+        },
+        // Heterogeneity alone: same traffic, Koomey-class mix. The
+        // class-aware drain order should sleep high-end idlers first.
+        ScenarioSpec {
+            name: "steady_enterprise",
+            fleet: FleetSpec::enterprise(24),
+            workload: WorkloadSpec::paper_low_load(),
+            load: base_load,
+            sla: SlaSpec::moderate(),
+            modulation: RateModulation::Flat,
+            spot: None,
+            intervals: 6,
+        },
+        // Flash crowd on the homogeneous fleet: consolidation has put
+        // capacity to sleep exactly when the burst needs it.
+        ScenarioSpec {
+            name: "flash_crowd_uniform",
+            fleet: FleetSpec::uniform(24),
+            workload: WorkloadSpec::paper_low_load(),
+            load: base_load,
+            sla: SlaSpec::moderate(),
+            modulation: RateModulation::FlashCrowd(reference_crowd()),
+            spot: None,
+            intervals: 6,
+        },
+        // Flash crowd on the heterogeneous fleet: the burst lands while
+        // the cheap-to-run servers are the ones still awake.
+        ScenarioSpec {
+            name: "flash_crowd_enterprise",
+            fleet: FleetSpec::enterprise(24),
+            workload: WorkloadSpec::paper_low_load(),
+            load: base_load,
+            sla: SlaSpec::moderate(),
+            modulation: RateModulation::FlashCrowd(reference_crowd()),
+            spot: None,
+            intervals: 6,
+        },
+        // Fleet-wide correlated wave: every source swings together, so
+        // the trough invites deep consolidation and the crest punishes it.
+        ScenarioSpec {
+            name: "diurnal_correlated",
+            fleet: FleetSpec::enterprise(24),
+            workload: WorkloadSpec::paper_low_load(),
+            load: base_load,
+            sla: SlaSpec::moderate(),
+            modulation: RateModulation::Diurnal(DiurnalSpec {
+                period_s: 1200.0,
+                amplitude: 0.7,
+                correlation: 1.0,
+            }),
+            spot: None,
+            intervals: 6,
+        },
+        // Spot reclaims: the provider takes back four high-id servers
+        // mid-run and returns them fifteen minutes later.
+        ScenarioSpec {
+            name: "spot_reclaim_enterprise",
+            fleet: FleetSpec::enterprise(24),
+            workload: WorkloadSpec::paper_low_load(),
+            load: base_load,
+            sla: SlaSpec::moderate(),
+            modulation: RateModulation::Flat,
+            spot: Some(SpotSpec {
+                count: 4,
+                first_reclaim_s: 600.0,
+                spacing_s: 300.0,
+                recover_after_s: Some(900.0),
+            }),
+            intervals: 6,
+        },
+        // Full-range utilization (10–90 %): the regime-aware router's
+        // preferred "optimal" servers are the heavily loaded ones whose
+        // processor-sharing stretch makes every request slow *and*
+        // expensive, while the spread-out pickers exploit the cheap
+        // low-load machines. The scenario where the paper policy's
+        // regime ordering works against it.
+        ScenarioSpec {
+            name: "mixed_utilization",
+            fleet: FleetSpec::enterprise(24),
+            workload: WorkloadSpec::paper_full_range(),
+            load: RequestLoadSpec {
+                requests_per_demand: 6.0,
+                ..base_load
+            },
+            sla: SlaSpec::moderate(),
+            modulation: RateModulation::Flat,
+            spot: None,
+            intervals: 6,
+        },
+        // Premium tenants: gold-heavy mix with a tight objective under
+        // desynchronised diurnal churn and heavier per-app traffic.
+        ScenarioSpec {
+            name: "gold_rush",
+            fleet: FleetSpec::uniform(24),
+            workload: WorkloadSpec::paper_low_load(),
+            load: RequestLoadSpec {
+                requests_per_demand: 5.0,
+                ..base_load
+            },
+            sla: SlaSpec::gold_heavy(),
+            modulation: RateModulation::Diurnal(DiurnalSpec {
+                period_s: 900.0,
+                amplitude: 0.6,
+                correlation: 0.2,
+            }),
+            spot: None,
+            intervals: 6,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_axis_with_unique_names() {
+        let cat = catalog();
+        assert!(cat.len() >= 6, "tournament needs at least six scenarios");
+        let names: std::collections::BTreeSet<&str> = cat.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), cat.len(), "names must be unique");
+        assert!(
+            cat.iter().any(|s| s.fleet.mix.high_end > 0.0),
+            "a heterogeneous fleet"
+        );
+        assert!(
+            cat.iter()
+                .any(|s| matches!(s.modulation, RateModulation::FlashCrowd(_))),
+            "a flash crowd"
+        );
+        assert!(
+            cat.iter()
+                .any(|s| matches!(s.modulation, RateModulation::Diurnal(_))),
+            "a diurnal wave"
+        );
+        assert!(cat.iter().any(|s| s.spot.is_some()), "a spot reclaim");
+        assert!(
+            cat.iter().any(|s| s.sla.gold_fraction > 0.5),
+            "a gold-heavy SLA mix"
+        );
+    }
+
+    #[test]
+    fn every_scenario_compiles_for_every_roster_policy() {
+        for spec in catalog() {
+            for policy in crate::tournament::policy_roster() {
+                let cfg = spec.compile(policy.picker, policy.consolidate, 1);
+                assert_eq!(cfg.cluster.n_servers, spec.fleet.n_servers, "{}", spec.name);
+                assert_eq!(cfg.intervals, spec.intervals, "{}", spec.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! The tournament harness: policies × scenarios → Pareto frontiers.
+//!
+//! A *policy* here is the full serving stack under test: a routing
+//! picker plus whether the §4 consolidation protocol is allowed to
+//! sleep servers at all. The roster holds the paper's reactive policy
+//! (consolidation + the regime-aware picker) next to the three simpler
+//! pickers and an `always_on` baseline with a zeroed drain budget — the
+//! classic no-consolidation cloud.
+//!
+//! Each `(scenario, policy)` cell runs the serving co-simulation once
+//! and is scored on four objectives, all lower-better:
+//!
+//! 1. total energy (cluster + serve-side), kJ;
+//! 2. gold violation-seconds (cumulative overrun past the gold
+//!    objective);
+//! 3. bronze violation-seconds;
+//! 4. p99 end-to-end latency, seconds.
+//!
+//! Per scenario the cells reduce to their Pareto-dominant set. No
+//! scalarisation: a policy that burns half the joules at 3× the gold
+//! overrun is *incomparable* to the paper policy, and the frontier
+//! keeps both.
+
+use crate::spec::ScenarioSpec;
+use ecolb_metrics::json::{ObjectWriter, ToJson};
+use ecolb_serve::picker::PickerKind;
+use ecolb_serve::sim::{ServeReport, ServeSim};
+
+/// One policy column of the tournament.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicySpec {
+    /// Stable policy label (JSON key, table column).
+    pub label: &'static str,
+    /// The routing picker.
+    pub picker: PickerKind,
+    /// Whether the consolidation protocol may sleep servers. `false`
+    /// zeroes the leader's drain budget (always-on baseline).
+    pub consolidate: bool,
+}
+
+impl PolicySpec {
+    /// The paper's reactive policy: consolidation on, regime-aware
+    /// routing. This is the row the Pareto analyses single out.
+    pub fn paper() -> Self {
+        PolicySpec {
+            label: "paper_reactive",
+            picker: PickerKind::RegimeAware,
+            consolidate: true,
+        }
+    }
+}
+
+/// The tournament roster: the paper policy, the three remaining pickers
+/// under the same consolidation protocol, and the always-on baseline.
+pub fn policy_roster() -> Vec<PolicySpec> {
+    let mut roster = vec![PolicySpec::paper()];
+    for kind in PickerKind::all() {
+        if kind != PickerKind::RegimeAware {
+            roster.push(PolicySpec {
+                label: kind.label(),
+                picker: kind,
+                consolidate: true,
+            });
+        }
+    }
+    roster.push(PolicySpec {
+        label: "always_on",
+        picker: PickerKind::LeastLoaded,
+        consolidate: false,
+    });
+    roster
+}
+
+/// The scored result of one `(scenario, policy)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Objective 1: total energy (cluster + serve + deferral), kJ.
+    pub total_energy_kj: f64,
+    /// Objective 2: gold violation-seconds.
+    pub gold_violation_s: f64,
+    /// Objective 3: bronze violation-seconds.
+    pub bronze_violation_s: f64,
+    /// Objective 4: p99 end-to-end latency, seconds.
+    pub p99_s: f64,
+    /// Requests admitted (context, not an objective).
+    pub admitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests rejected.
+    pub rejected: u64,
+    /// Gold requests that missed their objective.
+    pub gold_violated: u64,
+    /// Bronze requests that missed their objective.
+    pub bronze_violated: u64,
+    /// Sleep orders that found a non-empty request queue.
+    pub deferred_sleeps: u64,
+}
+
+impl CellOutcome {
+    /// Builds the scored cell from a finished serving report.
+    pub fn from_report(scenario: &'static str, policy: &'static str, r: &ServeReport) -> Self {
+        CellOutcome {
+            scenario,
+            policy,
+            total_energy_kj: r.total_energy_j() / 1e3,
+            gold_violation_s: r.violation_seconds[0],
+            bronze_violation_s: r.violation_seconds[1],
+            p99_s: r.p99_s(),
+            admitted: r.requests_admitted,
+            completed: r.requests_completed,
+            rejected: r.requests_rejected,
+            gold_violated: r.sla.violated(0),
+            bronze_violated: r.sla.violated(1),
+            deferred_sleeps: r.deferred_sleeps,
+        }
+    }
+
+    /// The four lower-is-better objectives, in frontier order.
+    pub fn objectives(&self) -> [f64; 4] {
+        [
+            self.total_energy_kj,
+            self.gold_violation_s,
+            self.bronze_violation_s,
+            self.p99_s,
+        ]
+    }
+}
+
+impl ToJson for CellOutcome {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("scenario", &self.scenario)
+            .field("policy", &self.policy)
+            .field("total_energy_kj", &self.total_energy_kj)
+            .field("gold_violation_s", &self.gold_violation_s)
+            .field("bronze_violation_s", &self.bronze_violation_s)
+            .field("p99_s", &self.p99_s)
+            .field("admitted", &self.admitted)
+            .field("completed", &self.completed)
+            .field("rejected", &self.rejected)
+            .field("gold_violated", &self.gold_violated)
+            .field("bronze_violated", &self.bronze_violated)
+            .field("deferred_sleeps", &self.deferred_sleeps)
+            .finish();
+    }
+}
+
+/// Runs one tournament cell to completion. `(spec, policy, seed)` is
+/// the cell's full identity; the run is byte-deterministic in it.
+pub fn run_cell(spec: &ScenarioSpec, policy: &PolicySpec, seed: u64) -> CellOutcome {
+    let report = ServeSim::new(spec.compile(policy.picker, policy.consolidate, seed), seed).run();
+    CellOutcome::from_report(spec.name, policy.label, &report)
+}
+
+/// Strict Pareto dominance over the four objectives: `a` dominates `b`
+/// when it is no worse everywhere and strictly better somewhere.
+pub fn dominates(a: &CellOutcome, b: &CellOutcome) -> bool {
+    let (oa, ob) = (a.objectives(), b.objectives());
+    let mut strictly = false;
+    for (x, y) in oa.iter().zip(ob) {
+        if *x > y {
+            return false;
+        }
+        if *x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the Pareto-dominant cells — those no other cell strictly
+/// dominates. Duplicated points survive together (neither strictly
+/// dominates the other), so the frontier is never empty for a
+/// non-empty input.
+pub fn pareto_front(cells: &[CellOutcome]) -> Vec<usize> {
+    (0..cells.len())
+        .filter(|&i| !cells.iter().any(|other| dominates(other, &cells[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FleetSpec, ScenarioSpec, SlaSpec};
+    use ecolb_workload::generator::WorkloadSpec;
+    use ecolb_workload::processes::RateModulation;
+    use ecolb_workload::requests::RequestLoadSpec;
+
+    fn cell(name: &'static str, obj: [f64; 4]) -> CellOutcome {
+        CellOutcome {
+            scenario: "s",
+            policy: name,
+            total_energy_kj: obj[0],
+            gold_violation_s: obj[1],
+            bronze_violation_s: obj[2],
+            p99_s: obj[3],
+            admitted: 0,
+            completed: 0,
+            rejected: 0,
+            gold_violated: 0,
+            bronze_violated: 0,
+            deferred_sleeps: 0,
+        }
+    }
+
+    fn tiny_scenario() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tiny",
+            fleet: FleetSpec::enterprise(10),
+            workload: WorkloadSpec::paper_low_load(),
+            load: RequestLoadSpec::moderate(),
+            sla: SlaSpec::moderate(),
+            modulation: RateModulation::Flat,
+            spot: None,
+            intervals: 3,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_partial() {
+        let better = cell("a", [1.0, 2.0, 3.0, 4.0]);
+        let worse = cell("b", [2.0, 2.0, 3.0, 4.0]);
+        let incomparable = cell("c", [0.5, 9.0, 3.0, 4.0]);
+        assert!(dominates(&better, &worse));
+        assert!(!dominates(&worse, &better));
+        assert!(!dominates(&better, &better), "no self-domination");
+        assert!(!dominates(&better, &incomparable));
+        assert!(!dominates(&incomparable, &better));
+    }
+
+    #[test]
+    fn pareto_front_keeps_incomparable_points_and_drops_dominated() {
+        let cells = vec![
+            cell("a", [1.0, 5.0, 1.0, 1.0]),
+            cell("b", [5.0, 1.0, 1.0, 1.0]),
+            cell("c", [5.0, 5.0, 1.0, 1.0]), // dominated by both
+            cell("d", [1.0, 5.0, 1.0, 1.0]), // duplicate of a — survives
+        ];
+        assert_eq!(pareto_front(&cells), vec![0, 1, 3]);
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn roster_is_five_distinct_policies_with_the_paper_row_first() {
+        let roster = policy_roster();
+        assert_eq!(roster.len(), 5);
+        assert_eq!(roster[0], PolicySpec::paper());
+        let labels: std::collections::BTreeSet<&str> = roster.iter().map(|p| p.label).collect();
+        assert_eq!(labels.len(), roster.len(), "labels must be unique");
+        assert!(labels.contains("always_on"));
+    }
+
+    #[test]
+    fn cells_replay_byte_identically() {
+        let spec = tiny_scenario();
+        let policy = PolicySpec::paper();
+        let a = run_cell(&spec, &policy, 17);
+        let b = run_cell(&spec, &policy, 17);
+        assert_eq!(a, b);
+        assert!(a.admitted > 0, "tiny scenario still serves traffic");
+        assert_eq!(a.scenario, "tiny");
+        assert_eq!(a.policy, "paper_reactive");
+    }
+
+    #[test]
+    fn always_on_baseline_never_sleeps_a_server() {
+        let spec = tiny_scenario();
+        let policy = policy_roster().pop().expect("roster non-empty");
+        assert_eq!(policy.label, "always_on");
+        let cfg = spec.compile(policy.picker, policy.consolidate, 5);
+        let report = ServeSim::new(cfg, 5).run();
+        assert!(
+            report
+                .base
+                .sleeping_series
+                .values()
+                .iter()
+                .all(|&v| v == 0.0),
+            "always_on must keep every server awake"
+        );
+        assert_eq!(report.deferred_sleeps, 0);
+    }
+
+    #[test]
+    fn cell_json_is_stable() {
+        let c = cell("p", [1.5, 0.0, 2.0, 0.25]);
+        assert_eq!(
+            c.to_json(),
+            r#"{"scenario":"s","policy":"p","total_energy_kj":1.5,"gold_violation_s":0,"bronze_violation_s":2,"p99_s":0.25,"admitted":0,"completed":0,"rejected":0,"gold_violated":0,"bronze_violated":0,"deferred_sleeps":0}"#
+        );
+    }
+}

@@ -40,13 +40,15 @@ use crate::discover::{Change, ClusterDiscover, Discover};
 use crate::picker::{Picker, PickerKind};
 use crate::queue::QueueModel;
 use ecolb_cluster::cluster::{Cluster, ClusterConfig, ClusterRunReport};
-use ecolb_cluster::recovery::NoFaults;
 use ecolb_cluster::server::ServerId;
 use ecolb_energy::regimes::OperatingRegime;
+use ecolb_faults::inject::FaultInjector;
+use ecolb_faults::plan::{FaultEventKind, FaultPlan};
 use ecolb_metrics::latency::{LatencyRecorder, SlaClassCounters};
 use ecolb_simcore::engine::{Control, Engine, RunOutcome};
 use ecolb_simcore::time::{SimDuration, SimTime};
 use ecolb_trace::{NoTrace, TraceEventKind, Tracer};
+use ecolb_workload::processes::{RateModulation, SourceProfile};
 use ecolb_workload::requests::{service_time_s, OpenLoopSource, RequestId, RequestLoadSpec};
 
 /// Serving-layer configuration on top of a cluster configuration.
@@ -56,6 +58,19 @@ pub struct ServeConfig {
     pub cluster: ClusterConfig,
     /// Request traffic shape (per-app rates, service-time mean, SLA mix).
     pub load: RequestLoadSpec,
+    /// Time-varying arrival modulation across the sources (flash crowds,
+    /// diurnal waves). `Flat` is byte-identical to the unmodulated
+    /// process.
+    pub modulation: RateModulation,
+    /// Scheduled faults injected into the co-simulation — the seam the
+    /// scenario layer uses for spot/preemptible reclaims. `None` (and an
+    /// empty plan) is a structural no-op. Scheduled crashes refresh the
+    /// discovery snapshot immediately, so pickers stop routing to a
+    /// reclaimed server at reclaim time, not at the next tick; its
+    /// already-queued requests drain (reclaim-with-grace semantics).
+    /// Message-delay families are inert here: the serving engine does
+    /// not simulate migration transfers on the wire.
+    pub faults: Option<FaultPlan>,
     /// The routing strategy under test.
     pub picker: PickerKind,
     /// Reallocation intervals to simulate.
@@ -107,6 +122,8 @@ impl ServeConfig {
         ServeConfig {
             cluster,
             load: RequestLoadSpec::moderate(),
+            modulation: RateModulation::Flat,
+            faults: None,
             picker,
             intervals,
             reject_backlog_s: 2.0,
@@ -143,6 +160,9 @@ pub enum ServeEvent {
         /// SLA class index of the request.
         class: u8,
     },
+    /// A scheduled fault from the plan fires (spot reclaim, crash,
+    /// scripted recovery).
+    Fault(FaultEventKind),
 }
 
 /// Everything a `ServeSim` run measures.
@@ -163,6 +183,10 @@ pub struct ServeReport {
     pub latency: LatencyRecorder,
     /// Per-SLA-class served/violated/rejected counters.
     pub sla: SlaClassCounters,
+    /// Cumulative latency overrun past each class objective, seconds
+    /// (index 0 = gold, 1 = bronze) — the SLA axis of the Pareto
+    /// frontier: not just *how many* requests missed, but by how much.
+    pub violation_seconds: [f64; 2],
     /// Requests served per server (server-id index).
     pub per_instance_served: Vec<u64>,
     /// Serve-side energy: Σ effective service × request power, joules.
@@ -212,6 +236,8 @@ struct ServeState {
     picker: Box<dyn Picker>,
     queues: QueueModel,
     sources: Vec<OpenLoopSource>,
+    profiles: Vec<SourceProfile>,
+    injector: FaultInjector,
     changes: Vec<Change>,
     horizon: SimTime,
     realloc_interval: SimDuration,
@@ -223,6 +249,7 @@ struct ServeState {
     rejected: u64,
     latency: LatencyRecorder,
     sla: SlaClassCounters,
+    violation_seconds: [f64; 2],
     per_instance_served: Vec<u64>,
     serve_energy_j: f64,
     sleep_deferral_energy_j: f64,
@@ -257,14 +284,19 @@ impl ServeSim {
             + SimDuration::from_ticks(realloc_interval.ticks().saturating_mul(cfg.intervals));
 
         // One open-loop source per initial application, in (server, app)
-        // placement order — the source index keys its arrival stream.
+        // placement order — the source index keys its arrival stream,
+        // and its modulation profile (flash-crowd participation, diurnal
+        // phase) keys an independent stream on the same index.
         let mut sources = Vec::new();
+        let mut profiles = Vec::new();
         for server in cluster.servers() {
             for app in server.apps() {
                 let idx = sources.len() as u64;
                 sources.push(cfg.load.source_for(seed, idx, app));
+                profiles.push(cfg.modulation.profile_for(seed, idx));
             }
         }
+        let fault_plan = cfg.faults.clone().unwrap_or_else(|| FaultPlan::empty(seed));
 
         let discover = ClusterDiscover::new(&cluster);
         let mut state = ServeState {
@@ -272,6 +304,8 @@ impl ServeSim {
             picker: cfg.picker.build(seed),
             queues: QueueModel::new(n_servers),
             sources,
+            profiles,
+            injector: FaultInjector::new(&fault_plan, n_servers),
             changes: Vec::new(),
             horizon,
             realloc_interval,
@@ -282,6 +316,7 @@ impl ServeSim {
             rejected: 0,
             latency: LatencyRecorder::new(cfg.latency_hi_s, cfg.latency_bins),
             sla: SlaClassCounters::new(),
+            violation_seconds: [0.0; 2],
             per_instance_served: vec![0; n_servers],
             serve_energy_j: 0.0,
             sleep_deferral_energy_j: 0.0,
@@ -298,11 +333,18 @@ impl ServeSim {
             ServeEvent::ReallocationTick,
         );
         for (i, source) in state.sources.iter_mut().enumerate() {
-            if let Some(gap) = source.next_gap_s() {
+            if let Some(gap) = state.profiles[i].next_gap_s(source, 0.0) {
                 let at = SimTime::ZERO + SimDuration::from_secs_f64(gap);
                 if at < horizon {
                     engine.schedule_at(at, ServeEvent::Arrival { source: i as u32 });
                 }
+            }
+        }
+        // Faults beyond the horizon can never be observed; drop them so
+        // the engine drain stays bounded.
+        for ev in &fault_plan.events {
+            if ev.at <= horizon {
+                engine.schedule_at(ev.at, ServeEvent::Fault(ev.kind));
             }
         }
 
@@ -315,6 +357,7 @@ impl ServeSim {
                 admitted_ticks,
                 class,
             } => on_completion(state, sched, &cfg, request, server, admitted_ticks, class),
+            ServeEvent::Fault(kind) => on_fault(state, sched, kind),
         });
         debug_assert!(matches!(outcome, RunOutcome::Stopped | RunOutcome::Drained));
 
@@ -342,6 +385,7 @@ impl ServeSim {
             requests_rejected: state.rejected,
             latency: state.latency,
             sla: state.sla,
+            violation_seconds: state.violation_seconds,
             per_instance_served: state.per_instance_served,
             serve_energy_j: state.serve_energy_j,
             sleep_deferral_energy_j: state.sleep_deferral_energy_j,
@@ -359,9 +403,10 @@ fn on_tick<T: Tracer>(
     cfg: &ServeConfig,
 ) -> Control {
     let now = sched.now();
-    state
-        .cluster
-        .run_interval_traced(&mut NoFaults, sched.tracer());
+    let ServeState {
+        cluster, injector, ..
+    } = state;
+    cluster.run_interval_traced(injector, sched.tracer());
     let (asleep, frac) = state.cluster.interval_stats();
     state.sleeping_series.push(asleep as f64);
     state.load_series.push(frac);
@@ -496,8 +541,12 @@ fn on_arrival<T: Tracer>(
     }
 
     // Open loop: the next arrival of this source is independent of how
-    // this request fared.
-    if let Some(gap) = state.sources[src_idx].next_gap_s() {
+    // this request fared. The gap inverts the source's modulation
+    // profile from the current instant (flat profiles reduce to the
+    // plain exponential draw).
+    if let Some(gap) =
+        state.profiles[src_idx].next_gap_s(&mut state.sources[src_idx], now.as_secs_f64())
+    {
         if let Some(at) = now.checked_add(SimDuration::from_secs_f64(gap)) {
             if at < state.horizon {
                 sched.schedule_at(at, ServeEvent::Arrival { source });
@@ -527,6 +576,7 @@ fn on_completion<T: Tracer>(
         cfg.bronze_objective_s
     };
     state.sla.record(class as usize, latency_s > objective);
+    state.violation_seconds[(class as usize).min(1)] += (latency_s - objective).max(0.0);
     state.completed += 1;
     if sched.tracer().enabled() {
         sched.tracer().event(
@@ -542,6 +592,74 @@ fn on_completion<T: Tracer>(
         Control::Stop
     } else {
         Control::Continue
+    }
+}
+
+/// Applies a scheduled fault to the co-simulation: crash (spot reclaim)
+/// or scripted recovery. A crash orphans the host's VMs into the
+/// leader's admission queue and refreshes the discovery snapshot at
+/// fault time, so pickers stop routing to the reclaimed server
+/// immediately; its queued requests drain to completion
+/// (reclaim-with-grace). Recovery re-enters the routable set at the next
+/// reallocation tick, once the reboot actually reaches C0.
+fn on_fault<T: Tracer>(
+    state: &mut ServeState,
+    sched: &mut Sched<'_, T>,
+    kind: FaultEventKind,
+) -> Control {
+    if state.intervals_left == 0 {
+        return Control::Continue; // past the final tick: unobservable
+    }
+    let now = sched.now();
+    match kind {
+        FaultEventKind::ServerCrash {
+            server,
+            recover_after,
+        } => apply_serve_crash(state, sched, server, recover_after, now),
+        FaultEventKind::LeaderCrash { recover_after } => {
+            let leader = state.cluster.leader_host();
+            apply_serve_crash(state, sched, leader, recover_after, now);
+        }
+        FaultEventKind::ServerRecover { server } => {
+            if state.cluster.recover_server(server, now).is_some() {
+                sched.tracer().event(
+                    now.ticks(),
+                    TraceEventKind::ServerRecovered { server: server.0 },
+                );
+            }
+        }
+    }
+    Control::Continue
+}
+
+fn apply_serve_crash<T: Tracer>(
+    state: &mut ServeState,
+    sched: &mut Sched<'_, T>,
+    server: ServerId,
+    recover_after: Option<SimDuration>,
+    now: SimTime,
+) {
+    if state.cluster.servers()[server.index()].is_crashed() {
+        return;
+    }
+    sched.tracer().event(
+        now.ticks(),
+        TraceEventKind::ServerCrashed { server: server.0 },
+    );
+    let orphans = state.cluster.crash_server(server, now);
+    state.cluster.readmit_orphans(orphans);
+    // Surface the reclaim to the pickers right away — routing to a
+    // crashed host between now and the next tick would be wrong.
+    state.discover.refresh(&state.cluster);
+    let mut changes = std::mem::take(&mut state.changes);
+    state.discover.poll_changes(&mut changes);
+    state.picker.on_change(state.discover.instances(), &changes);
+    state.changes = changes;
+    if let Some(delay) = recover_after {
+        sched.schedule_in(
+            delay,
+            ServeEvent::Fault(FaultEventKind::ServerRecover { server }),
+        );
     }
 }
 
@@ -612,6 +730,66 @@ mod tests {
         assert_eq!(r.base.decision_totals, sync_report.decision_totals);
         assert_eq!(r.base.final_census, sync_report.final_census);
         assert_eq!(r.base.migrations, sync_report.migrations);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_noop() {
+        let mut with_empty = config(20, PickerKind::LeastLoaded, 4);
+        with_empty.faults = Some(ecolb_faults::plan::FaultPlan::empty(11));
+        let a = ServeSim::new(config(20, PickerKind::LeastLoaded, 4), 11).run();
+        let b = ServeSim::new(with_empty, 11).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flash_crowd_raises_traffic_and_violation_seconds_accrue() {
+        use ecolb_workload::processes::{FlashCrowdSpec, RateModulation};
+        let flat = ServeSim::new(config(20, PickerKind::LeastLoaded, 4), 9).run();
+        let mut crowded_cfg = config(20, PickerKind::LeastLoaded, 4);
+        crowded_cfg.modulation = RateModulation::FlashCrowd(FlashCrowdSpec {
+            onset_s: 100.0,
+            ramp_s: 60.0,
+            decay_s: 200.0,
+            participation: 1.0,
+            ..FlashCrowdSpec::moderate()
+        });
+        let crowded = ServeSim::new(crowded_cfg.clone(), 9).run();
+        assert!(
+            crowded.requests_admitted > flat.requests_admitted,
+            "crowd {} vs flat {}",
+            crowded.requests_admitted,
+            flat.requests_admitted
+        );
+        // The cluster layer never observes the serving traffic.
+        assert_eq!(crowded.base, flat.base);
+        assert!(crowded.violation_seconds[0] >= 0.0 && crowded.violation_seconds[1] >= 0.0);
+        // Modulated runs replay byte-identically.
+        assert_eq!(crowded, ServeSim::new(crowded_cfg, 9).run());
+    }
+
+    #[test]
+    fn spot_reclaim_removes_the_server_from_the_routable_set() {
+        use ecolb_simcore::time::SimTime;
+        let victim = ServerId(3);
+        let mut cfg = config(20, PickerKind::RoundRobin, 5);
+        cfg.faults = Some(ecolb_faults::plan::FaultPlan::empty(13).with_server_crash(
+            SimTime::from_secs(400),
+            victim,
+            None,
+        ));
+        let r = ServeSim::new(cfg, 13).run();
+        let baseline = ServeSim::new(config(20, PickerKind::RoundRobin, 5), 13).run();
+        // The reclaimed server serves strictly less than it would have.
+        assert!(
+            r.per_instance_served[victim.index()] < baseline.per_instance_served[victim.index()],
+            "reclaimed {} vs baseline {}",
+            r.per_instance_served[victim.index()],
+            baseline.per_instance_served[victim.index()]
+        );
+        assert_eq!(
+            r.requests_admitted,
+            r.requests_completed + r.requests_rejected
+        );
     }
 
     #[test]

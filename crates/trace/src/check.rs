@@ -99,6 +99,9 @@ struct DigestMark {
     at_us: u64,
     interval: u64,
     energy_j: f64,
+    /// Per-class cumulative energy (volume, mid-range, high-end), J.
+    class_energy_j: [f64; 3],
+    migration_energy_j: f64,
     saturation: u64,
     leader: u32,
 }
@@ -259,6 +262,8 @@ impl InvariantChecker {
         leader_crashed: bool,
         epoch: u64,
         energy_j: f64,
+        class_energy_j: [f64; 3],
+        migration_energy_j: f64,
         saturation: u64,
     ) {
         self.digests_checked += 1;
@@ -342,6 +347,39 @@ impl InvariantChecker {
                 format!("cumulative energy {energy_j} J is negative or non-finite"),
             );
         }
+        // Class-aware accounting: each Koomey-class total (plus the
+        // migration remainder) must itself be a well-formed cumulative
+        // meter, and the four components must re-sum to the fleet total
+        // (up to float re-association noise).
+        let class_labels = ["volume", "mid_range", "high_end", "migration"];
+        let components = [
+            class_energy_j[0],
+            class_energy_j[1],
+            class_energy_j[2],
+            migration_energy_j,
+        ];
+        for (label, value) in class_labels.iter().zip(components) {
+            if !value.is_finite() || value < 0.0 {
+                self.report(
+                    at,
+                    "energy_accounting",
+                    CLUSTER_WIDE,
+                    format!("{label} energy {value} J is negative or non-finite"),
+                );
+            }
+        }
+        let class_sum: f64 = components.iter().sum();
+        if (class_sum - energy_j).abs() > 1e-6 * energy_j.abs().max(1.0) {
+            self.report(
+                at,
+                "energy_accounting",
+                CLUSTER_WIDE,
+                format!(
+                    "per-class energy sums to {class_sum} J but the fleet \
+                     total is {energy_j} J"
+                ),
+            );
+        }
         if let Some(prev) = self.last_digest {
             if energy_j < prev.energy_j {
                 self.report(
@@ -353,6 +391,24 @@ impl InvariantChecker {
                         prev.energy_j
                     ),
                 );
+            }
+            let prev_components = [
+                prev.class_energy_j[0],
+                prev.class_energy_j[1],
+                prev.class_energy_j[2],
+                prev.migration_energy_j,
+            ];
+            for ((label, value), prev_value) in
+                class_labels.iter().zip(components).zip(prev_components)
+            {
+                if value < prev_value {
+                    self.report(
+                        at,
+                        "energy_accounting",
+                        CLUSTER_WIDE,
+                        format!("{label} energy fell from {prev_value} to {value} J"),
+                    );
+                }
             }
             if saturation < prev.saturation {
                 self.report(
@@ -418,6 +474,8 @@ impl InvariantChecker {
             at_us: at,
             interval,
             energy_j,
+            class_energy_j,
+            migration_energy_j,
             saturation,
             leader,
         });
@@ -607,6 +665,10 @@ impl InvariantChecker {
                 leader_crashed,
                 epoch,
                 energy_j,
+                energy_volume_j,
+                energy_midrange_j,
+                energy_highend_j,
+                energy_migration_j,
                 saturation,
             } => self.check_digest(
                 at,
@@ -626,6 +688,8 @@ impl InvariantChecker {
                 leader_crashed,
                 epoch,
                 energy_j,
+                [energy_volume_j, energy_midrange_j, energy_highend_j],
+                energy_migration_j,
                 saturation,
             ),
             _ => {}
@@ -686,6 +750,10 @@ mod tests {
         leader_crashed: bool,
         epoch: u64,
         energy_j: f64,
+        /// Per-class split override; `None` books everything to volume,
+        /// keeping struct-update overrides of `energy_j` sum-consistent.
+        class_energy_j: Option<[f64; 3]>,
+        energy_migration_j: f64,
         saturation: u64,
     }
 
@@ -709,11 +777,16 @@ mod tests {
                 leader_crashed: false,
                 epoch: 0,
                 energy_j: at as f64,
+                class_energy_j: None,
+                energy_migration_j: 0.0,
                 saturation: 0,
             }
         }
 
         fn kind(self) -> TraceEventKind {
+            let classes =
+                self.class_energy_j
+                    .unwrap_or([self.energy_j - self.energy_migration_j, 0.0, 0.0]);
             TraceEventKind::StateDigest {
                 interval: self.interval,
                 hosted: self.hosted,
@@ -732,6 +805,10 @@ mod tests {
                 leader_crashed: self.leader_crashed,
                 epoch: self.epoch,
                 energy_j: self.energy_j,
+                energy_volume_j: classes[0],
+                energy_midrange_j: classes[1],
+                energy_highend_j: classes[2],
+                energy_migration_j: self.energy_migration_j,
                 saturation: self.saturation,
             }
         }
@@ -939,6 +1016,88 @@ mod tests {
             .kind(),
         );
         assert_eq!(c.first_violation().unwrap().invariant, "energy_accounting");
+    }
+
+    #[test]
+    fn class_energy_must_sum_to_the_fleet_total() {
+        let mut c = InvariantChecker::new(4);
+        // 100 J total but the classes only account for 60 J.
+        c.event(
+            100,
+            D {
+                class_energy_j: Some([40.0, 20.0, 0.0]),
+                ..D::clean(0, 100)
+            }
+            .kind(),
+        );
+        let v = c.first_violation().unwrap();
+        assert_eq!(v.invariant, "energy_accounting");
+        assert!(
+            v.detail.contains("per-class energy sums to"),
+            "{}",
+            v.detail
+        );
+    }
+
+    #[test]
+    fn class_energy_split_including_migration_passes() {
+        let mut c = InvariantChecker::new(4);
+        c.event(
+            100,
+            D {
+                class_energy_j: Some([50.0, 30.0, 15.0]),
+                energy_migration_j: 5.0,
+                ..D::clean(0, 100)
+            }
+            .kind(),
+        );
+        assert!(c.ok(), "{:?}", c.first_violation());
+    }
+
+    #[test]
+    fn class_energy_regression_is_flagged_per_class() {
+        let mut c = InvariantChecker::new(4).keep_running();
+        c.event(
+            100,
+            D {
+                class_energy_j: Some([60.0, 40.0, 0.0]),
+                ..D::clean(0, 100)
+            }
+            .kind(),
+        );
+        // Fleet total grows, but the mid-range meter runs backwards —
+        // energy silently re-booked between classes.
+        c.event(
+            200,
+            D {
+                class_energy_j: Some([170.0, 30.0, 0.0]),
+                ..D::clean(1, 200)
+            }
+            .kind(),
+        );
+        let v = c.first_violation().unwrap();
+        assert_eq!(v.invariant, "energy_accounting");
+        assert!(
+            v.detail.contains("mid_range energy fell"),
+            "detail: {}",
+            v.detail
+        );
+    }
+
+    #[test]
+    fn negative_class_energy_is_flagged() {
+        let mut c = InvariantChecker::new(4).keep_running();
+        c.event(
+            100,
+            D {
+                class_energy_j: Some([110.0, -10.0, 0.0]),
+                ..D::clean(0, 100)
+            }
+            .kind(),
+        );
+        let v = c.first_violation().unwrap();
+        assert_eq!(v.invariant, "energy_accounting");
+        assert!(v.detail.contains("mid_range energy"), "{}", v.detail);
     }
 
     #[test]

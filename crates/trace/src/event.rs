@@ -184,6 +184,15 @@ pub enum TraceEventKind {
         epoch: u64,
         /// Cumulative cluster energy drawn so far, joules.
         energy_j: f64,
+        /// Cumulative energy drawn by volume-class servers, joules.
+        energy_volume_j: f64,
+        /// Cumulative energy drawn by mid-range-class servers, joules.
+        energy_midrange_j: f64,
+        /// Cumulative energy drawn by high-end-class servers, joules.
+        energy_highend_j: f64,
+        /// Cumulative migration transfer energy, joules (the remainder
+        /// of `energy_j` after the three class totals).
+        energy_migration_j: f64,
         /// Cumulative saturation (SLA) violation count.
         saturation: u64,
     },
@@ -360,6 +369,10 @@ impl TraceEventKind {
                 leader_crashed,
                 epoch,
                 energy_j,
+                energy_volume_j,
+                energy_midrange_j,
+                energy_highend_j,
+                energy_migration_j,
                 saturation,
             } => w
                 .field("interval", &interval)
@@ -379,6 +392,10 @@ impl TraceEventKind {
                 .field("leader_crashed", &leader_crashed)
                 .field("epoch", &epoch)
                 .field("energy_j", &energy_j)
+                .field("energy_volume_j", &energy_volume_j)
+                .field("energy_midrange_j", &energy_midrange_j)
+                .field("energy_highend_j", &energy_highend_j)
+                .field("energy_migration_j", &energy_migration_j)
                 .field("saturation", &saturation),
             TraceEventKind::InvariantViolated { invariant, server } => {
                 w.field("invariant", &invariant).field("server", &server)
@@ -541,6 +558,10 @@ mod tests {
                 leader_crashed: false,
                 epoch: 0,
                 energy_j: 0.0,
+                energy_volume_j: 0.0,
+                energy_midrange_j: 0.0,
+                energy_highend_j: 0.0,
+                energy_migration_j: 0.0,
                 saturation: 0,
             }
             .name(),

@@ -13,6 +13,9 @@
 //! * [`requests`] — open-loop user-request sources (exponential gaps by
 //!   inversion, keyed per source) and per-request service-time draws for
 //!   the serving layer;
+//! * [`processes`] — time-varying arrival modulation for scenario
+//!   tournaments: flash crowds and correlated diurnal waves inverted
+//!   through closed-form cumulative rates;
 //! * [`slo`] — M/M/1-PS response-time model and SLA violation counting.
 //!
 //! ```
@@ -33,6 +36,7 @@
 pub mod application;
 pub mod arrival;
 pub mod generator;
+pub mod processes;
 pub mod requests;
 pub mod slo;
 pub mod traces;
@@ -40,6 +44,7 @@ pub mod traces;
 pub use application::{AppId, Application, GrowthModel};
 pub use arrival::ArrivalProcess;
 pub use generator::{generate_server_apps, total_demand, AppIdAllocator, WorkloadSpec};
+pub use processes::{DiurnalSpec, FlashCrowdSpec, RateModulation, SourceProfile};
 pub use requests::{
     request_stream, service_time_s, OpenLoopSource, RequestId, RequestLoadSpec,
     RequestStreamDomain, SlaClass,

@@ -82,6 +82,9 @@ pub enum RequestStreamDomain {
     /// Per-request picker choices, e.g. power-of-two sampling
     /// (key = request id).
     Choice,
+    /// Per-source rate-modulation profile (flash-crowd participation,
+    /// diurnal phase; key = source index).
+    Modulation,
 }
 
 impl RequestStreamDomain {
@@ -92,6 +95,7 @@ impl RequestStreamDomain {
             RequestStreamDomain::Service => 0x5E1E_0002,
             RequestStreamDomain::Class => 0x5E1E_0003,
             RequestStreamDomain::Choice => 0x5E1E_0004,
+            RequestStreamDomain::Modulation => 0x5E1E_0005,
         }
     }
 }
@@ -179,11 +183,19 @@ impl OpenLoopSource {
     /// Draws the next inter-arrival gap, seconds, by inversion:
     /// `−ln(1 − U) / λ`. `None` when the source is silent (rate ≤ 0).
     pub fn next_gap_s(&mut self) -> Option<f64> {
+        Some(self.next_unit_exp()? / self.rate_per_s)
+    }
+
+    /// Draws the next unit-mean exponential `−ln(1 − U)` of the arrival
+    /// stream — the raw material the modulated processes of
+    /// [`processes`](crate::processes) invert through a time-varying
+    /// cumulative rate. `None` when the source is silent (rate ≤ 0).
+    pub fn next_unit_exp(&mut self) -> Option<f64> {
         if self.rate_per_s <= 0.0 {
             return None;
         }
         let u = self.arrivals.next_f64();
-        Some(-(1.0 - u).ln() / self.rate_per_s)
+        Some(-(1.0 - u).ln())
     }
 }
 
@@ -226,6 +238,7 @@ mod tests {
             RequestStreamDomain::Service.stream_tag(),
             RequestStreamDomain::Class.stream_tag(),
             RequestStreamDomain::Choice.stream_tag(),
+            RequestStreamDomain::Modulation.stream_tag(),
         ];
         let unique: std::collections::BTreeSet<u64> = tags.iter().copied().collect();
         assert_eq!(unique.len(), tags.len());

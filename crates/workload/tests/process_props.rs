@@ -1,0 +1,132 @@
+//! Property tests for the scenario arrival processes (`processes`):
+//! demand conservation against the closed-form rate integral,
+//! byte-identical sampling across `par` thread counts, and the
+//! structural no-op contract at zero intensity.
+
+use ecolb_simcore::par::map_indexed;
+use ecolb_simcore::proptest_lite::{check_cases, Gen};
+use ecolb_workload::application::AppId;
+use ecolb_workload::processes::{DiurnalSpec, FlashCrowdSpec, RateModulation};
+use ecolb_workload::requests::{OpenLoopSource, SlaClass};
+
+fn source(seed: u64, idx: u64, rate: f64) -> OpenLoopSource {
+    OpenLoopSource::new(seed, idx, AppId(idx), rate, SlaClass::Bronze)
+}
+
+fn random_modulation(g: &mut Gen) -> RateModulation {
+    match g.usize_in(0, 2) {
+        0 => RateModulation::Flat,
+        1 => RateModulation::FlashCrowd(FlashCrowdSpec {
+            intensity: g.f64_in(0.2, 1.0),
+            onset_s: g.f64_in(0.0, 60.0),
+            ramp_s: g.f64_in(1.0, 40.0),
+            decay_s: g.f64_in(10.0, 120.0),
+            peak_multiplier: g.f64_in(2.0, 8.0),
+            participation: g.f64_in(0.3, 1.0),
+        }),
+        _ => RateModulation::Diurnal(DiurnalSpec {
+            period_s: g.f64_in(60.0, 400.0),
+            amplitude: g.f64_in(0.2, 0.9),
+            correlation: g.f64_in(0.0, 1.0),
+        }),
+    }
+}
+
+/// Samples the arrival times of one source under `modulation` up to
+/// `horizon_s`, returning the bit patterns so comparisons are exact.
+fn arrival_bits(
+    seed: u64,
+    idx: u64,
+    rate: f64,
+    modulation: RateModulation,
+    horizon_s: f64,
+) -> Vec<u64> {
+    let profile = modulation.profile_for(seed, idx);
+    let mut src = source(seed, idx, rate);
+    let mut now = 0.0f64;
+    let mut out = Vec::new();
+    loop {
+        match profile.next_gap_s(&mut src, now) {
+            Some(gap) => {
+                now += gap;
+                if now > horizon_s {
+                    return out;
+                }
+                out.push(now.to_bits());
+            }
+            None => return out,
+        }
+    }
+}
+
+#[test]
+fn prop_arrivals_conserve_expected_demand() {
+    // The realised arrival count over a horizon must match the
+    // closed-form rate integral λ·∫m within sampling noise. Aggregate
+    // over many sources so the relative noise is a few percent.
+    check_cases("arrivals_conserve_expected_demand", 8, |g| {
+        let modulation = random_modulation(g);
+        let seed = g.u64_in(1, 1 << 40);
+        let rate = g.f64_in(1.0, 3.0);
+        let horizon_s = 400.0;
+        let sources = 64;
+        let mut observed = 0usize;
+        let mut expected = 0.0f64;
+        for idx in 0..sources {
+            observed += arrival_bits(seed, idx, rate, modulation, horizon_s).len();
+            expected += rate * modulation.profile_for(seed, idx).integral(0.0, horizon_s);
+        }
+        // Poisson sd is sqrt(expected); allow 5 sigma plus slack.
+        let tolerance = 5.0 * expected.sqrt() + 10.0;
+        assert!(
+            ((observed as f64) - expected).abs() < tolerance,
+            "observed {observed} arrivals vs expected {expected:.1} (tolerance {tolerance:.1})"
+        );
+    });
+}
+
+#[test]
+fn prop_sampling_is_byte_identical_across_thread_counts() {
+    check_cases("sampling_byte_identical_across_threads", 6, |g| {
+        let modulation = random_modulation(g);
+        let seed = g.u64_in(1, 1 << 40);
+        let rate = g.f64_in(0.5, 2.0);
+        let sample = |threads: usize| -> Vec<Vec<u64>> {
+            map_indexed((0..24u64).collect(), threads, |_, idx| {
+                arrival_bits(seed, idx, rate, modulation, 120.0)
+            })
+        };
+        let one = sample(1);
+        assert_eq!(one, sample(2), "1 vs 2 threads");
+        assert_eq!(one, sample(8), "1 vs 8 threads");
+    });
+}
+
+#[test]
+fn prop_zero_intensity_flash_crowd_is_a_structural_noop() {
+    // Intensity 0 must not just *approximate* the flat process — it
+    // must resolve to the Flat profile (zero modulation streams built)
+    // and reproduce the plain open-loop gap sequence bit for bit.
+    check_cases("zero_intensity_flash_is_structural_noop", 8, |g| {
+        let spec = FlashCrowdSpec {
+            intensity: 0.0,
+            onset_s: g.f64_in(0.0, 60.0),
+            ramp_s: g.f64_in(0.0, 40.0),
+            decay_s: g.f64_in(1.0, 120.0),
+            peak_multiplier: g.f64_in(1.0, 8.0),
+            participation: g.f64_in(0.0, 1.0),
+        };
+        let modulation = RateModulation::FlashCrowd(spec);
+        let seed = g.u64_in(1, 1 << 40);
+        let rate = g.f64_in(0.5, 2.0);
+        for idx in 0..16 {
+            assert!(
+                modulation.profile_for(seed, idx).is_flat(),
+                "intensity 0 must resolve to the Flat profile"
+            );
+            let modded = arrival_bits(seed, idx, rate, modulation, 90.0);
+            let plain = arrival_bits(seed, idx, rate, RateModulation::Flat, 90.0);
+            assert_eq!(modded, plain, "source {idx} diverged from the flat process");
+        }
+    });
+}
