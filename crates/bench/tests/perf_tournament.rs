@@ -19,7 +19,7 @@
 use ecolb_bench::{paired_overhead, DEFAULT_SEED};
 use ecolb_cluster::cluster::ClusterConfig;
 use ecolb_metrics::report::Report;
-use ecolb_scenarios::spec::{FleetSpec, ScenarioSpec, SlaSpec};
+use ecolb_scenarios::spec::{FleetSpec, ResilienceSpec, ScenarioSpec, SlaSpec};
 use ecolb_serve::picker::PickerKind;
 use ecolb_serve::sim::{ServeConfig, ServeSim};
 use ecolb_workload::generator::WorkloadSpec;
@@ -41,6 +41,7 @@ fn scenario() -> ScenarioSpec {
         sla: SlaSpec::moderate(),
         modulation: RateModulation::Flat,
         spot: None,
+        resilience: ResilienceSpec::Off,
         intervals: INTERVALS,
     }
 }

@@ -43,7 +43,7 @@ impl ChaosOutcome {
 
 /// Builds the checker a chaos run uses: sized to the scenario, heartbeat
 /// timeout matched to the cluster's recovery configuration.
-fn checker_for(scenario: &ChaosScenario) -> InvariantChecker {
+pub(crate) fn checker_for(scenario: &ChaosScenario) -> InvariantChecker {
     InvariantChecker::new(scenario.n_servers as u32)
         .with_heartbeat_timeout(RecoveryConfig::default().heartbeat_timeout_intervals)
 }

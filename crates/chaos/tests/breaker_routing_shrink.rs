@@ -1,0 +1,168 @@
+//! Validates the checker → shrinker → artifact pipeline against a
+//! *deliberately seeded* breaker-routing bug.
+//!
+//! The bug lives only in this test, in a hand-rolled request router
+//! feeding trace events to the [`InvariantChecker`] through the public
+//! tracer seam. The router opens a circuit breaker for the first server
+//! the fault plan crashes — and then keeps routing requests to it
+//! anyway, the classic "breaker state consulted at refresh, not at
+//! dispatch" race. The shipped serving layer routes through the
+//! breaker-filtered instance set, so it has no such path; the fixture
+//! proves that
+//!
+//! 1. the checker catches the stale route and names `breaker_routing`,
+//!    and
+//! 2. the shrinker reduces a noisy violating mixed-spot plan to a
+//!    ≤ 3-server reproducer whose stochastic families are all zeroed.
+//!
+//! The ignored `bless_breaker_regression_corpus` test regenerates the
+//! committed corpus artifact from this same pipeline:
+//!
+//! ```text
+//! cargo test -p ecolb-chaos --test breaker_routing_shrink -- --ignored
+//! ```
+
+use ecolb_chaos::{
+    generate_plan, run_plan, run_serve_plan, shrink, ChaosScenario, FleetKind, InvariantChecker,
+    ReproArtifact,
+};
+use ecolb_faults::plan::{FaultEventKind, FaultPlan};
+use ecolb_metrics::json::ToJson;
+use ecolb_serve::resilience::ResiliencePolicy;
+use ecolb_trace::{TraceEventKind, Tracer};
+
+const SEED: u64 = 20140109;
+
+/// The noisy starting point: the Koomey-mixed spot fleet at high
+/// intensity, so plans mix sampled crash bursts with scheduled spot
+/// reclaims and every stochastic family enabled.
+fn scenario() -> ChaosScenario {
+    ChaosScenario::new(24, 8, 0.9).with_fleet(FleetKind::MixedSpot)
+}
+
+/// The first server the plan crashes, if any — the breaker the buggy
+/// router opens and then ignores.
+fn first_crash_victim(plan: &FaultPlan) -> Option<u32> {
+    plan.events.iter().find_map(|e| match e.kind {
+        FaultEventKind::ServerCrash { server, .. } => Some(server.0),
+        _ => None,
+    })
+}
+
+/// The buggy router. It reacts to the plan's first crash exactly as the
+/// real dispatch path would — trip the victim's breaker — but its
+/// routing table is a stale copy refreshed only at interval boundaries,
+/// so the very next request still lands on the open-breaker server.
+fn buggy_router(plan: &FaultPlan, scenario: &ChaosScenario) -> InvariantChecker {
+    let n = scenario.n_servers as u32;
+    let mut checker = InvariantChecker::new(n).keep_running();
+    let tau = scenario.realloc_interval().ticks();
+    if let Some(victim) = first_crash_victim(plan) {
+        checker.event(tau / 2, TraceEventKind::BreakerOpened { server: victim });
+        // THE BUG: dispatch consults the stale table, not the breaker.
+        checker.event(
+            tau / 2 + 1,
+            TraceEventKind::RequestRouted {
+                request: 1,
+                server: victim,
+            },
+        );
+    }
+    checker
+}
+
+fn violates(plan: &FaultPlan, scenario: &ChaosScenario) -> bool {
+    !buggy_router(plan, scenario).ok()
+}
+
+#[test]
+fn checker_catches_the_seeded_stale_route() {
+    let scenario = scenario();
+    let plan = generate_plan(SEED, 0, &scenario);
+    assert!(
+        first_crash_victim(&plan).is_some(),
+        "the mixed-spot fleet always schedules reclaims"
+    );
+    let checker = buggy_router(&plan, &scenario);
+    let v = checker.first_violation().expect("checker must fire");
+    assert_eq!(v.invariant, "breaker_routing");
+    assert!(
+        v.detail.contains("routed to open-breaker server"),
+        "detail: {}",
+        v.detail
+    );
+}
+
+#[test]
+fn shrinker_reduces_the_stale_route_to_a_tiny_reproducer() {
+    let scenario = scenario();
+    let plan = generate_plan(SEED, 0, &scenario);
+    assert!(plan.events.len() > 1, "want a noisy input: {plan:?}");
+
+    let mut oracle = violates;
+    let out = shrink(&plan, &scenario, 2_000, &mut oracle);
+    assert!(out.reproduced);
+
+    // Acceptance bar: a ≤ 3-server reproducer. The pipeline actually
+    // reaches the minimum — a single surviving crash event, every
+    // stochastic family zeroed, and a one-interval horizon, because the
+    // stale route needs nothing but the crash itself.
+    assert!(
+        out.scenario.n_servers <= 3,
+        "reproducer still needs {} servers",
+        out.scenario.n_servers
+    );
+    assert_eq!(out.plan.events.len(), 1);
+    assert!(matches!(
+        out.plan.events[0].kind,
+        FaultEventKind::ServerCrash { .. }
+    ));
+    assert_eq!(out.plan.message_loss_prob, 0.0);
+    assert_eq!(out.plan.message_delay_prob, 0.0);
+    assert_eq!(out.plan.wake_failure_prob, 0.0);
+    assert_eq!(
+        out.scenario.fleet,
+        FleetKind::MixedSpot,
+        "shrinking preserves the fleet axis"
+    );
+
+    // The minimal pair still reproduces under the buggy router…
+    let v = buggy_router(&out.plan, &out.scenario)
+        .first_violation()
+        .cloned()
+        .expect("reproducer must fire");
+    assert_eq!(v.invariant, "breaker_routing");
+    // …the artifact round-trips with its fleet…
+    let artifact = ReproArtifact::new(&v, out.scenario, out.plan.clone());
+    let parsed = ReproArtifact::parse(&artifact.to_json()).expect("round trip");
+    assert_eq!(parsed, artifact);
+    // …and both real simulations replay the pair clean: the balancing
+    // protocol on the cluster axis, and the full resilience stack —
+    // whose dispatch really does skip open breakers — on the serve axis.
+    let real = run_plan(&out.scenario, &out.plan);
+    assert!(real.ok(), "real replay violated: {:?}", real.violations);
+    let serve = run_serve_plan(&out.scenario, &out.plan, ResiliencePolicy::full());
+    assert!(serve.ok(), "serve replay violated: {:?}", serve.violations);
+}
+
+/// Regenerates the committed corpus artifact from an actual
+/// checker+shrinker run. Ignored by default: the artifact is committed,
+/// and `corpus.rs` replays it on every `cargo test`.
+#[test]
+#[ignore = "corpus bless helper: rewrites tests/regressions/breaker_routing_stale_route.json"]
+fn bless_breaker_regression_corpus() {
+    let scenario = scenario();
+    let plan = generate_plan(SEED, 0, &scenario);
+    let mut oracle = violates;
+    let out = shrink(&plan, &scenario, 2_000, &mut oracle);
+    assert!(out.reproduced);
+    let checker = buggy_router(&out.plan, &out.scenario);
+    let v = checker.first_violation().expect("reproducer must fire");
+    let artifact = ReproArtifact::new(v, out.scenario, out.plan.clone());
+    std::fs::create_dir_all("tests/regressions").expect("create corpus dir");
+    std::fs::write(
+        "tests/regressions/breaker_routing_stale_route.json",
+        artifact.to_json() + "\n",
+    )
+    .expect("write corpus artifact");
+}

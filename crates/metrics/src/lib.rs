@@ -37,6 +37,7 @@ pub mod latency;
 pub mod plot;
 pub mod quantile;
 pub mod report;
+pub mod resilience;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
@@ -46,6 +47,7 @@ pub use histogram::Histogram;
 pub use latency::{LatencyRecorder, SlaClassCounters};
 pub use quantile::P2Quantile;
 pub use report::Report;
+pub use resilience::ResilienceCounters;
 pub use summary::OnlineStats;
 pub use table::{fmt_f, Align, Table};
 pub use timeseries::TimeSeries;

@@ -6,7 +6,7 @@
 //! full roster × catalog sweep stays cheap enough for CI while each
 //! scenario still stresses the axis it is named after.
 
-use crate::spec::{FleetSpec, ScenarioSpec, SlaSpec, SpotSpec};
+use crate::spec::{FleetSpec, ResilienceSpec, ScenarioSpec, SlaSpec, SpotSpec};
 use ecolb_workload::generator::WorkloadSpec;
 use ecolb_workload::processes::{DiurnalSpec, FlashCrowdSpec, RateModulation};
 use ecolb_workload::requests::RequestLoadSpec;
@@ -40,6 +40,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             sla: SlaSpec::moderate(),
             modulation: RateModulation::Flat,
             spot: None,
+            resilience: ResilienceSpec::Off,
             intervals: 6,
         },
         // Heterogeneity alone: same traffic, Koomey-class mix. The
@@ -52,6 +53,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             sla: SlaSpec::moderate(),
             modulation: RateModulation::Flat,
             spot: None,
+            resilience: ResilienceSpec::Off,
             intervals: 6,
         },
         // Flash crowd on the homogeneous fleet: consolidation has put
@@ -64,6 +66,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             sla: SlaSpec::moderate(),
             modulation: RateModulation::FlashCrowd(reference_crowd()),
             spot: None,
+            resilience: ResilienceSpec::Off,
             intervals: 6,
         },
         // Flash crowd on the heterogeneous fleet: the burst lands while
@@ -76,6 +79,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             sla: SlaSpec::moderate(),
             modulation: RateModulation::FlashCrowd(reference_crowd()),
             spot: None,
+            resilience: ResilienceSpec::Off,
             intervals: 6,
         },
         // Fleet-wide correlated wave: every source swings together, so
@@ -92,6 +96,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
                 correlation: 1.0,
             }),
             spot: None,
+            resilience: ResilienceSpec::Off,
             intervals: 6,
         },
         // Spot reclaims: the provider takes back four high-id servers
@@ -109,6 +114,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
                 spacing_s: 300.0,
                 recover_after_s: Some(900.0),
             }),
+            resilience: ResilienceSpec::Off,
             intervals: 6,
         },
         // Full-range utilization (10–90 %): the regime-aware router's
@@ -128,6 +134,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             sla: SlaSpec::moderate(),
             modulation: RateModulation::Flat,
             spot: None,
+            resilience: ResilienceSpec::Off,
             intervals: 6,
         },
         // Premium tenants: gold-heavy mix with a tight objective under
@@ -147,6 +154,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
                 correlation: 0.2,
             }),
             spot: None,
+            resilience: ResilienceSpec::Off,
             intervals: 6,
         },
     ]

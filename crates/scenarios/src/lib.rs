@@ -11,10 +11,10 @@
 //! so a `(scenario, policy, seed)` cell replays byte-identically.
 //!
 //! The [`tournament`] module runs every policy of a roster through
-//! every scenario of a [`catalog`] and scores the cells on four
+//! every scenario of a [`catalog`] and scores the cells on five
 //! objectives — total energy, gold violation-seconds, bronze
-//! violation-seconds and p99 latency — reducing each scenario to its
-//! Pareto-dominant policy set. The point of the frontier is that the
+//! violation-seconds, p99 latency and failed requests — reducing each
+//! scenario to its Pareto-dominant policy set. The point of the frontier is that the
 //! ranking is *scenario-dependent*: consolidation that wins the energy
 //! axis on a steady heterogeneous fleet loses the SLA axes under a
 //! flash crowd, and the frontier makes that trade visible instead of
@@ -28,5 +28,5 @@ pub mod spec;
 pub mod tournament;
 
 pub use catalog::catalog;
-pub use spec::{FleetSpec, ScenarioSpec, SlaSpec, SpotSpec};
+pub use spec::{FleetSpec, ResilienceSpec, ScenarioSpec, SlaSpec, SpotSpec};
 pub use tournament::{dominates, pareto_front, policy_roster, run_cell, CellOutcome, PolicySpec};

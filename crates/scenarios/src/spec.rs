@@ -13,6 +13,7 @@ use ecolb_cluster::mix::ServerMix;
 use ecolb_cluster::server::ServerId;
 use ecolb_faults::plan::FaultPlan;
 use ecolb_serve::picker::PickerKind;
+use ecolb_serve::resilience::ResiliencePolicy;
 use ecolb_serve::sim::ServeConfig;
 use ecolb_simcore::time::{SimDuration, SimTime};
 use ecolb_workload::generator::WorkloadSpec;
@@ -111,6 +112,42 @@ impl SpotSpec {
     }
 }
 
+/// Request-resilience level of a scenario — the declarative knob the
+/// EXPERIMENTS "RS" sweep turns, compiled onto a
+/// [`ResiliencePolicy`] in [`ScenarioSpec::compile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResilienceSpec {
+    /// The structural no-op: the serving layer behaves byte-identically
+    /// to a build without the resilience layer.
+    Off,
+    /// Budgeted crash retries only — no deadlines, hedging, breakers or
+    /// shedding.
+    RetryOnly,
+    /// The full stack: deadlines, budgeted retries, gold hedging,
+    /// circuit breakers and bronze-first shedding.
+    Full,
+}
+
+impl ResilienceSpec {
+    /// The serving-layer policy this level compiles to.
+    pub fn policy(self) -> ResiliencePolicy {
+        match self {
+            ResilienceSpec::Off => ResiliencePolicy::disabled(),
+            ResilienceSpec::RetryOnly => ResiliencePolicy::retry_only(),
+            ResilienceSpec::Full => ResiliencePolicy::full(),
+        }
+    }
+
+    /// Stable label (JSON key, table column).
+    pub fn label(self) -> &'static str {
+        match self {
+            ResilienceSpec::Off => "off",
+            ResilienceSpec::RetryOnly => "retry_only",
+            ResilienceSpec::Full => "full",
+        }
+    }
+}
+
 /// One named, fully deterministic scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioSpec {
@@ -128,6 +165,8 @@ pub struct ScenarioSpec {
     pub modulation: RateModulation,
     /// Spot reclaims, if any.
     pub spot: Option<SpotSpec>,
+    /// Request-resilience level of the serving layer.
+    pub resilience: ResilienceSpec,
     /// Reallocation intervals to simulate.
     pub intervals: u64,
 }
@@ -151,6 +190,7 @@ impl ScenarioSpec {
         cfg.bronze_objective_s = self.sla.bronze_objective_s;
         cfg.modulation = self.modulation;
         cfg.faults = self.spot.map(|s| s.plan(seed, self.fleet.n_servers));
+        cfg.resilience = self.resilience.policy();
         cfg
     }
 }
@@ -213,6 +253,7 @@ mod tests {
             sla: SlaSpec::gold_heavy(),
             modulation: RateModulation::Flat,
             spot: None,
+            resilience: ResilienceSpec::Full,
             intervals: 4,
         };
         let cfg = spec.compile(PickerKind::LeastLoaded, true, 7);
@@ -221,6 +262,13 @@ mod tests {
         assert_eq!(cfg.load.gold_fraction, 0.6);
         assert_eq!(cfg.gold_objective_s, 0.3);
         assert!(cfg.faults.is_none());
+        assert_eq!(cfg.resilience, ResiliencePolicy::full());
+        let off = ScenarioSpec {
+            resilience: ResilienceSpec::Off,
+            ..spec
+        }
+        .compile(PickerKind::LeastLoaded, true, 7);
+        assert_eq!(off.resilience, ResiliencePolicy::disabled());
         // The always-on baseline zeroes the drain budget.
         let frozen = spec.compile(PickerKind::LeastLoaded, false, 7);
         assert_eq!(

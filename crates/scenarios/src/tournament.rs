@@ -8,13 +8,14 @@
 //! classic no-consolidation cloud.
 //!
 //! Each `(scenario, policy)` cell runs the serving co-simulation once
-//! and is scored on four objectives, all lower-better:
+//! and is scored on five objectives, all lower-better:
 //!
 //! 1. total energy (cluster + serve-side), kJ;
 //! 2. gold violation-seconds (cumulative overrun past the gold
 //!    objective);
 //! 3. bronze violation-seconds;
-//! 4. p99 end-to-end latency, seconds.
+//! 4. p99 end-to-end latency, seconds;
+//! 5. failed requests (crash-killed and never rescued).
 //!
 //! Per scenario the cells reduce to their Pareto-dominant set. No
 //! scalarisation: a policy that burns half the joules at 3× the gold
@@ -92,6 +93,8 @@ pub struct CellOutcome {
     pub completed: u64,
     /// Requests rejected.
     pub rejected: u64,
+    /// Objective 5: requests lost terminally to instance crashes.
+    pub failed: u64,
     /// Gold requests that missed their objective.
     pub gold_violated: u64,
     /// Bronze requests that missed their objective.
@@ -113,19 +116,21 @@ impl CellOutcome {
             admitted: r.requests_admitted,
             completed: r.requests_completed,
             rejected: r.requests_rejected,
+            failed: r.requests_failed,
             gold_violated: r.sla.violated(0),
             bronze_violated: r.sla.violated(1),
             deferred_sleeps: r.deferred_sleeps,
         }
     }
 
-    /// The four lower-is-better objectives, in frontier order.
-    pub fn objectives(&self) -> [f64; 4] {
+    /// The five lower-is-better objectives, in frontier order.
+    pub fn objectives(&self) -> [f64; 5] {
         [
             self.total_energy_kj,
             self.gold_violation_s,
             self.bronze_violation_s,
             self.p99_s,
+            self.failed as f64,
         ]
     }
 }
@@ -142,6 +147,7 @@ impl ToJson for CellOutcome {
             .field("admitted", &self.admitted)
             .field("completed", &self.completed)
             .field("rejected", &self.rejected)
+            .field("failed", &self.failed)
             .field("gold_violated", &self.gold_violated)
             .field("bronze_violated", &self.bronze_violated)
             .field("deferred_sleeps", &self.deferred_sleeps)
@@ -156,7 +162,7 @@ pub fn run_cell(spec: &ScenarioSpec, policy: &PolicySpec, seed: u64) -> CellOutc
     CellOutcome::from_report(spec.name, policy.label, &report)
 }
 
-/// Strict Pareto dominance over the four objectives: `a` dominates `b`
+/// Strict Pareto dominance over the five objectives: `a` dominates `b`
 /// when it is no worse everywhere and strictly better somewhere.
 pub fn dominates(a: &CellOutcome, b: &CellOutcome) -> bool {
     let (oa, ob) = (a.objectives(), b.objectives());
@@ -201,6 +207,7 @@ mod tests {
             admitted: 0,
             completed: 0,
             rejected: 0,
+            failed: 0,
             gold_violated: 0,
             bronze_violated: 0,
             deferred_sleeps: 0,
@@ -216,6 +223,7 @@ mod tests {
             sla: SlaSpec::moderate(),
             modulation: RateModulation::Flat,
             spot: None,
+            resilience: crate::spec::ResilienceSpec::Off,
             intervals: 3,
         }
     }
@@ -290,7 +298,7 @@ mod tests {
         let c = cell("p", [1.5, 0.0, 2.0, 0.25]);
         assert_eq!(
             c.to_json(),
-            r#"{"scenario":"s","policy":"p","total_energy_kj":1.5,"gold_violation_s":0,"bronze_violation_s":2,"p99_s":0.25,"admitted":0,"completed":0,"rejected":0,"gold_violated":0,"bronze_violated":0,"deferred_sleeps":0}"#
+            r#"{"scenario":"s","policy":"p","total_energy_kj":1.5,"gold_violation_s":0,"bronze_violation_s":2,"p99_s":0.25,"admitted":0,"completed":0,"rejected":0,"failed":0,"gold_violated":0,"bronze_violated":0,"deferred_sleeps":0}"#
         );
     }
 }

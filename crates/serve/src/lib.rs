@@ -18,6 +18,11 @@
 //!   [`RegimeAware`](picker::RegimeAware) router;
 //! * [`queue`] — per-instance FIFO service queues in integer tick
 //!   arithmetic;
+//! * [`resilience`] — the request-level resilience layer: SLA-class
+//!   deadlines, budgeted retries with keyed backoff jitter, gold-class
+//!   hedging, per-instance circuit breakers and bronze-first load
+//!   shedding ([`ResiliencePolicy`](resilience::ResiliencePolicy));
+//!   `disabled()` is a structural no-op;
 //! * [`sim`] — [`ServeSim`](sim::ServeSim): one engine co-simulating
 //!   open-loop request traffic with the reallocation protocol, so
 //!   energy decisions and routing decisions interact and a picker
@@ -50,9 +55,14 @@
 pub mod discover;
 pub mod picker;
 pub mod queue;
+pub mod resilience;
 pub mod sim;
 
 pub use discover::{diff_into, Change, ClusterDiscover, Discover, InstanceSet};
 pub use picker::{LeastLoaded, Picker, PickerKind, PowerOfTwo, RegimeAware, RoundRobin};
 pub use queue::{QueueModel, QueueView};
+pub use resilience::{
+    BackoffSchedule, BreakerBank, BreakerPolicy, HedgePolicy, ResiliencePolicy, RetryBudget,
+    RetryBudgetSpec, RetryPolicy, ShedPolicy,
+};
 pub use sim::{regime_energy_multiplier, ServeConfig, ServeEvent, ServeReport, ServeSim};

@@ -63,6 +63,15 @@ impl QueueModel {
         (start, completion)
     }
 
+    /// Clears `server`'s queue horizon — a crash destroys its backlog,
+    /// and without the reset a recovered server would appear to still
+    /// owe the work its dead queue never performed.
+    pub fn reset(&mut self, server: ServerId) {
+        if let Some(slot) = self.busy_until.get_mut(server.index()) {
+            *slot = SimTime::ZERO;
+        }
+    }
+
     /// A read-only view bound to an instant, handed to pickers.
     pub fn view(&self, now: SimTime) -> QueueView<'_> {
         QueueView { model: self, now }
@@ -140,6 +149,15 @@ mod tests {
         let v = q.view(SimTime::ZERO);
         assert!((v.backlog_s(ServerId(0)) - 1.5).abs() < 1e-12);
         assert_eq!(v.backlog_ticks(ServerId(0)), 1_500_000);
+    }
+
+    #[test]
+    fn reset_clears_the_backlog() {
+        let mut q = QueueModel::new(2);
+        q.enqueue(SimTime::ZERO, ServerId(0), SimDuration::from_secs(5));
+        q.reset(ServerId(0));
+        q.reset(ServerId(9)); // out of range is a no-op
+        assert_eq!(q.backlog(SimTime::ZERO, ServerId(0)), SimDuration::ZERO);
     }
 
     #[test]

@@ -36,15 +36,20 @@
 //! picker comparison isolates the routing policy: same migrations, same
 //! sleeps — different latency and different serve-side energy.
 
-use crate::discover::{Change, ClusterDiscover, Discover};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::discover::{Change, ClusterDiscover, Discover, InstanceSet};
 use crate::picker::{Picker, PickerKind};
 use crate::queue::QueueModel;
+use crate::resilience::{BackoffSchedule, BreakerBank, ResiliencePolicy, RetryBudget};
 use ecolb_cluster::cluster::{Cluster, ClusterConfig, ClusterRunReport};
+use ecolb_cluster::instances::InstanceInfo;
 use ecolb_cluster::server::ServerId;
 use ecolb_energy::regimes::OperatingRegime;
 use ecolb_faults::inject::FaultInjector;
 use ecolb_faults::plan::{FaultEventKind, FaultPlan};
 use ecolb_metrics::latency::{LatencyRecorder, SlaClassCounters};
+use ecolb_metrics::resilience::ResilienceCounters;
 use ecolb_simcore::engine::{Control, Engine, RunOutcome};
 use ecolb_simcore::time::{SimDuration, SimTime};
 use ecolb_trace::{NoTrace, TraceEventKind, Tracer};
@@ -66,11 +71,18 @@ pub struct ServeConfig {
     /// scenario layer uses for spot/preemptible reclaims. `None` (and an
     /// empty plan) is a structural no-op. Scheduled crashes refresh the
     /// discovery snapshot immediately, so pickers stop routing to a
-    /// reclaimed server at reclaim time, not at the next tick; its
-    /// already-queued requests drain (reclaim-with-grace semantics).
-    /// Message-delay families are inert here: the serving engine does
-    /// not simulate migration transfers on the wire.
+    /// reclaimed server at reclaim time, not at the next tick. A crash
+    /// destroys the server's request queue: every in-flight request on
+    /// it is killed and counted as failed per SLA class — or retried,
+    /// when the resilience policy grants a retry. Message-delay families
+    /// are inert here: the serving engine does not simulate migration
+    /// transfers on the wire.
     pub faults: Option<FaultPlan>,
+    /// The request-level resilience stack (deadlines, retries, hedging,
+    /// breakers, shedding). [`ResiliencePolicy::disabled`] is a
+    /// structural no-op: zero extra RNG draws, byte-identical report
+    /// and trace.
+    pub resilience: ResiliencePolicy,
     /// The routing strategy under test.
     pub picker: PickerKind,
     /// Reallocation intervals to simulate.
@@ -124,6 +136,7 @@ impl ServeConfig {
             load: RequestLoadSpec::moderate(),
             modulation: RateModulation::Flat,
             faults: None,
+            resilience: ResiliencePolicy::disabled(),
             picker,
             intervals,
             reject_backlog_s: 2.0,
@@ -159,10 +172,74 @@ pub enum ServeEvent {
         admitted_ticks: u64,
         /// SLA class index of the request.
         class: u8,
+        /// Attempt identity (0 = original; retries count up; the hedge
+        /// twin carries [`HEDGE_BIT`]). Distinguishes a live completion
+        /// from one whose attempt was crash-killed earlier.
+        attempt: u32,
+    },
+    /// A backoff delay elapsed: the resilience layer re-dispatches a
+    /// failed request.
+    Retry {
+        /// The request id.
+        request: u64,
+        /// SLA class index of the request.
+        class: u8,
+        /// Original admission instant, integer ticks — deadlines and
+        /// latency are measured from first admission, not from the
+        /// retry.
+        admitted_ticks: u64,
+        /// Retry ordinal being dispatched (1 = first retry).
+        attempt: u32,
     },
     /// A scheduled fault from the plan fires (spot reclaim, crash,
     /// scripted recovery).
     Fault(FaultEventKind),
+}
+
+/// Attempt-id flag marking the hedged (duplicate) attempt of a request.
+pub const HEDGE_BIT: u32 = 1 << 31;
+
+/// One attempt occupying a server's queue — killed (and possibly
+/// retried) when that server crashes.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    request: u64,
+    class: u8,
+    admitted_ticks: u64,
+    attempt: u32,
+}
+
+/// Outstanding-attempt bookkeeping of a hedged request: the first
+/// completion resolves it, the straggler is absorbed silently.
+#[derive(Debug, Clone, Copy)]
+struct HedgeTrack {
+    outstanding: u8,
+    resolved: bool,
+}
+
+/// Why a dispatch attempt could not be served — decides both the retry
+/// eligibility and the terminal accounting bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailCause {
+    /// The picker found no routable instance.
+    NoInstance,
+    /// The chosen server exceeded the hard admission bound.
+    Backlog,
+    /// The predicted latency already exceeded the request's deadline.
+    Deadline,
+    /// The serving instance crashed with the attempt queued.
+    Crash,
+}
+
+impl FailCause {
+    fn reason(self) -> &'static str {
+        match self {
+            FailCause::NoInstance => "no_instance",
+            FailCause::Backlog => "backlog",
+            FailCause::Deadline => "deadline",
+            FailCause::Crash => "crash",
+        }
+    }
 }
 
 /// Everything a `ServeSim` run measures.
@@ -173,12 +250,18 @@ pub struct ServeReport {
     /// The capacity-level cluster report (identical across pickers for
     /// the same cluster config and seed).
     pub base: ClusterRunReport,
-    /// Requests admitted into the serving layer.
+    /// Requests admitted into the serving layer. Conservation:
+    /// `admitted == completed + rejected + failed`.
     pub requests_admitted: u64,
     /// Requests that completed service.
     pub requests_completed: u64,
-    /// Requests rejected (no awake instance, or admission bound).
+    /// Requests rejected (no awake instance, admission bound, deadline
+    /// guard, or load shedding).
     pub requests_rejected: u64,
+    /// Requests lost terminally to instance crashes — queued on a
+    /// server when it crashed and not rescued by a retry or a surviving
+    /// hedge twin.
+    pub requests_failed: u64,
     /// End-to-end latency profile (queueing + service).
     pub latency: LatencyRecorder,
     /// Per-SLA-class served/violated/rejected counters.
@@ -196,6 +279,10 @@ pub struct ServeReport {
     pub sleep_deferral_energy_j: f64,
     /// Sleep decisions that found a non-empty request queue.
     pub deferred_sleeps: u64,
+    /// Resilience-layer activity (retries, hedges, sheds, breaker
+    /// transitions, per-class failures). All-zero except `failed_*`
+    /// when the policy is disabled.
+    pub resilience: ResilienceCounters,
     /// Total events the engine processed.
     pub events_processed: u64,
 }
@@ -243,10 +330,22 @@ struct ServeState {
     realloc_interval: SimDuration,
     intervals_left: u64,
     seed: u64,
+    // Resilience.
+    breakers: BreakerBank,
+    budget: RetryBudget,
+    in_flight: Vec<Vec<InFlight>>,
+    killed: BTreeSet<(u64, u32)>,
+    hedges: BTreeMap<u64, HedgeTrack>,
+    filtered: InstanceSet,
+    filter_scratch: Vec<InstanceInfo>,
+    filtered_dirty: bool,
+    reopened_scratch: Vec<ServerId>,
     // Measurement.
     next_request: u64,
     completed: u64,
     rejected: u64,
+    failed: u64,
+    counters: ResilienceCounters,
     latency: LatencyRecorder,
     sla: SlaClassCounters,
     violation_seconds: [f64; 2],
@@ -311,9 +410,20 @@ impl ServeSim {
             realloc_interval,
             intervals_left: cfg.intervals,
             seed,
+            breakers: BreakerBank::new(n_servers),
+            budget: RetryBudget::new(cfg.resilience.retry.budget),
+            in_flight: vec![Vec::new(); n_servers],
+            killed: BTreeSet::new(),
+            hedges: BTreeMap::new(),
+            filtered: InstanceSet::default(),
+            filter_scratch: Vec::new(),
+            filtered_dirty: true,
+            reopened_scratch: Vec::new(),
             next_request: 0,
             completed: 0,
             rejected: 0,
+            failed: 0,
+            counters: ResilienceCounters::default(),
             latency: LatencyRecorder::new(cfg.latency_hi_s, cfg.latency_bins),
             sla: SlaClassCounters::new(),
             violation_seconds: [0.0; 2],
@@ -356,8 +466,24 @@ impl ServeSim {
                 server,
                 admitted_ticks,
                 class,
-            } => on_completion(state, sched, &cfg, request, server, admitted_ticks, class),
-            ServeEvent::Fault(kind) => on_fault(state, sched, kind),
+                attempt,
+            } => on_completion(
+                state,
+                sched,
+                &cfg,
+                request,
+                server,
+                admitted_ticks,
+                class,
+                attempt,
+            ),
+            ServeEvent::Retry {
+                request,
+                class,
+                admitted_ticks,
+                attempt,
+            } => on_retry(state, sched, &cfg, request, class, admitted_ticks, attempt),
+            ServeEvent::Fault(kind) => on_fault(state, sched, &cfg, kind),
         });
         debug_assert!(matches!(outcome, RunOutcome::Stopped | RunOutcome::Drained));
 
@@ -383,6 +509,7 @@ impl ServeSim {
             requests_admitted: state.next_request,
             requests_completed: state.completed,
             requests_rejected: state.rejected,
+            requests_failed: state.failed,
             latency: state.latency,
             sla: state.sla,
             violation_seconds: state.violation_seconds,
@@ -390,6 +517,7 @@ impl ServeSim {
             serve_energy_j: state.serve_energy_j,
             sleep_deferral_energy_j: state.sleep_deferral_energy_j,
             deferred_sleeps: state.deferred_sleeps,
+            resilience: state.counters,
             events_processed: engine.events_processed(),
         }
     }
@@ -417,14 +545,35 @@ fn on_tick<T: Tracer>(
     state.discover.refresh(&state.cluster);
     let mut changes = std::mem::take(&mut state.changes);
     state.discover.poll_changes(&mut changes);
+    let res = &cfg.resilience;
     for change in &changes {
-        if let Change::Left(server) = change {
-            let backlog = state.queues.backlog(now, *server);
-            if !backlog.is_zero() {
-                state.deferred_sleeps += 1;
-                state.sleep_deferral_energy_j += backlog.as_secs_f64() * cfg.sleep_deferral_power_w;
+        match change {
+            Change::Left(server) => {
+                let backlog = state.queues.backlog(now, *server);
+                if !backlog.is_zero() {
+                    state.deferred_sleeps += 1;
+                    state.sleep_deferral_energy_j +=
+                        backlog.as_secs_f64() * cfg.sleep_deferral_power_w;
+                }
             }
+            Change::Joined(server) => {
+                // A rejoin (recovery or wake) is fresh evidence: close
+                // any breaker still open on the server.
+                if res.enabled && res.breaker.enabled && state.breakers.reset(*server) {
+                    state.counters.breaker_closes += 1;
+                    if sched.tracer().enabled() {
+                        sched.tracer().event(
+                            now.ticks(),
+                            TraceEventKind::BreakerClosed { server: server.0 },
+                        );
+                    }
+                }
+            }
+            Change::Updated(_) => {}
         }
+    }
+    if !changes.is_empty() {
+        state.filtered_dirty = true;
     }
     state.picker.on_change(state.discover.instances(), &changes);
     state.changes = changes;
@@ -466,79 +615,21 @@ fn on_arrival<T: Tracer>(
         );
     }
 
-    let view = state.queues.view(now);
-    let choice = state
-        .picker
-        .pick(state.discover.instances(), &view, RequestId(request));
-    match choice {
-        None => {
-            state.rejected += 1;
-            state.sla.record_rejected(class.index());
-            if sched.tracer().enabled() {
-                sched.tracer().event(
-                    now_ticks,
-                    TraceEventKind::RequestRejected {
-                        request,
-                        reason: "no_instance",
-                    },
-                );
-            }
-        }
-        Some(server) => {
-            let backlog_s = state.queues.backlog(now, server).as_secs_f64();
-            if backlog_s > cfg.reject_backlog_s {
-                state.rejected += 1;
-                state.sla.record_rejected(class.index());
-                if sched.tracer().enabled() {
-                    sched.tracer().event(
-                        now_ticks,
-                        TraceEventKind::RequestRejected {
-                            request,
-                            reason: "backlog",
-                        },
-                    );
-                }
-            } else {
-                // Effective service stretches with the chosen server's
-                // snapshot load: processor sharing under the background
-                // VM demand.
-                let (load, regime) = state
-                    .discover
-                    .instances()
-                    .get(server.index())
-                    .map(|i| (i.load, i.regime))
-                    .unwrap_or((0.0, OperatingRegime::Optimal));
-                let service =
-                    service_time_s(state.seed, RequestId(request), cfg.load.mean_service_s);
-                let eff = service / (1.0 - load.min(cfg.slowdown_load_cap)).max(1e-6);
-                let (_start, done) =
-                    state
-                        .queues
-                        .enqueue(now, server, SimDuration::from_secs_f64(eff));
-                state.serve_energy_j +=
-                    eff * cfg.request_power_w * regime_energy_multiplier(regime);
-                state.per_instance_served[server.index()] += 1;
-                if sched.tracer().enabled() {
-                    sched.tracer().event(
-                        now_ticks,
-                        TraceEventKind::RequestRouted {
-                            request,
-                            server: server.0,
-                        },
-                    );
-                }
-                sched.schedule_at(
-                    done,
-                    ServeEvent::Completion {
-                        request,
-                        server,
-                        admitted_ticks: now_ticks,
-                        class: class.index() as u8,
-                    },
-                );
-            }
-        }
+    // Every admission refills the retry budget, then the request takes
+    // its first dispatch attempt through the resilience stack (which
+    // degrades to the plain route/reject path when disabled).
+    if cfg.resilience.enabled && cfg.resilience.retry.enabled {
+        state.budget.deposit();
     }
+    dispatch_attempt(
+        state,
+        sched,
+        cfg,
+        request,
+        class.index() as u8,
+        now_ticks,
+        0,
+    );
 
     // Open loop: the next arrival of this source is independent of how
     // this request fared. The gap inverts the source's modulation
@@ -556,6 +647,381 @@ fn on_arrival<T: Tracer>(
     Control::Continue
 }
 
+/// One dispatch attempt of a request through the resilience stack:
+/// breaker filtering, pick, shed/backlog/deadline guards, enqueue, and
+/// an optional gold hedge. With the policy disabled this is exactly the
+/// plain route-or-reject path — same pick key, same RNG draws, same
+/// trace events.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_attempt<T: Tracer>(
+    state: &mut ServeState,
+    sched: &mut Sched<'_, T>,
+    cfg: &ServeConfig,
+    request: u64,
+    class: u8,
+    admitted_ticks: u64,
+    attempt: u32,
+) {
+    let now = sched.now();
+    let now_ticks = now.ticks();
+    let res = &cfg.resilience;
+    let breakers_on = res.enabled && res.breaker.enabled;
+
+    // Open windows elapse lazily, checked at dispatch time: an expired
+    // breaker moves to half-open (routable probe) before the pick.
+    if breakers_on && state.breakers.open_count() > 0 {
+        let mut reopened = std::mem::take(&mut state.reopened_scratch);
+        reopened.clear();
+        state.breakers.poll_expired(now, &mut reopened);
+        for server in &reopened {
+            state.filtered_dirty = true;
+            state.counters.breaker_closes += 1;
+            if sched.tracer().enabled() {
+                sched.tracer().event(
+                    now_ticks,
+                    TraceEventKind::BreakerClosed { server: server.0 },
+                );
+            }
+        }
+        state.reopened_scratch = reopened;
+    }
+
+    // While any breaker is open the picker sees a filtered instance
+    // set; otherwise it sees the discovery snapshot untouched (the
+    // disabled-policy fast path).
+    let use_filtered = breakers_on && state.breakers.open_count() > 0;
+    if use_filtered && state.filtered_dirty {
+        let mut scratch = std::mem::take(&mut state.filter_scratch);
+        scratch.clear();
+        for inst in state.discover.instances().instances() {
+            if !state.breakers.is_open(inst.id) {
+                scratch.push(*inst);
+            }
+        }
+        state.filtered.replace_from(&scratch);
+        state.filter_scratch = scratch;
+        state.filtered_dirty = false;
+    }
+
+    let view = state.queues.view(now);
+    // Retries re-key the pick so a retry is not glued to the server
+    // that just failed it; attempt 0 preserves the original key.
+    let pick_key = RequestId(request ^ ((attempt as u64) << 56));
+    let set = if use_filtered {
+        &state.filtered
+    } else {
+        state.discover.instances()
+    };
+    let choice = state.picker.pick(set, &view, pick_key);
+    let server = match choice {
+        Some(server) => server,
+        None => {
+            fail_attempt(
+                state,
+                sched,
+                cfg,
+                request,
+                class,
+                admitted_ticks,
+                attempt,
+                FailCause::NoInstance,
+            );
+            return;
+        }
+    };
+
+    let backlog_s = state.queues.backlog(now, server).as_secs_f64();
+
+    // SLA-class shedding is terminal, not retriable: the point is to
+    // drop load, and a retry would put it straight back.
+    if res.enabled && res.shed.enabled && backlog_s > res.shed.watermark_s(class as usize) {
+        state.counters.record_shed(class as usize);
+        state.rejected += 1;
+        state.sla.record_rejected(class as usize);
+        if sched.tracer().enabled() {
+            sched
+                .tracer()
+                .event(now_ticks, TraceEventKind::RequestShed { request, class });
+            sched.tracer().event(
+                now_ticks,
+                TraceEventKind::RequestRejected {
+                    request,
+                    reason: "shed",
+                },
+            );
+        }
+        return;
+    }
+
+    if backlog_s > cfg.reject_backlog_s {
+        fail_attempt(
+            state,
+            sched,
+            cfg,
+            request,
+            class,
+            admitted_ticks,
+            attempt,
+            FailCause::Backlog,
+        );
+        return;
+    }
+
+    // Effective service stretches with the chosen server's snapshot
+    // load: processor sharing under the background VM demand. The
+    // service draw is keyed on the original request id, identical
+    // across attempts.
+    let (load, regime) = state
+        .discover
+        .instances()
+        .get(server.index())
+        .map(|i| (i.load, i.regime))
+        .unwrap_or((0.0, OperatingRegime::Optimal));
+    let service = service_time_s(state.seed, RequestId(request), cfg.load.mean_service_s);
+    let eff = service / (1.0 - load.min(cfg.slowdown_load_cap)).max(1e-6);
+
+    // Deadline guard: fail at dispatch what would miss its deadline
+    // anyway, and feed the chosen server's breaker — a queue deep
+    // enough to blow deadlines is the sim analogue of timing out.
+    let objective = if class == 0 {
+        cfg.gold_objective_s
+    } else {
+        cfg.bronze_objective_s
+    };
+    if let Some(deadline_s) = res.deadline_s(objective) {
+        let elapsed_s = now_ticks.saturating_sub(admitted_ticks) as f64 / 1e6;
+        if elapsed_s + backlog_s + eff > deadline_s {
+            state.counters.deadline_misses += 1;
+            if breakers_on && state.breakers.record_failure(server, now, &res.breaker) {
+                state.filtered_dirty = true;
+                state.counters.breaker_opens += 1;
+                if sched.tracer().enabled() {
+                    sched.tracer().event(
+                        now_ticks,
+                        TraceEventKind::BreakerOpened { server: server.0 },
+                    );
+                }
+            }
+            fail_attempt(
+                state,
+                sched,
+                cfg,
+                request,
+                class,
+                admitted_ticks,
+                attempt,
+                FailCause::Deadline,
+            );
+            return;
+        }
+    }
+
+    let (_start, done) = state
+        .queues
+        .enqueue(now, server, SimDuration::from_secs_f64(eff));
+    state.serve_energy_j += eff * cfg.request_power_w * regime_energy_multiplier(regime);
+    state.in_flight[server.index()].push(InFlight {
+        request,
+        class,
+        admitted_ticks,
+        attempt,
+    });
+    if sched.tracer().enabled() {
+        sched.tracer().event(
+            now_ticks,
+            TraceEventKind::RequestRouted {
+                request,
+                server: server.0,
+            },
+        );
+    }
+    sched.schedule_at(
+        done,
+        ServeEvent::Completion {
+            request,
+            server,
+            admitted_ticks,
+            class,
+            attempt,
+        },
+    );
+
+    // Gold hedge: when the primary's predicted latency is slow, race a
+    // duplicate on the least-backlogged alternate; first completion
+    // wins, the straggler is absorbed. The duplicate costs real energy.
+    if res.enabled && res.hedge.enabled && class == 0 && attempt == 0 {
+        let predicted_s = backlog_s + eff;
+        if predicted_s > res.hedge.threshold_s {
+            let hedge_set = if use_filtered {
+                &state.filtered
+            } else {
+                state.discover.instances()
+            };
+            if let Some(alt) = hedge_alternate(hedge_set, &state.queues, now, server) {
+                let (alt_load, alt_regime) = state
+                    .discover
+                    .instances()
+                    .get(alt.index())
+                    .map(|i| (i.load, i.regime))
+                    .unwrap_or((0.0, OperatingRegime::Optimal));
+                let alt_eff = service / (1.0 - alt_load.min(cfg.slowdown_load_cap)).max(1e-6);
+                let (_alt_start, alt_done) =
+                    state
+                        .queues
+                        .enqueue(now, alt, SimDuration::from_secs_f64(alt_eff));
+                state.serve_energy_j +=
+                    alt_eff * cfg.request_power_w * regime_energy_multiplier(alt_regime);
+                state.in_flight[alt.index()].push(InFlight {
+                    request,
+                    class,
+                    admitted_ticks,
+                    attempt: HEDGE_BIT,
+                });
+                state.hedges.insert(
+                    request,
+                    HedgeTrack {
+                        outstanding: 2,
+                        resolved: false,
+                    },
+                );
+                state.counters.hedges += 1;
+                if sched.tracer().enabled() {
+                    sched.tracer().event(
+                        now_ticks,
+                        TraceEventKind::RequestHedge {
+                            request,
+                            server: alt.0,
+                        },
+                    );
+                }
+                sched.schedule_at(
+                    alt_done,
+                    ServeEvent::Completion {
+                        request,
+                        server: alt,
+                        admitted_ticks,
+                        class,
+                        attempt: HEDGE_BIT,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// The least-backlogged routable alternate to `primary` (ties to the
+/// lower server id), or `None` when the primary is the only choice.
+fn hedge_alternate(
+    set: &InstanceSet,
+    queues: &QueueModel,
+    now: SimTime,
+    primary: ServerId,
+) -> Option<ServerId> {
+    let mut best: Option<(u64, ServerId)> = None;
+    for &idx in set.awake_indices() {
+        let inst = &set.instances()[idx];
+        if inst.id == primary {
+            continue;
+        }
+        let backlog = queues.backlog(now, inst.id).ticks();
+        if best.map_or(true, |(b, _)| backlog < b) {
+            best = Some((backlog, inst.id));
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+/// A dispatch attempt failed: schedule a budgeted backoff retry when
+/// the ladder allows it, otherwise settle the request terminally
+/// (crash-killed attempts count as failures, everything else as a
+/// rejection).
+#[allow(clippy::too_many_arguments)]
+fn fail_attempt<T: Tracer>(
+    state: &mut ServeState,
+    sched: &mut Sched<'_, T>,
+    cfg: &ServeConfig,
+    request: u64,
+    class: u8,
+    admitted_ticks: u64,
+    attempt: u32,
+    cause: FailCause,
+) {
+    let now_ticks = sched.now().ticks();
+    let res = &cfg.resilience;
+    let next = (attempt & !HEDGE_BIT) + 1;
+    if res.enabled && res.retry.enabled && next <= res.retry.max_attempts {
+        if state.budget.try_withdraw() {
+            state.counters.retries += 1;
+            let schedule = BackoffSchedule::new(state.seed, RequestId(request), &res.retry);
+            let delay = SimDuration::from_secs_f64(schedule.delay_s(next));
+            if sched.tracer().enabled() {
+                sched.tracer().event(
+                    now_ticks,
+                    TraceEventKind::RequestRetry {
+                        request,
+                        attempt: next,
+                        delay_us: delay.ticks(),
+                    },
+                );
+            }
+            sched.schedule_in(
+                delay,
+                ServeEvent::Retry {
+                    request,
+                    class,
+                    admitted_ticks,
+                    attempt: next,
+                },
+            );
+            return;
+        }
+        state.counters.retries_denied += 1;
+    }
+    match cause {
+        FailCause::Crash => {
+            state.failed += 1;
+            state.counters.record_failed(class as usize);
+        }
+        _ => {
+            state.rejected += 1;
+            state.sla.record_rejected(class as usize);
+        }
+    }
+    if sched.tracer().enabled() {
+        sched.tracer().event(
+            now_ticks,
+            TraceEventKind::RequestRejected {
+                request,
+                reason: cause.reason(),
+            },
+        );
+    }
+}
+
+/// A backoff delay elapsed: re-dispatch the request.
+fn on_retry<T: Tracer>(
+    state: &mut ServeState,
+    sched: &mut Sched<'_, T>,
+    cfg: &ServeConfig,
+    request: u64,
+    class: u8,
+    admitted_ticks: u64,
+    attempt: u32,
+) -> Control {
+    dispatch_attempt(state, sched, cfg, request, class, admitted_ticks, attempt);
+    stop_check(state, sched)
+}
+
+/// Past the final reallocation tick the engine stops once the last
+/// in-flight completion or retry drains.
+fn stop_check<T: Tracer>(state: &ServeState, sched: &Sched<'_, T>) -> Control {
+    if state.intervals_left == 0 && sched.pending() == 0 {
+        Control::Stop
+    } else {
+        Control::Continue
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn on_completion<T: Tracer>(
     state: &mut ServeState,
@@ -565,7 +1031,40 @@ fn on_completion<T: Tracer>(
     server: ServerId,
     admitted_ticks: u64,
     class: u8,
+    attempt: u32,
 ) -> Control {
+    // The attempt may have been crash-killed after its completion was
+    // scheduled; the kill set marks those tombstones.
+    if state.killed.remove(&(request, attempt)) {
+        return stop_check(state, sched);
+    }
+    if let Some(in_flight) = state.in_flight.get_mut(server.index()) {
+        if let Some(pos) = in_flight
+            .iter()
+            .position(|e| e.request == request && e.attempt == attempt)
+        {
+            in_flight.remove(pos);
+        }
+    }
+    let res = &cfg.resilience;
+    if res.enabled && res.breaker.enabled {
+        state.breakers.record_success(server);
+    }
+    if res.enabled && res.hedge.enabled {
+        if let Some(track) = state.hedges.get_mut(&request) {
+            track.outstanding -= 1;
+            let first = !track.resolved;
+            track.resolved = true;
+            if track.outstanding == 0 {
+                state.hedges.remove(&request);
+            }
+            if !first {
+                // The straggler of a resolved hedge: the work was done
+                // (energy already charged) but the request has settled.
+                return stop_check(state, sched);
+            }
+        }
+    }
     let now_ticks = sched.now().ticks();
     let latency_ticks = now_ticks.saturating_sub(admitted_ticks);
     let latency_s = latency_ticks as f64 / 1e6;
@@ -578,6 +1077,7 @@ fn on_completion<T: Tracer>(
     state.sla.record(class as usize, latency_s > objective);
     state.violation_seconds[(class as usize).min(1)] += (latency_s - objective).max(0.0);
     state.completed += 1;
+    state.per_instance_served[server.index()] += 1;
     if sched.tracer().enabled() {
         sched.tracer().event(
             now_ticks,
@@ -588,23 +1088,22 @@ fn on_completion<T: Tracer>(
             },
         );
     }
-    if state.intervals_left == 0 && sched.pending() == 0 {
-        Control::Stop
-    } else {
-        Control::Continue
-    }
+    stop_check(state, sched)
 }
 
 /// Applies a scheduled fault to the co-simulation: crash (spot reclaim)
 /// or scripted recovery. A crash orphans the host's VMs into the
 /// leader's admission queue and refreshes the discovery snapshot at
 /// fault time, so pickers stop routing to the reclaimed server
-/// immediately; its queued requests drain to completion
-/// (reclaim-with-grace). Recovery re-enters the routable set at the next
-/// reallocation tick, once the reboot actually reaches C0.
+/// immediately. The crash destroys the server's request queue: every
+/// queued attempt is killed and settled as a per-class failure unless
+/// the resilience policy rescues it (a retry, or a surviving hedge
+/// twin). Recovery re-enters the routable set at the next reallocation
+/// tick, once the reboot actually reaches C0.
 fn on_fault<T: Tracer>(
     state: &mut ServeState,
     sched: &mut Sched<'_, T>,
+    cfg: &ServeConfig,
     kind: FaultEventKind,
 ) -> Control {
     if state.intervals_left == 0 {
@@ -615,10 +1114,10 @@ fn on_fault<T: Tracer>(
         FaultEventKind::ServerCrash {
             server,
             recover_after,
-        } => apply_serve_crash(state, sched, server, recover_after, now),
+        } => apply_serve_crash(state, sched, cfg, server, recover_after, now),
         FaultEventKind::LeaderCrash { recover_after } => {
             let leader = state.cluster.leader_host();
-            apply_serve_crash(state, sched, leader, recover_after, now);
+            apply_serve_crash(state, sched, cfg, leader, recover_after, now);
         }
         FaultEventKind::ServerRecover { server } => {
             if state.cluster.recover_server(server, now).is_some() {
@@ -635,6 +1134,7 @@ fn on_fault<T: Tracer>(
 fn apply_serve_crash<T: Tracer>(
     state: &mut ServeState,
     sched: &mut Sched<'_, T>,
+    cfg: &ServeConfig,
     server: ServerId,
     recover_after: Option<SimDuration>,
     now: SimTime,
@@ -654,7 +1154,55 @@ fn apply_serve_crash<T: Tracer>(
     let mut changes = std::mem::take(&mut state.changes);
     state.discover.poll_changes(&mut changes);
     state.picker.on_change(state.discover.instances(), &changes);
+    let res = &cfg.resilience;
+    if !changes.is_empty() {
+        state.filtered_dirty = true;
+    }
     state.changes = changes;
+    // Crash evidence trips the breaker straight to open, so retries of
+    // the killed requests route elsewhere even before the next refresh.
+    if res.enabled && res.breaker.enabled && state.breakers.trip(server, now, &res.breaker) {
+        state.counters.breaker_opens += 1;
+        if sched.tracer().enabled() {
+            sched.tracer().event(
+                now.ticks(),
+                TraceEventKind::BreakerOpened { server: server.0 },
+            );
+        }
+    }
+    // The dead queue is lost: kill every in-flight attempt and settle
+    // each (retry, absorbed by a hedge twin, or counted failed).
+    let victims = std::mem::take(&mut state.in_flight[server.index()]);
+    state.queues.reset(server);
+    for victim in &victims {
+        state.killed.insert((victim.request, victim.attempt));
+        let mut terminal = true;
+        if res.enabled && res.hedge.enabled {
+            if let Some(track) = state.hedges.get_mut(&victim.request) {
+                track.outstanding -= 1;
+                let resolved = track.resolved;
+                let twin_alive = track.outstanding > 0;
+                if !twin_alive {
+                    state.hedges.remove(&victim.request);
+                }
+                // A live twin (or an already-resolved race) settles the
+                // request without this attempt.
+                terminal = !resolved && !twin_alive;
+            }
+        }
+        if terminal {
+            fail_attempt(
+                state,
+                sched,
+                cfg,
+                victim.request,
+                victim.class,
+                victim.admitted_ticks,
+                victim.attempt,
+                FailCause::Crash,
+            );
+        }
+    }
     if let Some(delay) = recover_after {
         sched.schedule_in(
             delay,
@@ -686,16 +1234,18 @@ mod tests {
     }
 
     #[test]
-    fn admitted_splits_into_completed_plus_rejected() {
+    fn admitted_splits_into_completed_rejected_and_failed() {
         for kind in PickerKind::all() {
             let r = ServeSim::new(config(20, kind, 4), 7).run();
             assert!(r.requests_admitted > 0, "{}", kind.label());
             assert_eq!(
                 r.requests_admitted,
-                r.requests_completed + r.requests_rejected,
+                r.requests_completed + r.requests_rejected + r.requests_failed,
                 "{}",
                 kind.label()
             );
+            assert_eq!(r.requests_failed, 0, "no crashes, nothing fails");
+            assert!(!r.resilience.is_active(), "disabled policy stays silent");
             assert_eq!(r.latency.count(), r.requests_completed);
             assert_eq!(r.sla.total_served(), r.requests_completed);
             assert_eq!(r.sla.total_rejected(), r.requests_rejected);
@@ -788,7 +1338,104 @@ mod tests {
         );
         assert_eq!(
             r.requests_admitted,
-            r.requests_completed + r.requests_rejected
+            r.requests_completed + r.requests_rejected + r.requests_failed
+        );
+    }
+
+    /// Regression for the silent-loss bug: requests queued on a crashed
+    /// instance used to vanish from the books entirely (admitted but
+    /// neither completed nor rejected). They are failures, counted per
+    /// SLA class.
+    #[test]
+    fn crash_kills_queued_requests_and_counts_them_failed() {
+        use ecolb_simcore::time::SimTime;
+        let victim = ServerId(3);
+        let mut cfg = config(20, PickerKind::RoundRobin, 5);
+        cfg.faults = Some(ecolb_faults::plan::FaultPlan::empty(13).with_server_crash(
+            SimTime::from_secs(400),
+            victim,
+            None,
+        ));
+        let r = ServeSim::new(cfg, 13).run();
+        assert!(r.requests_failed > 0, "the dead queue was not empty");
+        assert_eq!(
+            r.requests_failed,
+            r.resilience.total_failed(),
+            "per-class failure accounting matches the total"
+        );
+        assert_eq!(
+            r.requests_admitted,
+            r.requests_completed + r.requests_rejected + r.requests_failed,
+            "no request vanishes from the books"
+        );
+        assert_eq!(r.latency.count(), r.requests_completed);
+        // Pinned count: any change to crash-kill accounting must be
+        // deliberate.
+        assert_eq!(r.requests_failed, 1);
+    }
+
+    #[test]
+    fn retry_rescues_crash_killed_requests() {
+        use ecolb_simcore::time::SimTime;
+        let crash_cfg = |policy| {
+            let mut cfg = config(20, PickerKind::RoundRobin, 5);
+            cfg.faults = Some(ecolb_faults::plan::FaultPlan::empty(13).with_server_crash(
+                SimTime::from_secs(400),
+                ServerId(3),
+                None,
+            ));
+            cfg.resilience = policy;
+            cfg
+        };
+        let plain = ServeSim::new(crash_cfg(ResiliencePolicy::disabled()), 13).run();
+        let retried = ServeSim::new(crash_cfg(ResiliencePolicy::retry_only()), 13).run();
+        assert!(plain.requests_failed > 0);
+        assert!(
+            retried.requests_failed < plain.requests_failed,
+            "retries {} vs plain {}",
+            retried.requests_failed,
+            plain.requests_failed
+        );
+        assert!(retried.resilience.retries > 0);
+        assert_eq!(
+            retried.requests_admitted,
+            retried.requests_completed + retried.requests_rejected + retried.requests_failed
+        );
+        // Replays stay byte-identical with the stack on.
+        assert_eq!(
+            retried,
+            ServeSim::new(crash_cfg(ResiliencePolicy::retry_only()), 13).run()
+        );
+    }
+
+    #[test]
+    fn full_stack_is_deterministic_and_conserves_requests() {
+        use ecolb_simcore::time::SimTime;
+        let make = || {
+            let mut cfg = config(20, PickerKind::LeastLoaded, 5);
+            cfg.faults = Some(ecolb_faults::plan::FaultPlan::empty(13).with_server_crash(
+                SimTime::from_secs(300),
+                ServerId(2),
+                Some(ecolb_simcore::time::SimDuration::from_secs(200)),
+            ));
+            cfg.resilience = ResiliencePolicy::full();
+            cfg
+        };
+        let a = ServeSim::new(make(), 13).run();
+        let b = ServeSim::new(make(), 13).run();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.requests_admitted,
+            a.requests_completed + a.requests_rejected + a.requests_failed
+        );
+        assert_eq!(a.latency.count(), a.requests_completed);
+        assert_eq!(
+            a.per_instance_served.iter().sum::<u64>(),
+            a.requests_completed
+        );
+        assert!(
+            a.resilience.breaker_closes <= a.resilience.breaker_opens,
+            "a breaker can only close after opening"
         );
     }
 

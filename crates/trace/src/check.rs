@@ -30,6 +30,16 @@
 //!   that precedes it.
 //! * `server_census` — every digest accounts for exactly the configured
 //!   number of servers.
+//! * `retry_budget` — retry attempts per request are gap-free ordinals
+//!   (1, 2, 3, …) and no retry is issued after the request settled
+//!   (completed or rejected): a budget can deny a retry but can never
+//!   mint one out of order or resurrect a finished request.
+//! * `breaker_routing` — no request is routed (or hedged) to a server
+//!   whose circuit breaker is open, and per-server open/close events
+//!   strictly alternate.
+//! * `shed_accounting` — every `request_shed` is balanced by a
+//!   `request_reject` for the same request before the interval closes,
+//!   and a shed request never routes or completes afterwards.
 //!
 //! On the first violation the checker (by default) raises
 //! [`Tracer::abort_requested`], which the engine polls once per
@@ -37,7 +47,7 @@
 //! the evidence. Each recorded [`Violation`] carries the sim-time, the
 //! implicated server and the window of trace events leading up to it.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ecolb_metrics::json::{ObjectWriter, ToJson};
 
@@ -127,6 +137,17 @@ pub struct InvariantChecker {
     digests_checked: u64,
     violations: Vec<Violation>,
     total_violations: u64,
+    /// Per-server breaker state reconstructed from open/close events.
+    open_breakers: Vec<bool>,
+    /// Last retry ordinal seen per request. Only retried requests are
+    /// tracked, so memory is bounded by the retry count, not traffic.
+    retry_attempts: BTreeMap<u64, u32>,
+    /// Retried requests that have since completed or been rejected.
+    retry_settled: BTreeSet<u64>,
+    /// Shed requests still awaiting their paired `request_reject`.
+    shed_pending: BTreeSet<u64>,
+    /// Every request ever shed (must never route or complete).
+    shed: BTreeSet<u64>,
 }
 
 impl InvariantChecker {
@@ -149,6 +170,11 @@ impl InvariantChecker {
             digests_checked: 0,
             violations: Vec::new(),
             total_violations: 0,
+            open_breakers: vec![false; total_servers as usize],
+            retry_attempts: BTreeMap::new(),
+            retry_settled: BTreeSet::new(),
+            shed_pending: BTreeSet::new(),
+            shed: BTreeSet::new(),
         }
     }
 
@@ -196,6 +222,28 @@ impl InvariantChecker {
     /// State digests validated so far.
     pub fn digests_checked(&self) -> u64 {
         self.digests_checked
+    }
+
+    fn breaker_open(&self, server: u32) -> bool {
+        self.open_breakers
+            .get(server as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn set_breaker(&mut self, server: u32, open: bool) {
+        if let Some(slot) = self.open_breakers.get_mut(server as usize) {
+            *slot = open;
+        }
+    }
+
+    /// Marks a retried/shed request as finished; later retries or
+    /// completions for it are violations.
+    fn settle_request(&mut self, request: u64) {
+        if self.retry_attempts.remove(&request).is_some() {
+            self.retry_settled.insert(request);
+        }
+        self.shed_pending.remove(&request);
     }
 
     fn state(&self, server: u32) -> PowerState {
@@ -267,6 +315,22 @@ impl InvariantChecker {
         saturation: u64,
     ) {
         self.digests_checked += 1;
+
+        // -- shed_accounting (balance at interval close) ------------------
+        // A shed and its paired reject are adjacent events, so no shed
+        // may still be waiting for its reject when an interval closes.
+        if let Some(&request) = self.shed_pending.iter().next() {
+            self.report(
+                at,
+                "shed_accounting",
+                CLUSTER_WIDE,
+                format!(
+                    "{} shed request(s) (first: {request}) never rejected",
+                    self.shed_pending.len()
+                ),
+            );
+            self.shed_pending.clear();
+        }
 
         // -- time_monotone ------------------------------------------------
         if let Some(prev) = self.last_digest {
@@ -692,6 +756,108 @@ impl InvariantChecker {
                 energy_migration_j,
                 saturation,
             ),
+            TraceEventKind::BreakerOpened { server } => {
+                if self.breaker_open(server) {
+                    self.report(
+                        at,
+                        "breaker_routing",
+                        server,
+                        format!("breaker opened for server {server} while already open"),
+                    );
+                }
+                self.set_breaker(server, true);
+            }
+            TraceEventKind::BreakerClosed { server } => {
+                if !self.breaker_open(server) {
+                    self.report(
+                        at,
+                        "breaker_routing",
+                        server,
+                        format!("breaker closed for server {server} that was not open"),
+                    );
+                }
+                self.set_breaker(server, false);
+            }
+            TraceEventKind::RequestRouted { request, server } => {
+                if self.breaker_open(server) {
+                    self.report(
+                        at,
+                        "breaker_routing",
+                        server,
+                        format!("request {request} routed to open-breaker server {server}"),
+                    );
+                }
+                if self.shed.contains(&request) {
+                    self.report(
+                        at,
+                        "shed_accounting",
+                        server,
+                        format!("shed request {request} was routed afterwards"),
+                    );
+                }
+            }
+            TraceEventKind::RequestHedge { request, server } => {
+                if self.breaker_open(server) {
+                    self.report(
+                        at,
+                        "breaker_routing",
+                        server,
+                        format!("request {request} hedged to open-breaker server {server}"),
+                    );
+                }
+            }
+            TraceEventKind::RequestRetry {
+                request, attempt, ..
+            } => {
+                if self.retry_settled.contains(&request) {
+                    self.report(
+                        at,
+                        "retry_budget",
+                        CLUSTER_WIDE,
+                        format!("retry attempt {attempt} for already-settled request {request}"),
+                    );
+                } else {
+                    let expected = self.retry_attempts.get(&request).map_or(1, |a| a + 1);
+                    if attempt != expected {
+                        self.report(
+                            at,
+                            "retry_budget",
+                            CLUSTER_WIDE,
+                            format!(
+                                "request {request} retry attempt {attempt}, expected {expected}"
+                            ),
+                        );
+                    }
+                    self.retry_attempts.insert(request, attempt.max(expected));
+                }
+            }
+            TraceEventKind::RequestShed { request, .. } => {
+                if !self.shed.insert(request) {
+                    self.report(
+                        at,
+                        "shed_accounting",
+                        CLUSTER_WIDE,
+                        format!("request {request} shed twice"),
+                    );
+                }
+                self.shed_pending.insert(request);
+            }
+            TraceEventKind::RequestCompleted {
+                request, server, ..
+            } => {
+                if self.shed.contains(&request) {
+                    self.report(
+                        at,
+                        "shed_accounting",
+                        server,
+                        format!("shed request {request} completed on server {server}"),
+                    );
+                }
+                self.settle_request(request);
+            }
+            TraceEventKind::RequestRejected { request, .. } => {
+                self.settle_request(request);
+            }
             _ => {}
         }
     }
@@ -1128,6 +1294,173 @@ mod tests {
         let json = v.to_json();
         assert!(json.contains(r#""invariant":"sleep_wake_fsm""#));
         assert!(json.contains(r#""window":[{"#));
+    }
+
+    #[test]
+    fn routing_to_open_breaker_is_flagged_and_close_readmits() {
+        let mut c = InvariantChecker::new(4).keep_running();
+        c.event(10, TraceEventKind::BreakerOpened { server: 2 });
+        c.event(
+            20,
+            TraceEventKind::RequestRouted {
+                request: 7,
+                server: 2,
+            },
+        );
+        let v = c.first_violation().unwrap();
+        assert_eq!(v.invariant, "breaker_routing");
+        assert_eq!(v.server, 2);
+        c.event(30, TraceEventKind::BreakerClosed { server: 2 });
+        c.event(
+            40,
+            TraceEventKind::RequestRouted {
+                request: 8,
+                server: 2,
+            },
+        );
+        assert_eq!(c.total_violations(), 1, "closed breaker routes legally");
+    }
+
+    #[test]
+    fn hedge_to_open_breaker_and_double_open_are_flagged() {
+        let mut c = InvariantChecker::new(4).keep_running();
+        c.event(10, TraceEventKind::BreakerOpened { server: 1 });
+        c.event(
+            20,
+            TraceEventKind::RequestHedge {
+                request: 3,
+                server: 1,
+            },
+        );
+        assert_eq!(c.first_violation().unwrap().invariant, "breaker_routing");
+        c.event(30, TraceEventKind::BreakerOpened { server: 1 });
+        assert_eq!(c.total_violations(), 2, "double open flagged");
+        let mut c = InvariantChecker::new(4);
+        c.event(10, TraceEventKind::BreakerClosed { server: 0 });
+        assert_eq!(c.first_violation().unwrap().invariant, "breaker_routing");
+    }
+
+    #[test]
+    fn retry_ordinals_must_be_gap_free_and_stop_at_settle() {
+        let mut c = InvariantChecker::new(4);
+        c.event(
+            10,
+            TraceEventKind::RequestRetry {
+                request: 5,
+                attempt: 1,
+                delay_us: 100,
+            },
+        );
+        c.event(
+            20,
+            TraceEventKind::RequestRetry {
+                request: 5,
+                attempt: 2,
+                delay_us: 200,
+            },
+        );
+        assert!(c.ok());
+        // Skipping ordinal 3 means an attempt was minted out of order.
+        c.event(
+            30,
+            TraceEventKind::RequestRetry {
+                request: 5,
+                attempt: 4,
+                delay_us: 400,
+            },
+        );
+        assert_eq!(c.first_violation().unwrap().invariant, "retry_budget");
+
+        let mut c = InvariantChecker::new(4);
+        c.event(
+            10,
+            TraceEventKind::RequestRetry {
+                request: 9,
+                attempt: 1,
+                delay_us: 100,
+            },
+        );
+        c.event(
+            20,
+            TraceEventKind::RequestCompleted {
+                request: 9,
+                server: 0,
+                latency_us: 10,
+            },
+        );
+        c.event(
+            30,
+            TraceEventKind::RequestRetry {
+                request: 9,
+                attempt: 2,
+                delay_us: 200,
+            },
+        );
+        let v = c.first_violation().unwrap();
+        assert_eq!(v.invariant, "retry_budget");
+        assert!(v.detail.contains("already-settled"), "{}", v.detail);
+    }
+
+    #[test]
+    fn shed_must_pair_with_reject_before_the_digest() {
+        let mut c = InvariantChecker::new(4);
+        c.event(
+            10,
+            TraceEventKind::RequestShed {
+                request: 4,
+                class: 1,
+            },
+        );
+        c.event(
+            10,
+            TraceEventKind::RequestRejected {
+                request: 4,
+                reason: "shed",
+            },
+        );
+        c.event(100, digest(0, 100));
+        assert!(c.ok(), "{:?}", c.first_violation());
+
+        let mut c = InvariantChecker::new(4);
+        c.event(
+            10,
+            TraceEventKind::RequestShed {
+                request: 4,
+                class: 0,
+            },
+        );
+        c.event(100, digest(0, 100));
+        assert_eq!(c.first_violation().unwrap().invariant, "shed_accounting");
+    }
+
+    #[test]
+    fn shed_request_must_never_complete() {
+        let mut c = InvariantChecker::new(4);
+        c.event(
+            10,
+            TraceEventKind::RequestShed {
+                request: 6,
+                class: 1,
+            },
+        );
+        c.event(
+            10,
+            TraceEventKind::RequestRejected {
+                request: 6,
+                reason: "shed",
+            },
+        );
+        c.event(
+            50,
+            TraceEventKind::RequestCompleted {
+                request: 6,
+                server: 1,
+                latency_us: 40,
+            },
+        );
+        let v = c.first_violation().unwrap();
+        assert_eq!(v.invariant, "shed_accounting");
+        assert!(v.detail.contains("completed"), "{}", v.detail);
     }
 
     #[test]

@@ -245,6 +245,47 @@ pub enum TraceEventKind {
         /// Rejection cause label (`"no_instance"`, `"backlog"`).
         reason: &'static str,
     },
+    /// The resilience layer scheduled a retry attempt for a request
+    /// whose previous attempt failed (crash kill or predicted deadline
+    /// miss), after the retry budget granted a token.
+    RequestRetry {
+        /// The retried request.
+        request: u64,
+        /// Attempt ordinal being scheduled (1 = first retry).
+        attempt: u32,
+        /// Backoff delay until the retry dispatches, microseconds.
+        delay_us: u64,
+    },
+    /// The resilience layer issued a hedged (duplicate) attempt for a
+    /// gold request; the primary route is the preceding
+    /// `request_route`.
+    RequestHedge {
+        /// The hedged request.
+        request: u64,
+        /// The alternate server the hedge was sent to.
+        server: u32,
+    },
+    /// Admission control shed a request: the chosen server's backlog
+    /// exceeded the class watermark. Always paired with a
+    /// `request_reject` for the same request.
+    RequestShed {
+        /// The shed request.
+        request: u64,
+        /// SLA class index (0 = gold, 1 = bronze).
+        class: u8,
+    },
+    /// An instance circuit breaker tripped: the server leaves the
+    /// routable set until its open window elapses.
+    BreakerOpened {
+        /// The ejected server.
+        server: u32,
+    },
+    /// An instance circuit breaker left the open state (half-open probe
+    /// window or rejoin reset): the server is routable again.
+    BreakerClosed {
+        /// The readmitted server.
+        server: u32,
+    },
     /// A span opened (also aggregated; kept in the log so event order
     /// alone reconstructs the span tree).
     SpanEnter {
@@ -289,6 +330,11 @@ impl TraceEventKind {
             TraceEventKind::RequestRouted { .. } => "request_route",
             TraceEventKind::RequestCompleted { .. } => "request_complete",
             TraceEventKind::RequestRejected { .. } => "request_reject",
+            TraceEventKind::RequestRetry { .. } => "request_retry",
+            TraceEventKind::RequestHedge { .. } => "request_hedge",
+            TraceEventKind::RequestShed { .. } => "request_shed",
+            TraceEventKind::BreakerOpened { .. } => "breaker_open",
+            TraceEventKind::BreakerClosed { .. } => "breaker_close",
             TraceEventKind::SpanEnter { .. } => "span_enter",
             TraceEventKind::SpanExit { .. } => "span_exit",
         }
@@ -424,6 +470,23 @@ impl TraceEventKind {
                 .field("latency_us", &latency_us),
             TraceEventKind::RequestRejected { request, reason } => {
                 w.field("request", &request).field("reason", &reason)
+            }
+            TraceEventKind::RequestRetry {
+                request,
+                attempt,
+                delay_us,
+            } => w
+                .field("request", &request)
+                .field("attempt", &attempt)
+                .field("delay_us", &delay_us),
+            TraceEventKind::RequestHedge { request, server } => {
+                w.field("request", &request).field("server", &server)
+            }
+            TraceEventKind::RequestShed { request, class } => {
+                w.field("request", &request).field("class", &class)
+            }
+            TraceEventKind::BreakerOpened { server } | TraceEventKind::BreakerClosed { server } => {
+                w.field("server", &server)
             }
             TraceEventKind::SpanEnter { span } | TraceEventKind::SpanExit { span } => {
                 w.field("span", &span)
@@ -597,6 +660,24 @@ mod tests {
                 reason: "backlog",
             }
             .name(),
+            TraceEventKind::RequestRetry {
+                request: 0,
+                attempt: 1,
+                delay_us: 0,
+            }
+            .name(),
+            TraceEventKind::RequestHedge {
+                request: 0,
+                server: 0,
+            }
+            .name(),
+            TraceEventKind::RequestShed {
+                request: 0,
+                class: 1,
+            }
+            .name(),
+            TraceEventKind::BreakerOpened { server: 0 }.name(),
+            TraceEventKind::BreakerClosed { server: 0 }.name(),
             TraceEventKind::SpanEnter { span: "interval" }.name(),
             TraceEventKind::SpanExit { span: "interval" }.name(),
         ];

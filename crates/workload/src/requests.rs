@@ -85,6 +85,10 @@ pub enum RequestStreamDomain {
     /// Per-source rate-modulation profile (flash-crowd participation,
     /// diurnal phase; key = source index).
     Modulation,
+    /// Per-request retry-backoff jitter (key = request id). Drawn once
+    /// per retried request by the resilience layer; a disabled policy
+    /// never opens this stream.
+    Retry,
 }
 
 impl RequestStreamDomain {
@@ -96,6 +100,7 @@ impl RequestStreamDomain {
             RequestStreamDomain::Class => 0x5E1E_0003,
             RequestStreamDomain::Choice => 0x5E1E_0004,
             RequestStreamDomain::Modulation => 0x5E1E_0005,
+            RequestStreamDomain::Retry => 0x5E1E_0006,
         }
     }
 }
@@ -239,6 +244,7 @@ mod tests {
             RequestStreamDomain::Class.stream_tag(),
             RequestStreamDomain::Choice.stream_tag(),
             RequestStreamDomain::Modulation.stream_tag(),
+            RequestStreamDomain::Retry.stream_tag(),
         ];
         let unique: std::collections::BTreeSet<u64> = tags.iter().copied().collect();
         assert_eq!(unique.len(), tags.len());

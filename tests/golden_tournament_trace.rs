@@ -14,7 +14,7 @@
 use ecolb_bench::DEFAULT_SEED;
 use ecolb_metrics::json::ToJson;
 use ecolb_scenarios::tournament::PolicySpec;
-use ecolb_scenarios::{FleetSpec, ScenarioSpec, SlaSpec};
+use ecolb_scenarios::{FleetSpec, ResilienceSpec, ScenarioSpec, SlaSpec};
 use ecolb_serve::sim::{ServeConfig, ServeSim};
 use ecolb_simcore::par::map_indexed;
 use ecolb_trace::{NoTrace, RingTracer, TraceSnapshot};
@@ -48,6 +48,7 @@ fn scenario() -> ScenarioSpec {
             participation: 0.6,
         }),
         spot: None,
+        resilience: ResilienceSpec::Off,
         intervals: 2,
     }
 }
